@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"wlanmcast/internal/core"
+)
+
+func TestObjectiveByName(t *testing.T) {
+	tests := []struct {
+		name    string
+		want    core.Objective
+		wantErr bool
+	}{
+		{name: "mnu", want: core.ObjMNU},
+		{name: "bla", want: core.ObjBLA},
+		{name: "mla", want: core.ObjMLA},
+		{name: "nope", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := objectiveByName(tt.name)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("objectiveByName(%q): want error", tt.name)
+			}
+			continue
+		}
+		if err != nil || got != tt.want {
+			t.Errorf("objectiveByName(%q) = (%v, %v), want %v", tt.name, got, err, tt.want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Command experiments regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	experiments [-seeds N] [-size F] [-ilp-nodes N] [-csv] [-quiet] [id ...]
+//
+// With no ids, every experiment runs in order. Each figure prints as
+// an aligned text table (or CSV with -csv) of avg [min, max] over the
+// seeded scenarios, matching the paper's error-bar plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wlanmcast/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	seeds := fs.Int("seeds", 40, "random scenarios per data point (paper: 40)")
+	size := fs.Float64("size", 1.0, "scale factor on AP/user counts")
+	ilpNodes := fs.Int("ilp-nodes", 200000, "branch-and-bound node cap for fig12 optimal curves")
+	csv := fs.Bool("csv", false, "emit CSV instead of text tables")
+	quiet := fs.Bool("quiet", false, "suppress progress lines")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	fs.Parse(os.Args[1:])
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		for _, e := range experiments.Extensions() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		for _, e := range experiments.Dynamics() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+
+	cfg := experiments.Config{
+		Seeds:       *seeds,
+		SizeFactor:  *size,
+		ILPMaxNodes: *ilpNodes,
+	}
+	if !*quiet {
+		cfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+		}
+	}
+
+	ids := fs.Args()
+	var todo []experiments.Experiment
+	if len(ids) == 0 {
+		todo = experiments.All()
+	} else {
+		for _, id := range ids {
+			e, ok := experiments.GetAny(strings.ToLower(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
+				return 2
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		fig, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			return 1
+		}
+		if *csv {
+			fmt.Print(fig.CSV())
+		} else {
+			fmt.Println(fig.Table())
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "# %s finished in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return 0
+}

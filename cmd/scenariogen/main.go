@@ -1,0 +1,101 @@
+// Command scenariogen writes scenario JSON files for wlansim/assocd.
+//
+// Usage:
+//
+//	scenariogen -aps 200 -users 400 -seed 7 > scenario.json
+//	scenariogen -example figure1 > fig1.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wlanmcast/internal/geom"
+	"wlanmcast/internal/radio"
+	"wlanmcast/internal/scenario"
+	"wlanmcast/internal/wlan"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("scenariogen", flag.ExitOnError)
+	aps := fs.Int("aps", 200, "number of APs")
+	users := fs.Int("users", 400, "number of users")
+	sessions := fs.Int("sessions", 5, "number of multicast sessions")
+	rate := fs.Float64("rate", 1.0, "session stream rate (Mbps)")
+	budget := fs.Float64("budget", wlan.DefaultBudget, "per-AP load budget")
+	seed := fs.Int64("seed", 1, "placement seed")
+	width := fs.Float64("width", 1200, "area width (m)")
+	height := fs.Float64("height", 1000, "area height (m)")
+	placement := fs.String("placement", "uniform", "placement: uniform, grid, clustered")
+	basic := fs.Bool("basic-rate", false, "restrict multicast to the basic rate")
+	example := fs.String("example", "", "emit a canonical example instead: figure1, figure1-mnu, figure4")
+	fs.Parse(os.Args[1:])
+
+	spec, err := buildSpec(*example, scenario.Params{
+		Area:          geom.Rect{Width: *width, Height: *height},
+		NumAPs:        *aps,
+		NumUsers:      *users,
+		NumSessions:   *sessions,
+		SessionRate:   radio.Mbps(*rate),
+		Budget:        *budget,
+		Seed:          *seed,
+		Placement:     placementByName(*placement),
+		BasicRateOnly: *basic,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenariogen: %v\n", err)
+		return 1
+	}
+	if err := spec.Save(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "scenariogen: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func buildSpec(example string, p scenario.Params) (*scenario.Spec, error) {
+	switch example {
+	case "":
+		return scenario.Generate(p)
+	case "figure1":
+		return figureSpec(1, 1)
+	case "figure1-mnu":
+		return figureSpec(3, 3)
+	case "figure4":
+		return &scenario.Spec{
+			Kind:         scenario.KindRates,
+			Rates:        [][]radio.Mbps{{5, 4, 4, 0}, {0, 4, 4, 5}},
+			UserSessions: []int{0, 0, 0, 0},
+			Sessions:     []wlan.Session{{Rate: 1, Name: "s1"}},
+			Budget:       1,
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown example %q", example)
+	}
+}
+
+func figureSpec(s1, s2 radio.Mbps) (*scenario.Spec, error) {
+	return &scenario.Spec{
+		Kind:         scenario.KindRates,
+		Rates:        [][]radio.Mbps{{3, 6, 4, 4, 4}, {0, 0, 5, 5, 3}},
+		UserSessions: []int{0, 1, 0, 1, 1},
+		Sessions:     []wlan.Session{{Rate: s1, Name: "s1"}, {Rate: s2, Name: "s2"}},
+		Budget:       1,
+	}, nil
+}
+
+func placementByName(name string) scenario.Placement {
+	switch name {
+	case "grid":
+		return scenario.Grid
+	case "clustered":
+		return scenario.Clustered
+	default:
+		return scenario.Uniform
+	}
+}

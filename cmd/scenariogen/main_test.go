@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+
+	"wlanmcast/internal/scenario"
+)
+
+func TestBuildSpecExamples(t *testing.T) {
+	tests := []struct {
+		example     string
+		users, aps  int
+		wantErr     bool
+		wantKind    scenario.Kind
+		wantBudgets float64
+	}{
+		{example: "figure1", users: 5, aps: 2, wantKind: scenario.KindRates, wantBudgets: 1},
+		{example: "figure1-mnu", users: 5, aps: 2, wantKind: scenario.KindRates, wantBudgets: 1},
+		{example: "figure4", users: 4, aps: 2, wantKind: scenario.KindRates, wantBudgets: 1},
+		{example: "bogus", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.example, func(t *testing.T) {
+			spec, err := buildSpec(tt.example, scenario.Params{})
+			if tt.wantErr {
+				if err == nil {
+					t.Fatal("want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spec.Kind != tt.wantKind || spec.Budget != tt.wantBudgets {
+				t.Errorf("spec kind/budget = %v/%v", spec.Kind, spec.Budget)
+			}
+			n, err := spec.Network()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n.NumUsers() != tt.users || n.NumAPs() != tt.aps {
+				t.Errorf("sizes = %d/%d, want %d/%d", n.NumAPs(), n.NumUsers(), tt.aps, tt.users)
+			}
+		})
+	}
+}
+
+func TestBuildSpecGenerated(t *testing.T) {
+	spec, err := buildSpec("", scenario.Params{NumAPs: 4, NumUsers: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Kind != scenario.KindGeometric || len(spec.APPositions) != 4 {
+		t.Errorf("generated spec wrong: kind=%v aps=%d", spec.Kind, len(spec.APPositions))
+	}
+}
+
+func TestPlacementByName(t *testing.T) {
+	if placementByName("grid") != scenario.Grid ||
+		placementByName("clustered") != scenario.Clustered ||
+		placementByName("uniform") != scenario.Uniform ||
+		placementByName("whatever") != scenario.Uniform {
+		t.Error("placementByName mapping wrong")
+	}
+}

@@ -1,0 +1,159 @@
+// Command wlansim runs one association-control algorithm on a
+// scenario and reports the resulting association quality.
+//
+// Usage:
+//
+//	wlansim -alg mla-c [-scenario file.json] [-aps N] [-users N] ...
+//
+// Without -scenario, a random scenario is generated from the size
+// flags (paper §7 defaults).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wlanmcast/internal/core"
+	"wlanmcast/internal/scenario"
+	"wlanmcast/internal/wlan"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("wlansim", flag.ExitOnError)
+	algName := fs.String("alg", "mla-c", "algorithm: ssa, mla-c, mla-d, bla-c, bla-d, mnu-c, mnu-d, mla-opt, bla-opt, mnu-opt, all")
+	scenarioPath := fs.String("scenario", "", "scenario JSON (from scenariogen); empty generates one")
+	aps := fs.Int("aps", 200, "APs for generated scenarios")
+	users := fs.Int("users", 400, "users for generated scenarios")
+	sessions := fs.Int("sessions", 5, "multicast sessions")
+	budget := fs.Float64("budget", wlan.DefaultBudget, "per-AP multicast load budget")
+	seed := fs.Int64("seed", 1, "scenario seed")
+	basic := fs.Bool("basic-rate", false, "restrict multicast to the basic rate")
+	loads := fs.Bool("loads", false, "print every AP's load")
+	dump := fs.String("dump", "", "write the resulting association(s) as JSON to this file")
+	fs.Parse(os.Args[1:])
+
+	n, err := loadNetwork(*scenarioPath, scenario.Params{
+		NumAPs:        *aps,
+		NumUsers:      *users,
+		NumSessions:   *sessions,
+		Budget:        *budget,
+		Seed:          *seed,
+		BasicRateOnly: *basic,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wlansim: %v\n", err)
+		return 1
+	}
+
+	var algs []core.Algorithm
+	if *algName == "all" {
+		algs = []core.Algorithm{
+			&core.SSA{}, &core.CentralizedMLA{}, &core.Distributed{Objective: core.ObjMLA},
+			&core.CentralizedBLA{}, &core.Distributed{Objective: core.ObjBLA},
+			&core.CentralizedMNU{}, &core.Distributed{Objective: core.ObjMNU, EnforceBudget: true},
+		}
+	} else {
+		alg, err := algorithmByName(*algName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wlansim: %v\n", err)
+			return 2
+		}
+		algs = []core.Algorithm{alg}
+	}
+
+	fmt.Printf("network: %d APs, %d users, %d sessions, budget %.3f\n",
+		n.NumAPs(), n.NumUsers(), n.NumSessions(), *budget)
+	dumped := make(map[string]*wlan.Assoc)
+	for _, alg := range algs {
+		res, err := core.Evaluate(alg, n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wlansim: %v\n", err)
+			return 1
+		}
+		fmt.Printf("%-18s satisfied %4d/%d  total load %8.4f  max load %7.4f\n",
+			res.Algorithm, res.Satisfied, n.NumUsers(), res.TotalLoad, res.MaxLoad)
+		if *loads {
+			for ap := 0; ap < n.NumAPs(); ap++ {
+				if l := n.APLoad(res.Assoc, ap); l > 0 {
+					fmt.Printf("  ap %3d  load %.4f\n", ap, l)
+				}
+			}
+		}
+		dumped[res.Algorithm] = res.Assoc
+	}
+	if *dump != "" {
+		if err := dumpAssocs(*dump, dumped); err != nil {
+			fmt.Fprintf(os.Stderr, "wlansim: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// dumpAssocs writes the computed associations as a JSON object keyed
+// by algorithm name.
+func dumpAssocs(path string, assocs map[string]*wlan.Assoc) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(assocs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func loadNetwork(path string, p scenario.Params) (*wlan.Network, error) {
+	if path == "" {
+		return scenario.GenerateNetwork(p)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	spec, err := scenario.Load(f)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Network()
+}
+
+func algorithmByName(name string) (core.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "ssa":
+		return &core.SSA{}, nil
+	case "ssa-budget":
+		return &core.SSA{EnforceBudget: true}, nil
+	case "mla-c":
+		return &core.CentralizedMLA{}, nil
+	case "mla-d":
+		return &core.Distributed{Objective: core.ObjMLA}, nil
+	case "bla-c":
+		return &core.CentralizedBLA{}, nil
+	case "bla-d":
+		return &core.Distributed{Objective: core.ObjBLA}, nil
+	case "mnu-c":
+		return &core.CentralizedMNU{}, nil
+	case "mnu-d":
+		return &core.Distributed{Objective: core.ObjMNU, EnforceBudget: true}, nil
+	case "mla-opt":
+		return &core.OptimalMLA{}, nil
+	case "bla-opt":
+		return &core.OptimalBLA{}, nil
+	case "mnu-opt":
+		return &core.OptimalMNU{}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}

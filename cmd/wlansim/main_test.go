@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wlanmcast/internal/scenario"
+)
+
+func TestAlgorithmByName(t *testing.T) {
+	names := []string{
+		"ssa", "ssa-budget", "mla-c", "mla-d", "bla-c", "bla-d",
+		"mnu-c", "mnu-d", "mla-opt", "bla-opt", "mnu-opt", "MLA-C",
+	}
+	for _, name := range names {
+		alg, err := algorithmByName(name)
+		if err != nil {
+			t.Errorf("algorithmByName(%q): %v", name, err)
+		}
+		if alg == nil || alg.Name() == "" {
+			t.Errorf("algorithmByName(%q) returned a nameless algorithm", name)
+		}
+	}
+	if _, err := algorithmByName("bogus"); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+}
+
+func TestLoadNetworkGenerates(t *testing.T) {
+	n, err := loadNetwork("", scenario.Params{NumAPs: 5, NumUsers: 10, NumSessions: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumAPs() != 5 || n.NumUsers() != 10 {
+		t.Errorf("sizes = %d/%d, want 5/10", n.NumAPs(), n.NumUsers())
+	}
+}
+
+func TestLoadNetworkFromFile(t *testing.T) {
+	spec, err := scenario.Generate(scenario.Params{NumAPs: 3, NumUsers: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "s.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := loadNetwork(path, scenario.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumAPs() != 3 || n.NumUsers() != 6 {
+		t.Errorf("sizes = %d/%d, want 3/6", n.NumAPs(), n.NumUsers())
+	}
+	if _, err := loadNetwork(filepath.Join(t.TempDir(), "missing.json"), scenario.Params{}); err == nil {
+		t.Error("missing file should error")
+	}
+}

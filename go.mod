@@ -1,0 +1,3 @@
+module wlanmcast
+
+go 1.22

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"wlanmcast/internal/wlan"
+)
+
+// Objective selects which distributed local rule a user applies.
+type Objective int
+
+// Distributed objectives. MNU and MLA share the same rule (paper
+// §6.2): join the neighbor AP that increases the total neighborhood
+// load the least. BLA lexicographically minimizes the sorted vector of
+// neighboring AP loads (§5.2).
+const (
+	ObjMNU Objective = iota + 1
+	ObjBLA
+	ObjMLA
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case ObjMNU:
+		return "MNU"
+	case ObjBLA:
+		return "BLA"
+	case ObjMLA:
+		return "MLA"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// loadEps absorbs floating-point noise in "strictly better" tests; a
+// move must improve by more than this to be taken, which is what makes
+// the sequential process terminate.
+const loadEps = 1e-9
+
+// Distributed runs the paper's distributed algorithms: users decide
+// one by one from local information (their neighbor APs' current
+// loads), repeating rounds until a full round changes nothing.
+type Distributed struct {
+	// Objective picks the local rule.
+	Objective Objective
+	// EnforceBudget refuses joins that would push an AP past its
+	// budget. The paper's distributed MNU always enforces it; for
+	// BLA/MLA runs where all users must be served it is typically off.
+	EnforceBudget bool
+	// MaxRounds bounds the sequential rounds (0 = DefaultMaxRounds).
+	MaxRounds int
+	// Order optionally fixes the user decision order (a permutation
+	// of user IDs); nil means increasing ID.
+	Order []int
+	// Start optionally seeds the run with an existing association
+	// (users then re-evaluate it); nil starts everyone unassociated.
+	Start *wlan.Assoc
+}
+
+var _ Algorithm = (*Distributed)(nil)
+
+// DefaultMaxRounds bounds sequential rounds when unset. Convergence is
+// guaranteed (Lemmas 1-2) but the bound keeps adversarial float
+// accumulation from looping.
+const DefaultMaxRounds = 100
+
+// Name implements Algorithm.
+func (d *Distributed) Name() string { return d.Objective.String() + "-distributed" }
+
+// Run implements Algorithm.
+func (d *Distributed) Run(n *wlan.Network) (*wlan.Assoc, error) {
+	res, err := d.RunDetailed(n)
+	if err != nil {
+		return nil, err
+	}
+	return res.Assoc, nil
+}
+
+// DistributedResult carries convergence detail beyond the association.
+type DistributedResult struct {
+	Assoc *wlan.Assoc
+	// Rounds is the number of full passes executed.
+	Rounds int
+	// Moves is the total number of association changes.
+	Moves int
+	// Converged reports whether the last round made no changes.
+	Converged bool
+}
+
+// RunDetailed runs the sequential distributed process and reports
+// convergence statistics.
+func (d *Distributed) RunDetailed(n *wlan.Network) (*DistributedResult, error) {
+	if err := d.validate(n); err != nil {
+		return nil, err
+	}
+	tr, err := wlan.NewTracker(n, d.Start)
+	if err != nil {
+		return nil, err
+	}
+	order := d.order(n)
+	maxRounds := d.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	res := &DistributedResult{}
+	for res.Rounds < maxRounds {
+		res.Rounds++
+		changed := 0
+		for _, u := range order {
+			moved, err := d.decide(n, tr, u)
+			if err != nil {
+				return nil, err
+			}
+			if moved {
+				changed++
+			}
+		}
+		res.Moves += changed
+		if changed == 0 {
+			res.Converged = true
+			break
+		}
+	}
+	res.Assoc = tr.Assoc()
+	return res, nil
+}
+
+func (d *Distributed) validate(n *wlan.Network) error {
+	switch d.Objective {
+	case ObjMNU, ObjBLA, ObjMLA:
+	default:
+		return fmt.Errorf("core: invalid distributed objective %d", int(d.Objective))
+	}
+	if d.Order != nil {
+		if len(d.Order) != n.NumUsers() {
+			return fmt.Errorf("core: order has %d entries for %d users", len(d.Order), n.NumUsers())
+		}
+		seen := make([]bool, n.NumUsers())
+		for _, u := range d.Order {
+			if u < 0 || u >= n.NumUsers() || seen[u] {
+				return fmt.Errorf("core: order is not a permutation of user IDs")
+			}
+			seen[u] = true
+		}
+	}
+	return nil
+}
+
+func (d *Distributed) order(n *wlan.Network) []int {
+	if d.Order != nil {
+		return d.Order
+	}
+	order := make([]int, n.NumUsers())
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// decide lets user u re-evaluate its association against the tracker
+// state, applying the move when it strictly improves the objective.
+// It reports whether the association changed.
+func (d *Distributed) decide(n *wlan.Network, tr *wlan.Tracker, u int) (bool, error) {
+	target, improves := d.choose(n, tr, u)
+	if target == wlan.Unassociated || target == tr.APOf(u) {
+		return false, nil
+	}
+	if tr.APOf(u) != wlan.Unassociated && !improves {
+		return false, nil
+	}
+	if err := tr.Move(u, target); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Choose returns the AP user u prefers under the rule, evaluated
+// against the loads in tr (which may be a stale snapshot — that is how
+// the protocol simulation models simultaneous decisions), and whether
+// that choice strictly improves on u's current situation. For an
+// unassociated user any feasible AP is an improvement.
+func (d *Distributed) Choose(n *wlan.Network, tr *wlan.Tracker, u int) (int, bool) {
+	return d.choose(n, tr, u)
+}
+
+// choose returns the AP user u prefers under the rule and whether that
+// choice strictly improves on u's current situation. For an
+// unassociated user any feasible AP is an improvement.
+func (d *Distributed) choose(n *wlan.Network, tr *wlan.Tracker, u int) (int, bool) {
+	switch d.Objective {
+	case ObjBLA:
+		return d.chooseBLA(n, tr, u)
+	default:
+		return d.chooseMinTotal(n, tr, u)
+	}
+}
+
+// chooseMinTotal implements the §4.2/§6.2 rule: among feasible
+// neighbor APs, join the one whose join minimizes the increase of the
+// total load of the neighborhood; ties break toward the strongest
+// signal (and then the lower AP ID).
+func (d *Distributed) chooseMinTotal(n *wlan.Network, tr *wlan.Tracker, u int) (int, bool) {
+	cur := tr.APOf(u)
+	leaveLoad, _ := tr.LoadIfLeave(u)
+	leaveDelta := 0.0
+	if cur != wlan.Unassociated {
+		leaveDelta = leaveLoad - tr.APLoad(cur)
+	}
+	best := wlan.Unassociated
+	bestDelta := 0.0
+	for _, a := range n.NeighborAPs(u) {
+		var delta float64
+		if a == cur {
+			delta = 0
+		} else {
+			joinLoad, ok := tr.LoadIfJoin(u, a)
+			if !ok {
+				continue
+			}
+			if d.EnforceBudget && joinLoad > n.APs[a].Budget+loadEps {
+				continue
+			}
+			delta = (joinLoad - tr.APLoad(a)) + leaveDelta
+		}
+		switch {
+		case best == wlan.Unassociated,
+			delta < bestDelta-loadEps:
+			best, bestDelta = a, delta
+		case delta < bestDelta+loadEps && betterTie(n, u, a, best):
+			best, bestDelta = a, delta
+		}
+	}
+	if best == wlan.Unassociated {
+		return best, false
+	}
+	if cur == wlan.Unassociated {
+		return best, true
+	}
+	// Moving must strictly reduce the total load (Lemma 1's potential).
+	return best, bestDelta < -loadEps
+}
+
+// chooseBLA implements the §5.2 rule: the user computes, for each
+// candidate AP, the vector of its neighboring APs' loads after the
+// hypothetical move, sorted in non-increasing order, and joins the AP
+// whose vector is lexicographically smallest (footnote 5).
+func (d *Distributed) chooseBLA(n *wlan.Network, tr *wlan.Tracker, u int) (int, bool) {
+	cur := tr.APOf(u)
+	neighbors := n.NeighborAPs(u)
+	leaveLoad, _ := tr.LoadIfLeave(u)
+
+	// vectorIf builds the sorted neighborhood load vector if u were
+	// associated with target (target == cur means "stay").
+	vectorIf := func(target int) []float64 {
+		v := make([]float64, 0, len(neighbors))
+		for _, b := range neighbors {
+			load := tr.APLoad(b)
+			if b == cur && target != cur {
+				load = leaveLoad
+			}
+			if b == target && target != cur {
+				load, _ = tr.LoadIfJoin(u, b)
+			}
+			v = append(v, load)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(v)))
+		return v
+	}
+
+	best := wlan.Unassociated
+	var bestVec []float64
+	for _, a := range neighbors {
+		if a != cur {
+			joinLoad, ok := tr.LoadIfJoin(u, a)
+			if !ok {
+				continue
+			}
+			if d.EnforceBudget && joinLoad > n.APs[a].Budget+loadEps {
+				continue
+			}
+		}
+		v := vectorIf(a)
+		switch {
+		case best == wlan.Unassociated:
+			best, bestVec = a, v
+		default:
+			switch wlan.CompareLoadVectors(v, bestVec) {
+			case -1:
+				best, bestVec = a, v
+			case 0:
+				if betterTie(n, u, a, best) {
+					best, bestVec = a, v
+				}
+			}
+		}
+	}
+	if best == wlan.Unassociated {
+		return best, false
+	}
+	if cur == wlan.Unassociated {
+		return best, true
+	}
+	if best == cur {
+		return best, false
+	}
+	// Moving must strictly reduce the sorted vector (Lemma 2).
+	return best, wlan.CompareLoadVectors(bestVec, vectorIf(cur)) < 0
+}
+
+// betterTie breaks ties toward the stronger signal, then the current
+// association (stability), then the lower AP ID.
+func betterTie(n *wlan.Network, u, a, b int) bool {
+	if strongerSignal(n, u, a, b) {
+		return true
+	}
+	if strongerSignal(n, u, b, a) {
+		return false
+	}
+	return a < b
+}

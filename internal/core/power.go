@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"wlanmcast/internal/radio"
+	"wlanmcast/internal/wlan"
+)
+
+// Adaptive power control is the first future-work item of the paper's
+// §8: APs pick from a finite set of discrete power levels. Power never
+// helps the three load objectives directly — transmitting softer makes
+// no frame shorter — its payoff is interference: a multicast frame
+// occupies the channel over the whole carrier-sense footprint of its
+// transmitter, so serving nearby users at reduced power frees airtime
+// for everyone else in range. AssignPowers picks, per (AP, session)
+// transmission, the (power level, PHY rate) pair that minimizes the
+// transmission's interference volume — airtime x covered area —
+// subject to every associated user still decoding it.
+
+// Transmission describes one (AP, session) multicast transmission
+// after power assignment.
+type Transmission struct {
+	// AP and Session identify the transmission.
+	AP      int
+	Session int
+	// Level is the chosen power level (1 = full power).
+	Level radio.PowerLevel
+	// Rate is the chosen PHY rate.
+	Rate radio.Mbps
+	// Load is the airtime fraction (session rate / PHY rate under the
+	// network's load model).
+	Load float64
+	// Radius is the interference radius in meters at the chosen
+	// power (the slowest rate's reach, i.e. the carrier-sense
+	// footprint).
+	Radius float64
+}
+
+// Volume returns the transmission's interference volume: airtime
+// times covered area (m² of channel-seconds per second).
+func (t Transmission) Volume() float64 {
+	return t.Load * math.Pi * t.Radius * t.Radius
+}
+
+// PowerPlan is a complete power assignment for an association.
+type PowerPlan struct {
+	// Transmissions lists every active (AP, session) pair.
+	Transmissions []Transmission
+	// BaselineVolume is the total interference volume at full power
+	// with the default (slowest-member) rate choice.
+	BaselineVolume float64
+	// Volume is the total interference volume under the plan.
+	Volume float64
+}
+
+// Savings returns the fractional interference-volume reduction.
+func (p *PowerPlan) Savings() float64 {
+	if p.BaselineVolume == 0 {
+		return 0
+	}
+	return 1 - p.Volume/p.BaselineVolume
+}
+
+// AssignPowers computes the minimum-interference power plan for an
+// association on a geometric network. table must be the rate table
+// the network was built with (radio.Table1 in the paper's setup);
+// exponent is the path-loss exponent for radio.RangeFactor.
+func AssignPowers(n *wlan.Network, assoc *wlan.Assoc, table *radio.RateTable, levels []radio.PowerLevel, exponent float64) (*PowerPlan, error) {
+	if !n.Geometric() {
+		return nil, fmt.Errorf("core: power control needs a geometric network")
+	}
+	if table == nil {
+		return nil, fmt.Errorf("core: power control needs the rate table")
+	}
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("core: power control needs at least one power level")
+	}
+	if err := n.Validate(assoc, false); err != nil {
+		return nil, err
+	}
+
+	// Group served users per (AP, session) with their max distance.
+	type key struct{ ap, session int }
+	maxDist := make(map[key]float64)
+	for u := 0; u < n.NumUsers(); u++ {
+		ap := assoc.APOf(u)
+		if ap == wlan.Unassociated {
+			continue
+		}
+		k := key{ap, n.UserSession(u)}
+		if d := n.Distance(ap, u); d > maxDist[k] {
+			maxDist[k] = d
+		}
+	}
+
+	plan := &PowerPlan{}
+	fullRange := table.Range()
+	for k, d := range maxDist {
+		// Baseline: full power, rate from the plain table.
+		baseRate, ok := table.RateFor(d)
+		if !ok {
+			return nil, fmt.Errorf("core: AP %d serves session %d user at %.1fm, beyond radio range", k.ap, k.session, d)
+		}
+		if n.BasicRateOnly {
+			baseRate = table.BasicRate()
+		}
+		baseLoad := n.SessionLoad(k.session, baseRate)
+		plan.BaselineVolume += baseLoad * math.Pi * fullRange * fullRange
+
+		best := Transmission{AP: k.ap, Session: k.session, Level: levels[0], Rate: baseRate, Load: baseLoad, Radius: fullRange}
+		bestVolume := best.Volume()
+		for _, lv := range levels {
+			factor := radio.RangeFactor(lv.OffsetDB, exponent)
+			scaled, err := table.Scaled(factor)
+			if err != nil {
+				return nil, err
+			}
+			rate, ok := scaled.RateFor(d)
+			if !ok {
+				continue // this power cannot reach the farthest user
+			}
+			if n.BasicRateOnly {
+				rate = scaled.BasicRate()
+			}
+			tr := Transmission{
+				AP:      k.ap,
+				Session: k.session,
+				Level:   lv,
+				Rate:    rate,
+				Load:    n.SessionLoad(k.session, rate),
+				Radius:  scaled.Range(),
+			}
+			if v := tr.Volume(); v < bestVolume {
+				best, bestVolume = tr, v
+			}
+		}
+		plan.Transmissions = append(plan.Transmissions, best)
+		plan.Volume += bestVolume
+	}
+	return plan, nil
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wlanmcast/internal/geom"
+	"wlanmcast/internal/radio"
+	"wlanmcast/internal/wlan"
+)
+
+// powerNet builds a small geometric network with one AP at the center
+// and users at the given distances.
+func powerNet(t *testing.T, dists ...float64) *wlan.Network {
+	t.Helper()
+	area := geom.Square(500)
+	apPos := []geom.Point{{X: 250, Y: 250}}
+	var userPos []geom.Point
+	for _, d := range dists {
+		userPos = append(userPos, geom.Point{X: 250 + d, Y: 250})
+	}
+	sess := make([]int, len(dists))
+	n, err := wlan.NewGeometric(area, apPos, userPos, sess, []wlan.Session{{Rate: 1}}, radio.Table1(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func fullAssoc(n *wlan.Network) *wlan.Assoc {
+	a := wlan.NewAssoc(n.NumUsers())
+	for u := 0; u < n.NumUsers(); u++ {
+		a.Associate(u, 0)
+	}
+	return a
+}
+
+func defaultLevels(t *testing.T) []radio.PowerLevel {
+	t.Helper()
+	levels, err := radio.PowerLevels(6, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return levels
+}
+
+func TestAssignPowersNearbyUsersShrinkFootprint(t *testing.T) {
+	// One user 20m away: full power wastes a 200m interference
+	// radius; the plan must pick a reduced level.
+	n := powerNet(t, 20)
+	plan, err := AssignPowers(n, fullAssoc(n), radio.Table1(), defaultLevels(t), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Transmissions) != 1 {
+		t.Fatalf("got %d transmissions, want 1", len(plan.Transmissions))
+	}
+	tr := plan.Transmissions[0]
+	if tr.Level.Index == 1 {
+		t.Error("full power chosen for a 20m user")
+	}
+	if tr.Radius >= radio.Table1().Range() {
+		t.Errorf("radius %v not reduced", tr.Radius)
+	}
+	if plan.Savings() <= 0 {
+		t.Errorf("savings = %v, want > 0", plan.Savings())
+	}
+	// The user must still decode: reach at the chosen power covers 20m.
+	if tr.Radius < 20 {
+		t.Errorf("interference radius %v below user distance", tr.Radius)
+	}
+}
+
+func TestAssignPowersFarUserNeedsFullPower(t *testing.T) {
+	// A user at 190m leaves no room to back off.
+	n := powerNet(t, 190)
+	plan, err := AssignPowers(n, fullAssoc(n), radio.Table1(), defaultLevels(t), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := plan.Transmissions[0]
+	if tr.Level.Index != 1 {
+		t.Errorf("level %d chosen for a 190m user, want full power", tr.Level.Index)
+	}
+	if plan.Savings() != 0 {
+		t.Errorf("savings = %v, want 0", plan.Savings())
+	}
+}
+
+func TestAssignPowersDecodability(t *testing.T) {
+	// Property: on random networks and associations, the chosen
+	// (power, rate) always reaches every served user, and the plan
+	// never exceeds the full-power baseline volume.
+	rng := rand.New(rand.NewSource(33))
+	levels := defaultLevels(t)
+	for trial := 0; trial < 15; trial++ {
+		n := randomNetwork(t, rng, 8, 40, 3, 1)
+		assoc, err := (&SSA{}).Run(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := AssignPowers(n, assoc, radio.Table1(), levels, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Volume > plan.BaselineVolume+1e-9 {
+			t.Fatalf("trial %d: plan volume %v exceeds baseline %v", trial, plan.Volume, plan.BaselineVolume)
+		}
+		for _, tr := range plan.Transmissions {
+			factor := radio.RangeFactor(tr.Level.OffsetDB, 3)
+			scaled, err := radio.Table1().Scaled(factor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for u := 0; u < n.NumUsers(); u++ {
+				if assoc.APOf(u) != tr.AP || n.UserSession(u) != tr.Session {
+					continue
+				}
+				r, ok := scaled.RateFor(n.Distance(tr.AP, u))
+				if !ok || r < tr.Rate {
+					t.Fatalf("trial %d: user %d cannot decode AP %d session %d at level %d rate %v",
+						trial, u, tr.AP, tr.Session, tr.Level.Index, tr.Rate)
+				}
+			}
+		}
+	}
+}
+
+func TestAssignPowersMoreLevelsNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	n := randomNetwork(t, rng, 6, 30, 2, 1)
+	assoc, err := (&CentralizedMLA{}).Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counts whose level grids nest: PowerLevels(n, 15) spaces offsets
+	// by 15/(n-1), and {0,15} ⊂ {0,5,10,15} ⊂ {0,1,...,15}. Without
+	// nesting, more levels can genuinely be worse.
+	prev := math.Inf(1)
+	for _, count := range []int{1, 2, 4, 16} {
+		levels, err := radio.PowerLevels(count, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := AssignPowers(n, assoc, radio.Table1(), levels, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Volume > prev+1e-9 {
+			t.Fatalf("%d levels produced MORE interference (%v) than fewer (%v)", count, plan.Volume, prev)
+		}
+		prev = plan.Volume
+	}
+}
+
+func TestAssignPowersBasicRateOnly(t *testing.T) {
+	n := powerNet(t, 20)
+	n.BasicRateOnly = true
+	plan, err := AssignPowers(n, fullAssoc(n), radio.Table1(), defaultLevels(t), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := plan.Transmissions[0]
+	// In basic-rate-only mode the rate is pinned to the (scaled)
+	// basic rate, but the footprint still shrinks.
+	if tr.Rate != radio.Table1().BasicRate() {
+		t.Errorf("rate = %v, want basic rate", tr.Rate)
+	}
+	if plan.Savings() <= 0 {
+		t.Error("power control should still shrink the footprint")
+	}
+}
+
+func TestAssignPowersErrors(t *testing.T) {
+	n := figure1(t, 1, 1) // explicit-rate network: no geometry
+	assoc := wlan.NewAssoc(5)
+	if _, err := AssignPowers(n, assoc, radio.Table1(), nil, 3); err == nil {
+		t.Error("no levels should error")
+	}
+	levels, err := radio.PowerLevels(3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AssignPowers(n, assoc, radio.Table1(), levels, 3); err == nil {
+		t.Error("non-geometric network should error")
+	}
+	g := powerNet(t, 20)
+	if _, err := AssignPowers(g, fullAssoc(g), nil, levels, 3); err == nil {
+		t.Error("nil table should error")
+	}
+	if _, err := AssignPowers(g, wlan.NewAssoc(3), radio.Table1(), levels, 3); err == nil {
+		t.Error("mismatched association should error")
+	}
+}
+
+func TestPowerPlanEmptyAssociation(t *testing.T) {
+	n := powerNet(t, 20)
+	plan, err := AssignPowers(n, wlan.NewAssoc(1), radio.Table1(), defaultLevels(t), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Transmissions) != 0 || plan.Savings() != 0 {
+		t.Error("empty association should yield an empty plan")
+	}
+}

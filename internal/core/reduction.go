@@ -1,0 +1,118 @@
+package core
+
+import (
+	"sort"
+
+	"wlanmcast/internal/radio"
+	"wlanmcast/internal/setcover"
+	"wlanmcast/internal/wlan"
+)
+
+// SetInfo maps one covering set back to the WLAN decision it encodes:
+// "AP transmits Session at PHY rate Rate". This is the reduction of
+// Theorems 1, 3 and 5 — each subset corresponds to an AP, a
+// transmission rate, and a multicast session; its cost is the load of
+// that transmission; its elements are the users of that session that
+// can decode it.
+type SetInfo struct {
+	AP      int
+	Session int
+	Rate    radio.Mbps
+}
+
+// BuildInstance reduces network n to a covering instance. When grouped
+// is true every AP becomes a group whose budget is the AP's Budget
+// field (the MNU/BLA form); otherwise sets carry no group (the MLA /
+// plain set-cover form).
+//
+// Dominated sets are pruned: if lowering the transmission rate does
+// not reach any additional user of the session, the slower (costlier)
+// set is dropped. This keeps the reduction exact while shrinking it.
+func BuildInstance(n *wlan.Network, grouped bool) (*setcover.Instance, []SetInfo) {
+	in := &setcover.Instance{NumElements: n.NumUsers()}
+	if grouped {
+		in.NumGroups = n.NumAPs()
+		in.Budgets = make([]float64, n.NumAPs())
+		for a := range in.Budgets {
+			in.Budgets[a] = n.APs[a].Budget
+		}
+	}
+	var infos []SetInfo
+	for a := 0; a < n.NumAPs(); a++ {
+		// Users reachable from a, bucketed by session, with the rate
+		// the AP would use toward each.
+		type member struct {
+			user int
+			rate radio.Mbps
+		}
+		bySession := make(map[int][]member)
+		for _, u := range n.Coverage(a) {
+			r, ok := n.TxRate(a, u)
+			if !ok {
+				continue
+			}
+			s := n.UserSession(u)
+			bySession[s] = append(bySession[s], member{user: u, rate: r})
+		}
+		sessions := make([]int, 0, len(bySession))
+		for s := range bySession {
+			sessions = append(sessions, s)
+		}
+		sort.Ints(sessions) // deterministic set order
+		for _, s := range sessions {
+			members := bySession[s]
+			// Sort members by descending rate; walking down the rate
+			// ladder, each new distinct rate yields one set covering
+			// every member at or above it.
+			sort.Slice(members, func(i, j int) bool {
+				if members[i].rate != members[j].rate {
+					return members[i].rate > members[j].rate
+				}
+				return members[i].user < members[j].user
+			})
+			for i := 0; i < len(members); {
+				r := members[i].rate
+				// Advance past everyone sharing this rate.
+				j := i
+				for j < len(members) && members[j].rate == r {
+					j++
+				}
+				elems := make([]int, 0, j)
+				for k := 0; k < j; k++ {
+					elems = append(elems, members[k].user)
+				}
+				set := setcover.Set{
+					Group: setcover.NoGroup,
+					Cost:  n.SessionLoad(s, r),
+					Elems: elems,
+				}
+				if grouped {
+					set.Group = a
+				}
+				in.Sets = append(in.Sets, set)
+				infos = append(infos, SetInfo{AP: a, Session: s, Rate: r})
+				i = j
+			}
+		}
+	}
+	return in, infos
+}
+
+// ApplyPicks converts selected covering sets back into an association:
+// walking the picks in selection order, every not-yet-associated user
+// of a set joins the set's AP. Because every user in a set can decode
+// the set's rate, the AP's realized per-session transmission rate is
+// at least the modeled one, so realized loads never exceed the
+// covering costs.
+func ApplyPicks(n *wlan.Network, in *setcover.Instance, infos []SetInfo, picked []int) *wlan.Assoc {
+	assoc := wlan.NewAssoc(n.NumUsers())
+	for _, idx := range picked {
+		ap := infos[idx].AP
+		for _, u := range in.Sets[idx].Elems {
+			if assoc.APOf(u) == wlan.Unassociated {
+				assoc.Associate(u, ap)
+			}
+		}
+	}
+	return assoc
+}

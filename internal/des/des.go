@@ -1,0 +1,177 @@
+// Package des is a small discrete-event simulation engine: an event
+// queue ordered by virtual time with deterministic FIFO tie-breaking.
+// The distributed-protocol simulation (internal/netsim) runs on it,
+// standing in for the ns-2 testbed the paper used.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Engine owns the virtual clock and the pending event queue. The zero
+// value is not usable; call New. Engines are not safe for concurrent
+// use — a simulation is a single logical thread.
+type Engine struct {
+	now   time.Duration
+	queue eventQueue
+	seq   uint64
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Pending returns the number of scheduled, uncanceled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Timer is a handle for a scheduled event.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.canceled = true
+	}
+}
+
+// Schedule runs fn after delay of virtual time. Negative delays fire
+// immediately (at the current time). Events at the same instant fire
+// in scheduling order.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t; times before now clamp to now.
+func (e *Engine) At(t time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("des: nil event function")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{time: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// Step fires the next event. It reports whether an event fired.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.time
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or limit events have fired
+// (limit <= 0 means no limit). It returns the number of events fired
+// and an error when the limit was hit with work remaining — almost
+// always a runaway self-rescheduling loop.
+func (e *Engine) Run(limit int) (int, error) {
+	fired := 0
+	for {
+		if limit > 0 && fired >= limit {
+			if e.Pending() > 0 {
+				return fired, fmt.Errorf("des: event limit %d hit with %d events pending", limit, e.Pending())
+			}
+			return fired, nil
+		}
+		if !e.Step() {
+			return fired, nil
+		}
+		fired++
+	}
+}
+
+// RunUntil fires events with time <= deadline, leaving later events
+// queued, and returns the number fired. The clock ends at deadline if
+// the queue drained earlier than that.
+func (e *Engine) RunUntil(deadline time.Duration) int {
+	fired := 0
+	for e.queue.Len() > 0 {
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.time > deadline {
+			break
+		}
+		e.Step()
+		fired++
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return fired
+}
+
+// event is one queue entry.
+type event struct {
+	time     time.Duration
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int
+}
+
+// eventQueue is a min-heap on (time, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+// Push implements heap.Interface.
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+// Pop implements heap.Interface.
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

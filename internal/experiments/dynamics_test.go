@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestDynamicsRegistered(t *testing.T) {
+	dyn := Dynamics()
+	want := []string{"ext-macvalidate", "ext-coexistence", "ext-mobility", "ext-interference", "ext-dual", "ext-signaling"}
+	if len(dyn) != len(want) {
+		t.Fatalf("got %d dynamics experiments, want %d", len(dyn), len(want))
+	}
+	for i, e := range dyn {
+		if e.ID != want[i] || e.Run == nil {
+			t.Errorf("dynamics %d = %q, want %q", i, e.ID, want[i])
+		}
+		if _, ok := GetAny(e.ID); !ok {
+			t.Errorf("GetAny(%q) failed", e.ID)
+		}
+	}
+}
+
+func TestExtMACValidateSmoke(t *testing.T) {
+	fig, err := ExtMACValidate(Config{Seeds: 1, SizeFactor: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := findSeries(t, fig, "analytic-ratio")
+	airtime := findSeries(t, fig, "analytic-airtime")
+	measured := findSeries(t, fig, "measured-packet-level")
+	for i := range fig.X {
+		// Ratio is the optimistic floor; measured and airtime both
+		// charge overhead and must sit above it.
+		if measured.Stats[i].Avg <= ratio.Stats[i].Avg {
+			t.Errorf("x=%v: measured %v not above ratio %v", fig.X[i], measured.Stats[i].Avg, ratio.Stats[i].Avg)
+		}
+		// Measured should track the analytic airtime model closely.
+		lo, hi := 0.8*airtime.Stats[i].Avg, 1.2*airtime.Stats[i].Avg
+		if measured.Stats[i].Avg < lo || measured.Stats[i].Avg > hi {
+			t.Errorf("x=%v: measured %v outside 20%% of analytic airtime %v", fig.X[i], measured.Stats[i].Avg, airtime.Stats[i].Avg)
+		}
+	}
+}
+
+func TestExtCoexistenceSmoke(t *testing.T) {
+	fig, err := ExtCoexistence(Config{Seeds: 1, SizeFactor: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssa := findSeries(t, fig, "SSA")
+	mla := findSeries(t, fig, "MLA-centralized")
+	last := len(fig.X) - 1
+	if mla.Stats[last].Avg < ssa.Stats[last].Avg {
+		t.Errorf("MLA goodput %v below SSA %v at the largest user count",
+			mla.Stats[last].Avg, ssa.Stats[last].Avg)
+	}
+}
+
+func TestExtMobilitySmoke(t *testing.T) {
+	fig, err := ExtMobility(Config{Seeds: 1, SizeFactor: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := findSeries(t, fig, "handoffs")
+	// More pausing (quasi-static) means fewer handoffs: the first
+	// point (2min pauses) must exceed the last (40min pauses).
+	first, last := h.Stats[0].Avg, h.Stats[len(fig.X)-1].Avg
+	if first <= last {
+		t.Errorf("handoffs not decreasing with pause length: %v -> %v", first, last)
+	}
+	if last < 0 {
+		t.Error("negative handoffs")
+	}
+}
+
+func TestRepairAssoc(t *testing.T) {
+	if repairAssoc(nil, nil) != nil {
+		t.Error("nil prev should stay nil")
+	}
+}
+
+func TestExtInterferenceSmoke(t *testing.T) {
+	fig, err := ExtInterference(Config{Seeds: 2, SizeFactor: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 channels must beat a single shared channel for every policy.
+	// (Stepwise monotonicity is not guaranteed: recoloring with one
+	// more channel can reshuffle who shares with whom.)
+	for _, s := range fig.Series {
+		last := len(fig.X) - 1
+		if s.Stats[last].Avg > s.Stats[0].Avg+1e-9 {
+			t.Errorf("%s: busy time with %v channels (%v) above single-channel (%v)",
+				s.Label, fig.X[last], s.Stats[last].Avg, s.Stats[0].Avg)
+		}
+	}
+}
+
+func TestExtDualSmoke(t *testing.T) {
+	fig, err := ExtDual(Config{Seeds: 2, SizeFactor: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual := findSeries(t, fig, "dual")
+	single := findSeries(t, fig, "single")
+	for i := range fig.X {
+		if dual.Stats[i].Avg > single.Stats[i].Avg+1e-9 {
+			t.Errorf("demand %v: dual total %v above single %v", fig.X[i], dual.Stats[i].Avg, single.Stats[i].Avg)
+		}
+	}
+	if s := findSeries(t, fig, "split-users"); s.Stats[0].Avg <= 0 {
+		t.Error("no split users recorded")
+	}
+}
+
+func TestExtSignalingSmoke(t *testing.T) {
+	fig, err := ExtSignaling(Config{Seeds: 1, SizeFactor: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cent := findSeries(t, fig, "centralized-controller")
+	dist := findSeries(t, fig, "distributed-protocol")
+	last := len(fig.X) - 1
+	// Centralized polling grows with the horizon; the converged
+	// distributed protocol does not.
+	if cent.Stats[last].Avg <= cent.Stats[0].Avg {
+		t.Error("centralized signaling did not grow with the horizon")
+	}
+	if dist.Stats[last].Avg > dist.Stats[0].Avg*1.5 {
+		t.Errorf("distributed signaling grew with the horizon: %v -> %v",
+			dist.Stats[0].Avg, dist.Stats[last].Avg)
+	}
+	if cent.Stats[last].Avg <= dist.Stats[last].Avg {
+		t.Error("centralized not more expensive at the long horizon")
+	}
+}

@@ -1,0 +1,180 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§7). Each experiment sweeps one parameter over
+// a batch of seeded random scenarios, runs the paper's algorithms and
+// the SSA baseline, and reports avg/min/max series exactly as the
+// paper's error-bar plots do. See DESIGN.md for the experiment index
+// and EXPERIMENTS.md for measured-vs-paper results.
+package experiments
+
+import (
+	"fmt"
+
+	"wlanmcast/internal/core"
+	"wlanmcast/internal/geom"
+	"wlanmcast/internal/metrics"
+	"wlanmcast/internal/scenario"
+	"wlanmcast/internal/wlan"
+)
+
+// Config tunes how faithfully an experiment reproduces the paper's
+// setup; the zero value selects full fidelity.
+type Config struct {
+	// Seeds is the number of random scenarios per data point
+	// (default 40, as in §7).
+	Seeds int
+	// SizeFactor scales AP and user counts (default 1.0). Tests use
+	// small factors to keep runtimes sane; headline numbers use 1.
+	SizeFactor float64
+	// ILPMaxNodes caps the branch-and-bound per optimal solve in the
+	// Figure 12 experiments (0 = solver default). When the cap is hit
+	// the incumbent (a valid association, possibly suboptimal) is
+	// still reported.
+	ILPMaxNodes int
+	// Progress, when non-nil, receives one line per completed data
+	// point.
+	Progress func(format string, args ...any)
+}
+
+func (c Config) normalize() Config {
+	if c.Seeds <= 0 {
+		c.Seeds = 40
+	}
+	if c.SizeFactor <= 0 {
+		c.SizeFactor = 1
+	}
+	return c
+}
+
+func (c Config) scale(n int) int {
+	v := int(float64(n)*c.SizeFactor + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Progress != nil {
+		c.Progress(format, args...)
+	}
+}
+
+// Experiment is one reproducible figure.
+type Experiment struct {
+	// ID is the DESIGN.md experiment id, e.g. "fig9a".
+	ID string
+	// Title is the figure caption.
+	Title string
+	// Run executes the sweep.
+	Run func(cfg Config) (*metrics.Figure, error)
+}
+
+// All returns every registered experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "fig9a", Title: "Total AP load vs number of users (200 APs, 5 sessions)", Run: Fig9a},
+		{ID: "fig9b", Title: "Total AP load vs number of APs (100 users, 5 sessions)", Run: Fig9b},
+		{ID: "fig9c", Title: "Total AP load vs number of sessions (200 APs, 200 users)", Run: Fig9c},
+		{ID: "fig10a", Title: "Max AP load vs number of users (200 APs, 5 sessions)", Run: Fig10a},
+		{ID: "fig10b", Title: "Max AP load vs number of APs (100 users, 5 sessions)", Run: Fig10b},
+		{ID: "fig10c", Title: "Max AP load vs number of sessions (200 APs, 200 users)", Run: Fig10c},
+		{ID: "fig11", Title: "Satisfied users vs multicast load budget (400 users, 100 APs, 18 sessions)", Run: Fig11},
+		{ID: "fig12a", Title: "Total AP load vs users, with optimal (30 APs, 600x600 m)", Run: Fig12a},
+		{ID: "fig12b", Title: "Max AP load vs users, with optimal (30 APs, 600x600 m)", Run: Fig12b},
+		{ID: "fig12c", Title: "Unsatisfied users vs users, with optimal (30 APs, budget 0.042)", Run: Fig12c},
+	}
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// sweep runs the generic experiment loop: for every x value and seed,
+// build the scenario and evaluate every algorithm, collecting metric.
+func sweep(
+	cfg Config,
+	fig *metrics.Figure,
+	xs []float64,
+	params func(x float64, seed int64) scenario.Params,
+	algs func() []core.Algorithm,
+	metric func(n *wlan.Network, r *core.Result) float64,
+) (*metrics.Figure, error) {
+	cfg = cfg.normalize()
+	fig.X = xs
+	for _, x := range xs {
+		perAlg := make(map[string][]float64)
+		var order []string
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			n, err := scenario.GenerateNetwork(params(x, int64(seed)))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s at x=%v seed=%d: %w", fig.ID, x, seed, err)
+			}
+			for _, alg := range algs() {
+				res, err := core.Evaluate(alg, n)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s at x=%v seed=%d: %w", fig.ID, x, seed, err)
+				}
+				if _, seen := perAlg[alg.Name()]; !seen {
+					order = append(order, alg.Name())
+				}
+				perAlg[alg.Name()] = append(perAlg[alg.Name()], metric(n, res))
+			}
+		}
+		for _, name := range order {
+			fig.AddPoint(name, metrics.Collect(perAlg[name]))
+		}
+		cfg.logf("%s: x=%v done (%d seeds)", fig.ID, x, cfg.Seeds)
+	}
+	if err := fig.Validate(); err != nil {
+		return nil, err
+	}
+	return fig, nil
+}
+
+// --- metric helpers ---
+
+func totalLoad(n *wlan.Network, r *core.Result) float64 { return r.TotalLoad }
+
+func maxLoad(n *wlan.Network, r *core.Result) float64 { return r.MaxLoad }
+
+func satisfied(n *wlan.Network, r *core.Result) float64 { return float64(r.Satisfied) }
+
+func unsatisfied(n *wlan.Network, r *core.Result) float64 {
+	return float64(n.NumUsers() - r.Satisfied)
+}
+
+// --- algorithm bundles ---
+
+func mlaAlgs() []core.Algorithm {
+	return []core.Algorithm{
+		&core.CentralizedMLA{},
+		&core.Distributed{Objective: core.ObjMLA},
+		&core.SSA{},
+	}
+}
+
+func blaAlgs() []core.Algorithm {
+	return []core.Algorithm{
+		&core.CentralizedBLA{},
+		&core.Distributed{Objective: core.ObjBLA},
+		&core.SSA{},
+	}
+}
+
+func mnuAlgs() []core.Algorithm {
+	return []core.Algorithm{
+		&core.CentralizedMNU{},
+		&core.Distributed{Objective: core.ObjMNU, EnforceBudget: true},
+		&core.SSA{EnforceBudget: true},
+	}
+}
+
+// fig12Area is the paper's Figure 12 deployment area ("600 m²",
+// which we read as a 600 m x 600 m square — see DESIGN.md).
+var fig12Area = geom.Square(600)

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestExtensionsRegistered(t *testing.T) {
+	exts := Extensions()
+	want := []string{"ext-basicrate", "ext-power", "ext-airtime", "ext-convergence"}
+	if len(exts) != len(want) {
+		t.Fatalf("got %d extensions, want %d", len(exts), len(want))
+	}
+	for i, e := range exts {
+		if e.ID != want[i] || e.Run == nil {
+			t.Errorf("extension %d = %q, want %q", i, e.ID, want[i])
+		}
+	}
+	if _, ok := GetAny("ext-power"); !ok {
+		t.Error("GetAny(ext-power) failed")
+	}
+	if _, ok := GetAny("fig9a"); !ok {
+		t.Error("GetAny(fig9a) failed")
+	}
+	if _, ok := GetAny("nope"); ok {
+		t.Error("GetAny(nope) should fail")
+	}
+}
+
+func TestExtBasicRateSmoke(t *testing.T) {
+	fig, err := ExtBasicRate(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Basic-rate multicast must cost strictly more airtime than
+	// multi-rate for the same algorithm at the largest user count.
+	last := len(fig.X) - 1
+	multi := findSeries(t, fig, "MLA-centralized/multi-rate")
+	basic := findSeries(t, fig, "MLA-centralized/basic-rate")
+	if basic.Stats[last].Avg <= multi.Stats[last].Avg {
+		t.Errorf("basic-rate load %v not above multi-rate %v",
+			basic.Stats[last].Avg, multi.Stats[last].Avg)
+	}
+}
+
+func TestExtPowerSmoke(t *testing.T) {
+	fig, err := ExtPower(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Savings are 0 with a single (full) power level, positive with
+	// several, and never negative. (Monotonicity across level counts
+	// only holds for nested offset grids, which this sweep's are not.)
+	for _, s := range fig.Series {
+		if s.Stats[0].Avg != 0 {
+			t.Errorf("%s: nonzero savings with one power level", s.Label)
+		}
+		last := len(fig.X) - 1
+		if s.Stats[last].Avg <= 0 {
+			t.Errorf("%s: no savings with %v levels", s.Label, fig.X[last])
+		}
+		for i := range fig.X {
+			if s.Stats[i].Min < 0 {
+				t.Errorf("%s: negative savings at %v levels", s.Label, fig.X[i])
+			}
+		}
+	}
+}
+
+func TestExtAirtimeSmoke(t *testing.T) {
+	fig, err := ExtAirtime(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The airtime model charges overhead, so its loads sit above the
+	// ratio model's at every x.
+	ratio := findSeries(t, fig, "MLA/ratio")
+	airtime := findSeries(t, fig, "MLA/airtime")
+	for i := range fig.X {
+		if airtime.Stats[i].Avg <= ratio.Stats[i].Avg {
+			t.Errorf("x=%v: airtime load %v not above ratio %v",
+				fig.X[i], airtime.Stats[i].Avg, ratio.Stats[i].Avg)
+		}
+	}
+}
+
+func TestExtConvergenceSmoke(t *testing.T) {
+	cfg := Config{Seeds: 2, SizeFactor: 0.1}
+	fig, err := ExtConvergence(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With locks, every run converges at every jitter (including 0).
+	locks := findSeries(t, fig, "converged-with-locks")
+	for i := range fig.X {
+		if locks.Stats[i].Avg < 1 {
+			t.Errorf("jitter=%v: lock runs converged only %.0f%%", fig.X[i], locks.Stats[i].Avg*100)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+)
+
+// UniformPoints places n points uniformly at random inside r using rng.
+func UniformPoints(rng *rand.Rand, n int, r Rect) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * r.Width, Y: rng.Float64() * r.Height}
+	}
+	return pts
+}
+
+// GridPoints places n points on the most-square grid that fits inside r,
+// centered in each grid cell. It is used for planned (non-random) AP
+// deployments such as the city-wide example.
+func GridPoints(n int, r Rect) []Point {
+	if n <= 0 {
+		return nil
+	}
+	// Choose columns so that cells are as square as possible.
+	cols := int(math.Ceil(math.Sqrt(float64(n) * r.Width / math.Max(r.Height, 1e-9))))
+	if cols < 1 {
+		cols = 1
+	}
+	rows := (n + cols - 1) / cols
+	cw := r.Width / float64(cols)
+	ch := r.Height / float64(rows)
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		row := i / cols
+		col := i % cols
+		pts = append(pts, Point{
+			X: (float64(col) + 0.5) * cw,
+			Y: (float64(row) + 0.5) * ch,
+		})
+	}
+	return pts
+}
+
+// ClusteredPoints places n points in nClusters Gaussian clusters whose
+// centers are uniform in r. stdDev controls cluster spread in meters.
+// Points falling outside r are clamped to the border. Clustered user
+// populations model hotspot scenarios (cafeterias, lecture halls).
+func ClusteredPoints(rng *rand.Rand, n, nClusters int, stdDev float64, r Rect) []Point {
+	if nClusters < 1 {
+		nClusters = 1
+	}
+	centers := UniformPoints(rng, nClusters, r)
+	pts := make([]Point, n)
+	for i := range pts {
+		c := centers[rng.Intn(nClusters)]
+		p := Point{
+			X: c.X + rng.NormFloat64()*stdDev,
+			Y: c.Y + rng.NormFloat64()*stdDev,
+		}
+		p.X = clamp(p.X, 0, r.Width)
+		p.Y = clamp(p.Y, 0, r.Height)
+		pts[i] = p
+	}
+	return pts
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,299 @@
+// Package ilp solves 0/1 integer linear programs by LP-relaxation
+// branch-and-bound on top of internal/lp. The paper computed its
+// Figure 12 "optimal" curves with ILPs built from the set-cover
+// formulations of MLA, BLA and MNU; this package plays that role.
+package ilp
+
+import (
+	"fmt"
+	"math"
+
+	"wlanmcast/internal/lp"
+)
+
+// Options tunes the search.
+type Options struct {
+	// MaxNodes bounds the number of branch-and-bound nodes explored
+	// (0 means DefaultMaxNodes). When the limit is hit the best
+	// incumbent found so far is returned with Proven=false.
+	MaxNodes int
+	// Incumbent optionally warm-starts the search with a known
+	// feasible point (e.g. from a greedy heuristic). Length must
+	// equal the number of variables; integer entries must be 0/1.
+	Incumbent []float64
+	// Integer marks which variables are binary. Nil means all of
+	// them; otherwise continuous variables (false entries) are only
+	// bounded, never branched on — this is how the BLA optimum's
+	// max-load variable is modeled.
+	Integer []bool
+	// Upper overrides the default upper bound of 1 per variable
+	// (0 entries mean "keep the default"). Continuous auxiliary
+	// variables often need a looser bound.
+	Upper []float64
+	// RelaxBoxes omits the x <= 1 rows for unfixed binary variables,
+	// shrinking every node LP considerably. The relaxation gets
+	// looser (bounds stay valid) and branching still restricts every
+	// binary variable to {0, 1}, so the search remains exact; values
+	// above 1 are treated as fractional and branched on. Covering
+	// problems, whose LP optima never push a positive-cost variable
+	// past 1, lose nothing. Continuous variables keep their bounds.
+	RelaxBoxes bool
+}
+
+// DefaultMaxNodes bounds the search when Options.MaxNodes is zero.
+const DefaultMaxNodes = 2_000_000
+
+// Solution is the branch-and-bound outcome.
+type Solution struct {
+	// Feasible reports whether any 0/1 point satisfied the constraints.
+	Feasible bool
+	// Proven reports whether optimality was proven (search completed
+	// within the node budget).
+	Proven bool
+	// X is the best 0/1 assignment found.
+	X []float64
+	// Objective is the value of X.
+	Objective float64
+	// Nodes is the number of nodes explored.
+	Nodes int
+}
+
+const (
+	intTol   = 1e-6
+	boundEps = 1e-9
+)
+
+// Solve optimizes p with every variable restricted to {0, 1}.
+// Variable upper bounds x <= 1 are added internally; p itself is not
+// modified.
+func Solve(p *lp.Problem, opts Options) (*Solution, error) {
+	if p.NumVars <= 0 {
+		return nil, fmt.Errorf("ilp: need at least one variable")
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	if opts.Integer != nil && len(opts.Integer) != p.NumVars {
+		return nil, fmt.Errorf("ilp: integer mask has %d entries for %d variables", len(opts.Integer), p.NumVars)
+	}
+	if opts.Upper != nil && len(opts.Upper) != p.NumVars {
+		return nil, fmt.Errorf("ilp: upper bounds have %d entries for %d variables", len(opts.Upper), p.NumVars)
+	}
+	s := &solver{
+		base:       p,
+		maxNodes:   maxNodes,
+		integer:    opts.Integer,
+		upper:      opts.Upper,
+		relaxBoxes: opts.RelaxBoxes,
+		sol:        &Solution{},
+	}
+	if opts.Incumbent != nil {
+		if len(opts.Incumbent) != p.NumVars {
+			return nil, fmt.Errorf("ilp: incumbent has %d entries for %d variables", len(opts.Incumbent), p.NumVars)
+		}
+		ok, val, err := s.evaluate(opts.Incumbent)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			s.sol.Feasible = true
+			s.sol.X = append([]float64(nil), opts.Incumbent...)
+			s.sol.Objective = val
+		}
+	}
+	fixed := make([]int8, p.NumVars)
+	if err := s.branch(fixed); err != nil {
+		return nil, err
+	}
+	// If the node budget was never exhausted, the whole tree was
+	// explored (possibly pruned) and the incumbent is proven optimal.
+	s.sol.Proven = s.sol.Nodes < s.maxNodes
+	return s.sol, nil
+}
+
+type solver struct {
+	base       *lp.Problem
+	maxNodes   int
+	integer    []bool    // nil = all integer
+	upper      []float64 // nil / 0 entries = bound 1
+	relaxBoxes bool
+	sol        *Solution
+}
+
+// isInteger reports whether variable j is binary.
+func (s *solver) isInteger(j int) bool {
+	return s.integer == nil || s.integer[j]
+}
+
+// upperBound returns variable j's upper bound.
+func (s *solver) upperBound(j int) float64 {
+	if s.upper != nil && s.upper[j] > 0 {
+		return s.upper[j]
+	}
+	return 1
+}
+
+const (
+	free = int8(0)
+	fix0 = int8(1)
+	fix1 = int8(2)
+)
+
+// better reports whether objective a improves on the incumbent b.
+func (s *solver) better(a, b float64) bool {
+	if s.base.Maximize {
+		return a > b+boundEps
+	}
+	return a < b-boundEps
+}
+
+// boundPrunes reports whether an LP relaxation bound cannot beat the
+// incumbent.
+func (s *solver) boundPrunes(bound float64) bool {
+	if !s.sol.Feasible {
+		return false
+	}
+	if s.base.Maximize {
+		return bound <= s.sol.Objective+boundEps
+	}
+	return bound >= s.sol.Objective-boundEps
+}
+
+func (s *solver) branch(fixed []int8) error {
+	if s.sol.Nodes >= s.maxNodes {
+		return nil
+	}
+	s.sol.Nodes++
+
+	rel, err := lp.Solve(s.nodeLP(fixed))
+	if err != nil {
+		return err
+	}
+	switch rel.Status {
+	case lp.Infeasible:
+		return nil
+	case lp.Unbounded:
+		// Cannot happen with x in [0,1]^n, but fail loudly if it does.
+		return fmt.Errorf("ilp: relaxation unbounded despite box constraints")
+	}
+	if s.boundPrunes(rel.Objective) {
+		return nil
+	}
+	// Find the most fractional integer variable. Without box rows the
+	// relaxation can return integral values above 1; those must be
+	// branched on too (score by how far past a binary value they sit).
+	branchVar, frac := -1, 0.0
+	for j, v := range rel.X {
+		if fixed[j] != free || !s.isInteger(j) {
+			continue
+		}
+		score := math.Abs(v - math.Round(v))
+		if v > 1+intTol {
+			score = v - 1
+		}
+		if score > intTol && score > frac {
+			branchVar, frac = j, score
+		}
+	}
+	if branchVar == -1 {
+		// Integral: new incumbent (rounding cleans numeric noise on
+		// the integer variables only).
+		x := make([]float64, len(rel.X))
+		for j, v := range rel.X {
+			if s.isInteger(j) {
+				x[j] = math.Round(v)
+			} else {
+				x[j] = v
+			}
+		}
+		if !s.sol.Feasible || s.better(rel.Objective, s.sol.Objective) {
+			s.sol.Feasible = true
+			s.sol.X = x
+			s.sol.Objective = rel.Objective
+		}
+		return nil
+	}
+	// Explore the branch nearer the LP value first.
+	first, second := fix1, fix0
+	if rel.X[branchVar] < 0.5 {
+		first, second = fix0, fix1
+	}
+	for _, dir := range []int8{first, second} {
+		fixed[branchVar] = dir
+		if err := s.branch(fixed); err != nil {
+			fixed[branchVar] = free
+			return err
+		}
+	}
+	fixed[branchVar] = free
+	return nil
+}
+
+// nodeLP builds the relaxation for the current fixings: the base
+// constraints, x_j <= 1 boxes, and x_j = v for fixed variables.
+func (s *solver) nodeLP(fixed []int8) *lp.Problem {
+	p := &lp.Problem{
+		NumVars:   s.base.NumVars,
+		Objective: s.base.Objective,
+		Maximize:  s.base.Maximize,
+		Cons:      make([]lp.Constraint, 0, len(s.base.Cons)+s.base.NumVars),
+	}
+	p.Cons = append(p.Cons, s.base.Cons...)
+	for j := 0; j < s.base.NumVars; j++ {
+		row := make([]float64, j+1)
+		row[j] = 1
+		switch fixed[j] {
+		case free:
+			if s.relaxBoxes && s.isInteger(j) {
+				continue
+			}
+			p.Cons = append(p.Cons, lp.Constraint{Coeffs: row, Rel: lp.LE, RHS: s.upperBound(j)})
+		case fix0:
+			p.Cons = append(p.Cons, lp.Constraint{Coeffs: row, Rel: lp.EQ, RHS: 0})
+		case fix1:
+			p.Cons = append(p.Cons, lp.Constraint{Coeffs: row, Rel: lp.EQ, RHS: 1})
+		}
+	}
+	return p
+}
+
+// evaluate checks a candidate point against the base problem and the
+// variable bounds and returns (feasible, value).
+func (s *solver) evaluate(x []float64) (bool, float64, error) {
+	p := s.base
+	for j, v := range x {
+		if s.isInteger(j) {
+			if math.Abs(v) > intTol && math.Abs(v-1) > intTol {
+				return false, 0, fmt.Errorf("ilp: incumbent entry %d = %v is not 0/1", j, v)
+			}
+		} else if v < -intTol || v > s.upperBound(j)+intTol {
+			return false, 0, nil
+		}
+	}
+	for _, c := range p.Cons {
+		lhs := 0.0
+		for j, a := range c.Coeffs {
+			lhs += a * x[j]
+		}
+		switch c.Rel {
+		case lp.LE:
+			if lhs > c.RHS+1e-6 {
+				return false, 0, nil
+			}
+		case lp.GE:
+			if lhs < c.RHS-1e-6 {
+				return false, 0, nil
+			}
+		case lp.EQ:
+			if math.Abs(lhs-c.RHS) > 1e-6 {
+				return false, 0, nil
+			}
+		}
+	}
+	val := 0.0
+	for j := 0; j < p.NumVars && j < len(p.Objective); j++ {
+		val += p.Objective[j] * x[j]
+	}
+	return true, val, nil
+}

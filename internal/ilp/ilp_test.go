@@ -1,0 +1,354 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wlanmcast/internal/lp"
+)
+
+func TestSolveKnapsack(t *testing.T) {
+	// max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6 → a + c = 17 beats
+	// b + c = 20? 4+2=6 → 13+7=20. Optimum {b, c} = 20.
+	p := &lp.Problem{
+		NumVars:   3,
+		Objective: []float64{10, 13, 7},
+		Maximize:  true,
+		Cons:      []lp.Constraint{{Coeffs: []float64{3, 4, 2}, Rel: lp.LE, RHS: 6}},
+	}
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Feasible || !s.Proven {
+		t.Fatalf("solution = %+v, want proven feasible", s)
+	}
+	if math.Abs(s.Objective-20) > 1e-6 {
+		t.Errorf("objective = %v, want 20", s.Objective)
+	}
+	if s.X[0] != 0 || s.X[1] != 1 || s.X[2] != 1 {
+		t.Errorf("x = %v, want [0 1 1]", s.X)
+	}
+}
+
+func TestSolveSetCoverFigure7(t *testing.T) {
+	// The paper's Figure 7 MLA set cover: optimum {S2, S4}, cost 7/12.
+	costs := []float64{1.0 / 4, 1.0 / 3, 1.0 / 6, 1.0 / 4, 1.0 / 5, 1.0 / 5, 1.0 / 3}
+	cover := [][]int{{2}, {0, 2}, {1}, {1, 3, 4}, {2}, {3}, {3, 4}}
+	p := &lp.Problem{NumVars: 7, Objective: costs}
+	for e := 0; e < 5; e++ {
+		row := make([]float64, 7)
+		for si, elems := range cover {
+			for _, x := range elems {
+				if x == e {
+					row[si] = 1
+				}
+			}
+		}
+		p.Cons = append(p.Cons, lp.Constraint{Coeffs: row, Rel: lp.GE, RHS: 1})
+	}
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Feasible || !s.Proven {
+		t.Fatalf("solution = %+v, want proven feasible", s)
+	}
+	if math.Abs(s.Objective-7.0/12.0) > 1e-6 {
+		t.Errorf("objective = %v, want 7/12", s.Objective)
+	}
+	if s.X[1] != 1 || s.X[3] != 1 {
+		t.Errorf("x = %v, want S2 and S4 selected", s.X)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x1 + x2 >= 3 cannot hold for binary variables.
+	p := &lp.Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Cons:      []lp.Constraint{{Coeffs: []float64{1, 1}, Rel: lp.GE, RHS: 3}},
+	}
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Feasible {
+		t.Errorf("solution = %+v, want infeasible", s)
+	}
+	if !s.Proven {
+		t.Error("infeasibility should be proven")
+	}
+}
+
+func TestSolveWarmStart(t *testing.T) {
+	p := &lp.Problem{
+		NumVars:   2,
+		Objective: []float64{1, 2},
+		Cons:      []lp.Constraint{{Coeffs: []float64{1, 1}, Rel: lp.GE, RHS: 1}},
+	}
+	s, err := Solve(p, Options{Incumbent: []float64{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Objective-1) > 1e-6 { // x=[1 0]
+		t.Errorf("objective = %v, want 1", s.Objective)
+	}
+}
+
+func TestSolveWarmStartInfeasibleIncumbentIgnored(t *testing.T) {
+	p := &lp.Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Cons:      []lp.Constraint{{Coeffs: []float64{1}, Rel: lp.GE, RHS: 1}},
+	}
+	s, err := Solve(p, Options{Incumbent: []float64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Feasible || s.Objective != 1 {
+		t.Errorf("solution = %+v, want objective 1", s)
+	}
+}
+
+func TestSolveMixedInteger(t *testing.T) {
+	// Min-max scheduling as a MIP, the BLA-optimum shape: two jobs of
+	// cost 0.6 and 0.4 on two machines; minimize the continuous max
+	// load L. Vars: x[job][machine] binary (4 vars), L continuous.
+	// Optimum splits the jobs: L = 0.6.
+	p := &lp.Problem{
+		NumVars:   5,
+		Objective: []float64{0, 0, 0, 0, 1},
+		Cons: []lp.Constraint{
+			// each job on exactly one machine
+			{Coeffs: []float64{1, 1, 0, 0, 0}, Rel: lp.EQ, RHS: 1},
+			{Coeffs: []float64{0, 0, 1, 1, 0}, Rel: lp.EQ, RHS: 1},
+			// machine loads <= L
+			{Coeffs: []float64{0.6, 0, 0.4, 0, -1}, Rel: lp.LE, RHS: 0},
+			{Coeffs: []float64{0, 0.6, 0, 0.4, -1}, Rel: lp.LE, RHS: 0},
+		},
+	}
+	s, err := Solve(p, Options{
+		Integer: []bool{true, true, true, true, false},
+		Upper:   []float64{0, 0, 0, 0, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Feasible || !s.Proven {
+		t.Fatalf("solution = %+v, want proven feasible", s)
+	}
+	if math.Abs(s.Objective-0.6) > 1e-6 {
+		t.Errorf("objective = %v, want 0.6", s.Objective)
+	}
+}
+
+func TestSolveUpperBounds(t *testing.T) {
+	// max x with x <= 3 allowed via Upper; continuous var.
+	p := &lp.Problem{NumVars: 1, Objective: []float64{1}, Maximize: true}
+	s, err := Solve(p, Options{Integer: []bool{false}, Upper: []float64{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Objective-3) > 1e-6 {
+		t.Errorf("objective = %v, want 3", s.Objective)
+	}
+}
+
+func TestRelaxBoxesMatchesBoxed(t *testing.T) {
+	// Property: RelaxBoxes changes the node count, never the optimum.
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 20; trial++ {
+		p := randomCover(rng, 4+rng.Intn(8), 3+rng.Intn(8))
+		boxed, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		relaxed, err := Solve(p, Options{RelaxBoxes: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if boxed.Feasible != relaxed.Feasible {
+			t.Fatalf("trial %d: feasibility mismatch", trial)
+		}
+		if !relaxed.Proven {
+			t.Fatalf("trial %d: relaxed search not proven", trial)
+		}
+		if boxed.Feasible && math.Abs(boxed.Objective-relaxed.Objective) > 1e-6 {
+			t.Fatalf("trial %d: boxed %v != relaxed %v", trial, boxed.Objective, relaxed.Objective)
+		}
+		for j, v := range relaxed.X {
+			if math.Abs(v) > 1e-6 && math.Abs(v-1) > 1e-6 {
+				t.Fatalf("trial %d: relaxed x[%d] = %v is not binary", trial, j, v)
+			}
+		}
+	}
+}
+
+func TestSolveMaskErrors(t *testing.T) {
+	p := &lp.Problem{NumVars: 2, Objective: []float64{1, 1}}
+	if _, err := Solve(p, Options{Integer: []bool{true}}); err == nil {
+		t.Error("wrong-length integer mask should error")
+	}
+	if _, err := Solve(p, Options{Upper: []float64{1}}); err == nil {
+		t.Error("wrong-length upper bounds should error")
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	if _, err := Solve(&lp.Problem{NumVars: 0}, Options{}); err == nil {
+		t.Error("zero vars should error")
+	}
+	p := &lp.Problem{NumVars: 2, Objective: []float64{1, 1}}
+	if _, err := Solve(p, Options{Incumbent: []float64{1}}); err == nil {
+		t.Error("wrong-length incumbent should error")
+	}
+	if _, err := Solve(p, Options{Incumbent: []float64{0.5, 0}}); err == nil {
+		t.Error("fractional incumbent should error")
+	}
+}
+
+func TestSolveNodeLimit(t *testing.T) {
+	// The odd-cycle cover {0,1},{1,2},{0,2} has a fractional LP root
+	// (x = 1/2 each, value 1.5), so 2 nodes cannot finish the search.
+	p := &lp.Problem{
+		NumVars:   3,
+		Objective: []float64{1, 1, 1},
+		Cons: []lp.Constraint{
+			{Coeffs: []float64{1, 1, 0}, Rel: lp.GE, RHS: 1},
+			{Coeffs: []float64{0, 1, 1}, Rel: lp.GE, RHS: 1},
+			{Coeffs: []float64{1, 0, 1}, Rel: lp.GE, RHS: 1},
+		},
+	}
+	s, err := Solve(p, Options{MaxNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Proven {
+		t.Error("2 nodes should not prove optimality on a fractional root")
+	}
+	// And without the limit the optimum is 2 (any two sets).
+	full, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Proven || math.Abs(full.Objective-2) > 1e-6 {
+		t.Errorf("full solve = %+v, want proven objective 2", full)
+	}
+}
+
+// randomCover builds a random feasible set-cover ILP.
+func randomCover(rng *rand.Rand, sets, elems int) *lp.Problem {
+	p := &lp.Problem{NumVars: sets}
+	p.Objective = make([]float64, sets)
+	for j := range p.Objective {
+		p.Objective[j] = 0.1 + rng.Float64()
+	}
+	membership := make([][]bool, elems)
+	for e := range membership {
+		membership[e] = make([]bool, sets)
+		// Guarantee coverability.
+		membership[e][rng.Intn(sets)] = true
+		for j := 0; j < sets; j++ {
+			if rng.Intn(3) == 0 {
+				membership[e][j] = true
+			}
+		}
+	}
+	for e := 0; e < elems; e++ {
+		row := make([]float64, sets)
+		for j := 0; j < sets; j++ {
+			if membership[e][j] {
+				row[j] = 1
+			}
+		}
+		p.Cons = append(p.Cons, lp.Constraint{Coeffs: row, Rel: lp.GE, RHS: 1})
+	}
+	return p
+}
+
+// bruteForceCover computes the exact optimum by enumeration.
+func bruteForceCover(p *lp.Problem) (bool, float64) {
+	n := p.NumVars
+	best := math.Inf(1)
+	found := false
+	x := make([]float64, n)
+	sv := &solver{base: p}
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for j := 0; j < n; j++ {
+			x[j] = float64((mask >> uint(j)) & 1)
+		}
+		ok, val, err := sv.evaluate(x)
+		if err != nil {
+			panic(err)
+		}
+		if ok && val < best {
+			best = val
+			found = true
+		}
+	}
+	return found, best
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	// Property: branch-and-bound equals exhaustive enumeration on
+	// random small set-cover ILPs.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		sets := 4 + rng.Intn(8)
+		elems := 3 + rng.Intn(8)
+		p := randomCover(rng, sets, elems)
+		s, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFeasible, want := bruteForceCover(p)
+		if s.Feasible != wantFeasible {
+			t.Fatalf("trial %d: feasible = %v, brute force says %v", trial, s.Feasible, wantFeasible)
+		}
+		if !s.Proven {
+			t.Fatalf("trial %d: optimality not proven", trial)
+		}
+		if wantFeasible && math.Abs(s.Objective-want) > 1e-6 {
+			t.Fatalf("trial %d: objective %v, brute force %v", trial, s.Objective, want)
+		}
+	}
+}
+
+func TestSolveMaximizeMatchesBruteForce(t *testing.T) {
+	// Property, maximization side: random budgeted-coverage ILPs.
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(6)
+		p := &lp.Problem{NumVars: n, Maximize: true}
+		p.Objective = make([]float64, n)
+		w := make([]float64, n)
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64() * 5
+			w[j] = 0.2 + rng.Float64()
+		}
+		p.Cons = []lp.Constraint{{Coeffs: w, Rel: lp.LE, RHS: 1 + rng.Float64()*2}}
+		s, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force the knapsack.
+		best := 0.0
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			wt, val := 0.0, 0.0
+			for j := 0; j < n; j++ {
+				if mask>>uint(j)&1 == 1 {
+					wt += w[j]
+					val += p.Objective[j]
+				}
+			}
+			if wt <= p.Cons[0].RHS && val > best {
+				best = val
+			}
+		}
+		if !s.Feasible || math.Abs(s.Objective-best) > 1e-6 {
+			t.Fatalf("trial %d: objective %v, brute force %v", trial, s.Objective, best)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSolve builds small LPs from a fuzzed byte string and checks the
+// solver never panics, always terminates, and that any Optimal
+// solution is primal-feasible.
+func FuzzSolve(f *testing.F) {
+	f.Add([]byte{2, 3, 10, 20, 1, 1, 1, 30, 2, 1, 0, 10, 3, 0, 1, 10})
+	f.Add([]byte{1, 1, 5, 2, 7, 3})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := decodeProblem(data)
+		if p == nil {
+			return
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			return // validation or pivot-limit errors are fine
+		}
+		if sol.Status != Optimal {
+			return
+		}
+		// Primal feasibility of the returned point.
+		for i, c := range p.Cons {
+			lhs := 0.0
+			for j, a := range c.Coeffs {
+				lhs += a * sol.X[j]
+			}
+			tol := 1e-5 * (1 + math.Abs(c.RHS))
+			switch c.Rel {
+			case LE:
+				if lhs > c.RHS+tol {
+					t.Fatalf("constraint %d violated: %v > %v", i, lhs, c.RHS)
+				}
+			case GE:
+				if lhs < c.RHS-tol {
+					t.Fatalf("constraint %d violated: %v < %v", i, lhs, c.RHS)
+				}
+			case EQ:
+				if math.Abs(lhs-c.RHS) > tol {
+					t.Fatalf("constraint %d violated: %v != %v", i, lhs, c.RHS)
+				}
+			}
+		}
+		for j, v := range sol.X {
+			if v < -1e-6 {
+				t.Fatalf("x[%d] = %v negative", j, v)
+			}
+		}
+	})
+}
+
+// decodeProblem derives a tiny LP from bytes: first two bytes choose
+// sizes, the rest fill coefficients in [-12.7, 12.7].
+func decodeProblem(data []byte) *Problem {
+	if len(data) < 2 {
+		return nil
+	}
+	nVars := int(data[0]%4) + 1
+	nCons := int(data[1] % 5)
+	data = data[2:]
+	next := func() float64 {
+		if len(data) == 0 {
+			return 1
+		}
+		v := float64(int8(data[0])) / 10
+		data = data[1:]
+		return v
+	}
+	p := &Problem{NumVars: nVars, Objective: make([]float64, nVars)}
+	for j := range p.Objective {
+		p.Objective[j] = next()
+	}
+	for i := 0; i < nCons; i++ {
+		c := Constraint{Coeffs: make([]float64, nVars)}
+		for j := range c.Coeffs {
+			c.Coeffs[j] = next()
+		}
+		switch i % 3 {
+		case 0:
+			c.Rel = LE
+		case 1:
+			c.Rel = GE
+		case 2:
+			c.Rel = EQ
+		}
+		c.RHS = next()
+		p.Cons = append(p.Cons, c)
+	}
+	p.Maximize = len(data)%2 == 0
+	return p
+}

@@ -1,0 +1,155 @@
+// Package lp is a dense two-phase primal simplex solver for linear
+// programs, written against the standard library only. It exists to
+// power the branch-and-bound ILP solver (internal/ilp) that computes
+// the paper's Figure 12 "optimal" curves; the paper used an off-the-
+// shelf ILP solver for the same purpose.
+//
+// Problems are stated as: optimize c·x subject to linear constraints
+// and x >= 0. Upper bounds on variables are ordinary constraints.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Relation is the sense of one constraint. Values start at 1 so the
+// zero value is invalid and cannot slip through silently.
+type Relation int
+
+// Constraint senses.
+const (
+	LE Relation = iota + 1 // Σ a_j x_j <= b
+	GE                     // Σ a_j x_j >= b
+	EQ                     // Σ a_j x_j  = b
+)
+
+// Constraint is one linear constraint over the problem's variables.
+// Coeffs may be shorter than NumVars; missing entries are zero.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Relation
+	RHS    float64
+}
+
+// Problem is a linear program over NumVars nonnegative variables.
+type Problem struct {
+	NumVars   int
+	Objective []float64
+	Maximize  bool
+	Cons      []Constraint
+}
+
+// Status classifies the solver outcome.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota + 1
+	Infeasible
+	Unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the solver result. X and Objective are meaningful only
+// when Status == Optimal.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const (
+	eps = 1e-9
+	// blandAfter switches from Dantzig's rule to Bland's
+	// anti-cycling rule after this many pivots.
+	blandAfter = 5000
+	// maxPivots aborts pathological instances.
+	maxPivots = 200000
+)
+
+// Solve optimizes the problem with the two-phase simplex method.
+func Solve(p *Problem) (*Solution, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	t, err := newTableau(p)
+	if err != nil {
+		return nil, err
+	}
+	// Phase 1: minimize the sum of artificial variables.
+	if t.numArt > 0 {
+		t.installPhase1Objective()
+		if err := t.iterate(); err != nil {
+			return nil, err
+		}
+		if t.objectiveValue() > eps {
+			return &Solution{Status: Infeasible}, nil
+		}
+		if err := t.driveOutArtificials(); err != nil {
+			return nil, err
+		}
+	}
+	// Phase 2: the real objective.
+	t.installPhase2Objective(p)
+	if err := t.iterate(); err != nil {
+		if err == errUnbounded {
+			return &Solution{Status: Unbounded}, nil
+		}
+		return nil, err
+	}
+	x := t.extract(p.NumVars)
+	obj := 0.0
+	for j := 0; j < p.NumVars; j++ {
+		obj += objCoeff(p, j) * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+func validate(p *Problem) error {
+	if p.NumVars <= 0 {
+		return fmt.Errorf("lp: need at least one variable, got %d", p.NumVars)
+	}
+	if len(p.Objective) > p.NumVars {
+		return fmt.Errorf("lp: objective has %d coefficients for %d variables", len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Cons {
+		if len(c.Coeffs) > p.NumVars {
+			return fmt.Errorf("lp: constraint %d has %d coefficients for %d variables", i, len(c.Coeffs), p.NumVars)
+		}
+		switch c.Rel {
+		case LE, GE, EQ:
+		default:
+			return fmt.Errorf("lp: constraint %d has invalid relation %d", i, c.Rel)
+		}
+		for j, a := range c.Coeffs {
+			if math.IsNaN(a) || math.IsInf(a, 0) {
+				return fmt.Errorf("lp: constraint %d coefficient %d is %v", i, j, a)
+			}
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return fmt.Errorf("lp: constraint %d RHS is %v", i, c.RHS)
+		}
+	}
+	return nil
+}
+
+func objCoeff(p *Problem, j int) float64 {
+	if j < len(p.Objective) {
+		return p.Objective[j]
+	}
+	return 0
+}

@@ -1,0 +1,287 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	return s
+}
+
+func TestSolveTextbookMax(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 → (2, 6), 36.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{3, 5},
+		Maximize:  true,
+		Cons: []Constraint{
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 4},
+			{Coeffs: []float64{0, 2}, Rel: LE, RHS: 12},
+			{Coeffs: []float64{3, 2}, Rel: LE, RHS: 18},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-36) > 1e-6 {
+		t.Errorf("objective = %v, want 36", s.Objective)
+	}
+	if math.Abs(s.X[0]-2) > 1e-6 || math.Abs(s.X[1]-6) > 1e-6 {
+		t.Errorf("x = %v, want [2 6]", s.X)
+	}
+}
+
+func TestSolveMinWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 4, x >= 1 → (4, 0) wait: 2*4=8 vs
+	// x=1,y=3: 2+9=11. Optimum (4,0) objective 8.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{2, 3},
+		Cons: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: GE, RHS: 4},
+			{Coeffs: []float64{1, 0}, Rel: GE, RHS: 1},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-8) > 1e-6 {
+		t.Errorf("objective = %v, want 8", s.Objective)
+	}
+}
+
+func TestSolveEquality(t *testing.T) {
+	// min x + y s.t. x + 2y = 6, x - y = 0 → x=y=2, objective 4.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Cons: []Constraint{
+			{Coeffs: []float64{1, 2}, Rel: EQ, RHS: 6},
+			{Coeffs: []float64{1, -1}, Rel: EQ, RHS: 0},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.X[0]-2) > 1e-6 || math.Abs(s.X[1]-2) > 1e-6 {
+		t.Errorf("x = %v, want [2 2]", s.X)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -3 (i.e. x >= 3) → 3.
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Cons:      []Constraint{{Coeffs: []float64{-1}, Rel: LE, RHS: -3}},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-3) > 1e-6 {
+		t.Errorf("objective = %v, want 3", s.Objective)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Cons: []Constraint{
+			{Coeffs: []float64{1}, Rel: LE, RHS: 1},
+			{Coeffs: []float64{1}, Rel: GE, RHS: 2},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Maximize:  true,
+		Cons:      []Constraint{{Coeffs: []float64{-1}, Rel: LE, RHS: 0}},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestSolveNoConstraints(t *testing.T) {
+	// min x with no constraints → x = 0.
+	p := &Problem{NumVars: 1, Objective: []float64{1}}
+	s := solveOK(t, p)
+	if s.Objective != 0 {
+		t.Errorf("objective = %v, want 0", s.Objective)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// A classic cycling-prone instance (Beale); Bland fallback must
+	// terminate. min -0.75x1 + 150x2 - 0.02x3 + 6x4 with Beale's rows.
+	p := &Problem{
+		NumVars:   4,
+		Objective: []float64{-0.75, 150, -0.02, 6},
+		Cons: []Constraint{
+			{Coeffs: []float64{0.25, -60, -0.04, 9}, Rel: LE, RHS: 0},
+			{Coeffs: []float64{0.5, -90, -0.02, 3}, Rel: LE, RHS: 0},
+			{Coeffs: []float64{0, 0, 1, 0}, Rel: LE, RHS: 1},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-(-0.05)) > 1e-6 {
+		t.Errorf("objective = %v, want -0.05", s.Objective)
+	}
+}
+
+func TestSolveRedundantConstraints(t *testing.T) {
+	// Duplicate equality rows force a redundant artificial row that
+	// driveOutArtificials must delete.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 2},
+		Cons: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: EQ, RHS: 3},
+			{Coeffs: []float64{1, 1}, Rel: EQ, RHS: 3},
+			{Coeffs: []float64{2, 2}, Rel: EQ, RHS: 6},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-3) > 1e-6 { // x=3, y=0
+		t.Errorf("objective = %v, want 3", s.Objective)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Problem
+	}{
+		{"no vars", Problem{NumVars: 0}},
+		{"objective too long", Problem{NumVars: 1, Objective: []float64{1, 2}}},
+		{"coeffs too long", Problem{NumVars: 1, Cons: []Constraint{{Coeffs: []float64{1, 2}, Rel: LE, RHS: 1}}}},
+		{"bad relation", Problem{NumVars: 1, Cons: []Constraint{{Coeffs: []float64{1}, RHS: 1}}}},
+		{"nan coeff", Problem{NumVars: 1, Cons: []Constraint{{Coeffs: []float64{math.NaN()}, Rel: LE, RHS: 1}}}},
+		{"inf rhs", Problem{NumVars: 1, Cons: []Constraint{{Coeffs: []float64{1}, Rel: LE, RHS: math.Inf(1)}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Solve(&tt.p); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || Status(0).String() != "Status(0)" {
+		t.Error("Status.String mismatch")
+	}
+}
+
+// TestStrongDuality generates random primal problems
+//
+//	min c·x  s.t.  A x >= b, x >= 0   (A, b, c >= 0)
+//
+// which are always feasible and bounded, builds the dual
+//
+//	max b·y  s.t.  Aᵀ y <= c, y >= 0
+//
+// and checks the two optima agree (strong duality), certifying both
+// solves at once.
+func TestStrongDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(6) // vars
+		m := 1 + rng.Intn(6) // constraints
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = 0.1 + rng.Float64()*5
+		}
+		for i := range a {
+			a[i] = make([]float64, n)
+			nonzero := false
+			for j := range a[i] {
+				if rng.Intn(2) == 0 {
+					a[i][j] = rng.Float64() * 3
+					if a[i][j] > 0 {
+						nonzero = true
+					}
+				}
+			}
+			if !nonzero {
+				a[i][rng.Intn(n)] = 1 + rng.Float64()
+			}
+			b[i] = rng.Float64() * 4
+		}
+		primal := &Problem{NumVars: n, Objective: c}
+		for i := 0; i < m; i++ {
+			primal.Cons = append(primal.Cons, Constraint{Coeffs: a[i], Rel: GE, RHS: b[i]})
+		}
+		dual := &Problem{NumVars: m, Objective: b, Maximize: true}
+		for j := 0; j < n; j++ {
+			col := make([]float64, m)
+			for i := 0; i < m; i++ {
+				col[i] = a[i][j]
+			}
+			dual.Cons = append(dual.Cons, Constraint{Coeffs: col, Rel: LE, RHS: c[j]})
+		}
+		ps := solveOK(t, primal)
+		ds := solveOK(t, dual)
+		if math.Abs(ps.Objective-ds.Objective) > 1e-6*(1+math.Abs(ps.Objective)) {
+			t.Fatalf("trial %d: primal %v != dual %v", trial, ps.Objective, ds.Objective)
+		}
+		// And primal feasibility of the returned point.
+		for i := 0; i < m; i++ {
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				lhs += a[i][j] * ps.X[j]
+			}
+			if lhs < b[i]-1e-6 {
+				t.Fatalf("trial %d: constraint %d violated: %v < %v", trial, i, lhs, b[i])
+			}
+		}
+	}
+}
+
+func TestSetCoverLPRelaxation(t *testing.T) {
+	// The LP relaxation of the Figure 7 set cover (paper's MLA example):
+	// fractional optimum must be <= the integral optimum 7/12 and >= a
+	// trivial lower bound.
+	costs := []float64{1.0 / 4, 1.0 / 3, 1.0 / 6, 1.0 / 4, 1.0 / 5, 1.0 / 5, 1.0 / 3}
+	cover := [][]int{{2}, {0, 2}, {1}, {1, 3, 4}, {2}, {3}, {3, 4}}
+	p := &Problem{NumVars: 7, Objective: costs}
+	for e := 0; e < 5; e++ {
+		row := make([]float64, 7)
+		for s, elems := range cover {
+			for _, x := range elems {
+				if x == e {
+					row[s] = 1
+				}
+			}
+		}
+		p.Cons = append(p.Cons, Constraint{Coeffs: row, Rel: GE, RHS: 1})
+	}
+	s := solveOK(t, p)
+	if s.Objective > 7.0/12.0+1e-9 {
+		t.Errorf("LP relaxation %v exceeds ILP optimum 7/12", s.Objective)
+	}
+	if s.Objective < 0.3 {
+		t.Errorf("LP relaxation %v implausibly low", s.Objective)
+	}
+}

@@ -1,0 +1,312 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+var errUnbounded = errors.New("lp: unbounded")
+
+// tableau is a dense simplex tableau kept in canonical form: every
+// basic column is a unit vector and has zero reduced cost.
+type tableau struct {
+	rows   [][]float64 // constraint coefficient rows
+	rhs    []float64   // right-hand sides, kept >= 0
+	basis  []int       // basis[i] = column basic in row i
+	cost   []float64   // reduced-cost row
+	objVal float64     // current objective value (minimization)
+
+	numStruct int  // structural variables
+	numSlack  int  // slack/surplus variables
+	numArt    int  // artificial variables
+	artStart  int  // first artificial column
+	pivots    int  // total pivot count (drives the Bland switch)
+	inPhase1  bool // phase-1 objective currently installed
+}
+
+// newTableau converts p into canonical form with b >= 0, slack columns
+// for LE, surplus+artificial for GE, artificial for EQ.
+func newTableau(p *Problem) (*tableau, error) {
+	m := len(p.Cons)
+	numSlack, numArt := 0, 0
+	for _, c := range p.Cons {
+		rel, rhsVal := c.Rel, c.RHS
+		if rhsVal < 0 { // flipping the row flips the relation
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		switch rel {
+		case LE:
+			numSlack++
+		case GE:
+			numSlack++
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+	n := p.NumVars
+	width := n + numSlack + numArt
+	t := &tableau{
+		rows:      make([][]float64, m),
+		rhs:       make([]float64, m),
+		basis:     make([]int, m),
+		cost:      make([]float64, width),
+		numStruct: n,
+		numSlack:  numSlack,
+		numArt:    numArt,
+		artStart:  n + numSlack,
+	}
+	slackCol := n
+	artCol := t.artStart
+	for i, c := range p.Cons {
+		row := make([]float64, width)
+		sign := 1.0
+		rel := c.Rel
+		if c.RHS < 0 {
+			sign = -1
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		for j, a := range c.Coeffs {
+			row[j] = sign * a
+		}
+		t.rhs[i] = sign * c.RHS
+		switch rel {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+		t.rows[i] = row
+	}
+	return t, nil
+}
+
+// installPhase1Objective sets the objective to "minimize the sum of
+// artificials" and reduces it against the starting basis.
+func (t *tableau) installPhase1Objective() {
+	for j := range t.cost {
+		t.cost[j] = 0
+	}
+	for j := t.artStart; j < t.artStart+t.numArt; j++ {
+		t.cost[j] = 1
+	}
+	t.objVal = 0
+	t.inPhase1 = true
+	t.reduceCostRow()
+}
+
+// installPhase2Objective sets the real objective (negated for
+// maximization so the solver always minimizes) and reduces it.
+func (t *tableau) installPhase2Objective(p *Problem) {
+	for j := range t.cost {
+		t.cost[j] = 0
+	}
+	for j := 0; j < p.NumVars; j++ {
+		c := objCoeff(p, j)
+		if p.Maximize {
+			c = -c
+		}
+		t.cost[j] = c
+	}
+	t.objVal = 0
+	t.inPhase1 = false
+	t.reduceCostRow()
+}
+
+// reduceCostRow zeroes the reduced cost of every basic column and
+// accumulates the objective value. Relies on the tableau invariant
+// that each basic column is a unit vector.
+func (t *tableau) reduceCostRow() {
+	for i, b := range t.basis {
+		cb := t.cost[b]
+		if cb == 0 {
+			continue
+		}
+		row := t.rows[i]
+		for j := range t.cost {
+			t.cost[j] -= cb * row[j]
+		}
+		t.objVal += cb * t.rhs[i]
+	}
+}
+
+// objectiveValue returns the current (minimization) objective value.
+func (t *tableau) objectiveValue() float64 { return t.objVal }
+
+// iterate pivots until optimal, returning errUnbounded if a column can
+// improve forever. Artificial columns never enter once phase 1 ends
+// (their reduced cost is then nonnegative only by luck, so they are
+// excluded explicitly via enteringLimit).
+func (t *tableau) iterate() error {
+	for {
+		enter := t.chooseEntering()
+		if enter == -1 {
+			return nil
+		}
+		leave := t.chooseLeaving(enter)
+		if leave == -1 {
+			return errUnbounded
+		}
+		t.pivot(leave, enter)
+		t.pivots++
+		if t.pivots > maxPivots {
+			return fmt.Errorf("lp: pivot limit (%d) exceeded", maxPivots)
+		}
+	}
+}
+
+// enteringLimit is the number of columns eligible to enter the basis:
+// everything during phase 1, everything but artificials afterwards.
+func (t *tableau) enteringLimit() int {
+	if t.phase1() {
+		return len(t.cost)
+	}
+	return t.artStart
+}
+
+// phase1 reports whether the phase-1 objective is installed (any
+// artificial column with positive cost marks it).
+func (t *tableau) phase1() bool {
+	return t.inPhase1
+}
+
+// chooseEntering picks the entering column: Dantzig's rule (most
+// negative reduced cost) normally, Bland's rule (first negative) after
+// blandAfter pivots to guarantee termination.
+func (t *tableau) chooseEntering() int {
+	limit := t.enteringLimit()
+	if t.pivots >= blandAfter {
+		for j := 0; j < limit; j++ {
+			if t.cost[j] < -eps {
+				return j
+			}
+		}
+		return -1
+	}
+	best, bestVal := -1, -eps
+	for j := 0; j < limit; j++ {
+		if t.cost[j] < bestVal {
+			best, bestVal = j, t.cost[j]
+		}
+	}
+	return best
+}
+
+// chooseLeaving runs the ratio test on column enter; ties break toward
+// the smallest basis index (lexicographic safeguard).
+func (t *tableau) chooseLeaving(enter int) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	for i, row := range t.rows {
+		a := row[enter]
+		if a <= eps {
+			continue
+		}
+		r := t.rhs[i] / a
+		if r < bestRatio-eps || (r < bestRatio+eps && (best == -1 || t.basis[i] < t.basis[best])) {
+			best, bestRatio = i, r
+		}
+	}
+	return best
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	row := t.rows[leave]
+	piv := row[enter]
+	inv := 1 / piv
+	for j := range row {
+		row[j] *= inv
+	}
+	t.rhs[leave] *= inv
+	for i, r := range t.rows {
+		if i == leave {
+			continue
+		}
+		f := r[enter]
+		if f == 0 {
+			continue
+		}
+		for j := range r {
+			r[j] -= f * row[j]
+		}
+		t.rhs[i] -= f * t.rhs[leave]
+		if t.rhs[i] < 0 && t.rhs[i] > -eps {
+			t.rhs[i] = 0
+		}
+	}
+	f := t.cost[enter]
+	if f != 0 {
+		for j := range t.cost {
+			t.cost[j] -= f * row[j]
+		}
+		t.objVal += f * t.rhs[leave]
+	}
+	t.basis[leave] = enter
+}
+
+// driveOutArtificials removes artificial variables from the basis after
+// a successful phase 1: pivot them out where possible, delete the row
+// (a redundant constraint) where not.
+func (t *tableau) driveOutArtificials() error {
+	for i := 0; i < len(t.rows); i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		// rhs must be ~0 here or phase 1 would have failed.
+		pivotCol := -1
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.rows[i][j]) > eps {
+				pivotCol = j
+				break
+			}
+		}
+		if pivotCol == -1 {
+			// Redundant constraint: drop the row.
+			t.rows = append(t.rows[:i], t.rows[i+1:]...)
+			t.rhs = append(t.rhs[:i], t.rhs[i+1:]...)
+			t.basis = append(t.basis[:i], t.basis[i+1:]...)
+			i--
+			continue
+		}
+		t.pivot(i, pivotCol)
+	}
+	t.inPhase1 = false
+	return nil
+}
+
+// extract returns the values of the first n structural variables.
+func (t *tableau) extract(n int) []float64 {
+	x := make([]float64, n)
+	for i, b := range t.basis {
+		if b < n {
+			v := t.rhs[i]
+			if v < 0 {
+				v = 0
+			}
+			x[b] = v
+		}
+	}
+	return x
+}

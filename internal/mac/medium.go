@@ -1,0 +1,172 @@
+package mac
+
+import (
+	"time"
+)
+
+// txKind distinguishes queue types.
+type txKind int
+
+// Transmission kinds.
+const (
+	txMulticast txKind = iota + 1
+	txUnicast
+)
+
+// txReq is one station wanting the medium.
+type txReq struct {
+	ap   int
+	kind txKind
+	flow *flow // multicast only
+}
+
+// medium is one contention domain: stations in it defer to each
+// other's transmissions and can collide. DCF is approximated: each
+// contention round, every pending station draws a fresh uniform
+// backoff in [0, CW) slots after DIFS; the smallest draw transmits,
+// and ties transmit simultaneously — a collision. Multicast frames
+// are never retransmitted (802.11 broadcast has no ACK); collided
+// unicast frames re-enter the queue.
+type medium struct {
+	sim     *sim
+	pending []txReq
+	busy    bool
+	armed   bool // an arbitration event is scheduled
+}
+
+// request enqueues a transmission wish. Idempotent per (ap, kind,
+// flow): frame multiplicity lives in flow.queued / saturation.
+func (m *medium) request(ap int, kind txKind, f *flow) {
+	for _, r := range m.pending {
+		if r.ap == ap && r.kind == kind && r.flow == f {
+			return
+		}
+	}
+	m.pending = append(m.pending, txReq{ap: ap, kind: kind, flow: f})
+	m.arm()
+}
+
+// arm schedules an arbitration when none is pending and the medium is
+// idle.
+func (m *medium) arm() {
+	if m.armed || m.busy || len(m.pending) == 0 {
+		return
+	}
+	m.armed = true
+	m.sim.eng.Schedule(0, m.arbitrate)
+}
+
+// arbitrate runs one contention round.
+func (m *medium) arbitrate() {
+	m.armed = false
+	if m.busy || len(m.pending) == 0 {
+		return
+	}
+	s := m.sim
+	cw := s.cfg.CWSlots
+	minSlot := -1
+	var winners []int // indices into pending
+	for i := range m.pending {
+		slot := s.rng.Intn(cw)
+		switch {
+		case minSlot == -1 || slot < minSlot:
+			minSlot = slot
+			winners = winners[:0]
+			winners = append(winners, i)
+		case slot == minSlot:
+			winners = append(winners, i)
+		}
+	}
+	// Pull the winners out of the queue before transmitting.
+	winnerReqs := make([]txReq, 0, len(winners))
+	for _, i := range winners {
+		winnerReqs = append(winnerReqs, m.pending[i])
+	}
+	m.reapPending(winners)
+
+	am := s.cfg.Airtime
+	overhead := am.DIFS + time.Duration(minSlot)*am.SlotTime
+	collided := len(winnerReqs) > 1
+	var maxOnAir time.Duration
+	type done struct {
+		req txReq
+	}
+	var txs []done
+	for _, req := range winnerReqs {
+		onAir := m.onAirTime(req)
+		if onAir > maxOnAir {
+			maxOnAir = onAir
+		}
+		txs = append(txs, done{req: req})
+		// Account the channel time to the transmitter. Under
+		// collision every collider is charged the full span — the
+		// channel was lost to each frame.
+		span := overhead + onAir
+		st := &s.res.PerAP[req.ap]
+		switch req.kind {
+		case txMulticast:
+			st.MulticastSent++
+			st.MulticastAirtime += span
+			if collided {
+				st.MulticastCollided++
+			}
+			for _, u := range req.flow.users {
+				s.res.FramesToUser[u]++
+				if !collided {
+					s.res.DeliveredToUser[u]++
+				}
+			}
+		case txUnicast:
+			if !collided {
+				st.UnicastSent++
+			}
+			st.UnicastAirtime += span
+		}
+	}
+
+	m.busy = true
+	s.eng.Schedule(overhead+maxOnAir, func() {
+		m.busy = false
+		for _, d := range txs {
+			switch d.req.kind {
+			case txMulticast:
+				d.req.flow.queued--
+				if d.req.flow.queued > 0 {
+					m.request(d.req.ap, txMulticast, d.req.flow)
+				}
+			case txUnicast:
+				if s.cfg.UnicastSaturated {
+					m.request(d.req.ap, txUnicast, nil)
+				}
+			}
+		}
+		m.arm()
+	})
+}
+
+// reapPending removes the winner entries (descending index order).
+func (m *medium) reapPending(winners []int) {
+	for i := len(winners) - 1; i >= 0; i-- {
+		idx := winners[i]
+		m.pending = append(m.pending[:idx], m.pending[idx+1:]...)
+	}
+}
+
+// onAirTime is the preamble + payload duration of a request's frame
+// (DIFS and backoff are modeled explicitly by the arbitration).
+func (m *medium) onAirTime(req txReq) time.Duration {
+	s := m.sim
+	rate := s.cfg.UnicastRate
+	if req.kind == txMulticast {
+		rate = req.flow.rate
+	}
+	full, err := s.cfg.Airtime.FrameAirtime(s.cfg.PayloadBytes, rate)
+	if err != nil {
+		// Rates come from the network model and are positive.
+		panic(err)
+	}
+	// FrameAirtime bundles DIFS + average backoff + preamble + data;
+	// strip the parts the arbitration already charges.
+	avgBackoff := time.Duration(s.cfg.Airtime.AvgBackoffSlots * float64(s.cfg.Airtime.SlotTime))
+	return full - s.cfg.Airtime.DIFS - avgBackoff
+}

@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCollect(t *testing.T) {
+	tests := []struct {
+		name string
+		vals []float64
+		want Stat
+	}{
+		{"empty", nil, Stat{}},
+		{"single", []float64{3}, Stat{Avg: 3, Min: 3, Max: 3, N: 1}},
+		{"pair", []float64{1, 3}, Stat{Avg: 2, Min: 1, Max: 3, StdDev: math.Sqrt(2), N: 2}},
+		{"negative", []float64{-2, 2}, Stat{Avg: 0, Min: -2, Max: 2, StdDev: math.Sqrt(8), N: 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Collect(tt.vals)
+			if math.Abs(got.Avg-tt.want.Avg) > 1e-12 ||
+				got.Min != tt.want.Min || got.Max != tt.want.Max ||
+				math.Abs(got.StdDev-tt.want.StdDev) > 1e-12 || got.N != tt.want.N {
+				t.Errorf("Collect(%v) = %+v, want %+v", tt.vals, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCollectProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, math.Mod(v, 1e6))
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		s := Collect(vals)
+		return s.Min <= s.Avg+1e-9 && s.Avg <= s.Max+1e-9 && s.StdDev >= 0 && s.N == len(vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildFigure() *Figure {
+	f := &Figure{ID: "fig9a", Title: "Total load vs users", XLabel: "users", YLabel: "total load", X: []float64{100, 200}}
+	f.AddPoint("SSA", Stat{Avg: 10, Min: 9, Max: 11, N: 3})
+	f.AddPoint("SSA", Stat{Avg: 20, Min: 18, Max: 22, N: 3})
+	f.AddPoint("MLA", Stat{Avg: 7, Min: 6, Max: 8, N: 3})
+	f.AddPoint("MLA", Stat{Avg: 14, Min: 13, Max: 15, N: 3})
+	return f
+}
+
+func TestFigureAddAndValidate(t *testing.T) {
+	f := buildFigure()
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(f.Series))
+	}
+	f.AddPoint("MLA", Stat{Avg: 1})
+	if err := f.Validate(); err == nil {
+		t.Error("ragged series should fail validation")
+	}
+}
+
+func TestFigureTable(t *testing.T) {
+	tbl := buildFigure().Table()
+	for _, want := range []string{"fig9a", "users", "SSA", "MLA", "10.0000", "14.0000"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	csv := buildFigure().CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines, want 3:\n%s", len(lines), csv)
+	}
+	if lines[0] != "users,SSA_avg,SSA_min,SSA_max,MLA_avg,MLA_min,MLA_max" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "100,10,9,11,") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	f := &Figure{XLabel: `x,with"comma`, X: []float64{1}}
+	f.AddPoint("a,b", Stat{})
+	csv := f.CSV()
+	if !strings.Contains(csv, `"x,with""comma"`) || !strings.Contains(csv, `"a,b_avg"`) {
+		t.Errorf("escaping wrong: %q", csv)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	f := buildFigure()
+	// MLA is 30% below SSA at both points.
+	if got := f.Improvement("SSA", "MLA", 0); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("improvement = %v, want 0.3", got)
+	}
+	if got := f.Increase("MLA", "SSA", 0); math.Abs(got-3.0/7.0) > 1e-12 {
+		t.Errorf("increase = %v, want 3/7", got)
+	}
+	if f.Improvement("missing", "MLA", 0) != 0 || f.Improvement("SSA", "MLA", 99) != 0 {
+		t.Error("missing series/index should yield 0")
+	}
+	zero := &Figure{X: []float64{1}}
+	zero.AddPoint("a", Stat{Avg: 0})
+	zero.AddPoint("b", Stat{Avg: 5})
+	if zero.Improvement("a", "b", 0) != 0 {
+		t.Error("zero baseline should yield 0")
+	}
+}
+
+func TestLabelsAndSort(t *testing.T) {
+	f := &Figure{X: []float64{1}}
+	f.AddPoint("zeta", Stat{})
+	f.AddPoint("alpha", Stat{})
+	f.SortSeries()
+	labels := f.Labels()
+	if labels[0] != "alpha" || labels[1] != "zeta" {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestCollectMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 10
+		}
+		s := Collect(vals)
+		// Naive recomputation.
+		min, max, sum := vals[0], vals[0], 0.0
+		for _, v := range vals {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+			sum += v
+		}
+		if s.Min != min || s.Max != max || math.Abs(s.Avg-sum/float64(n)) > 1e-9 {
+			t.Fatalf("trial %d: stats mismatch", trial)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"wlanmcast/internal/core"
+	"wlanmcast/internal/geom"
+	"wlanmcast/internal/radio"
+	"wlanmcast/internal/wlan"
+)
+
+func churnNetwork(t *testing.T) *wlan.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	area := geom.Square(500)
+	apPos := geom.UniformPoints(rng, 8, area)
+	userPos := geom.UniformPoints(rng, 40, area)
+	us := make([]int, 40)
+	for i := range us {
+		us[i] = rng.Intn(3)
+	}
+	n, err := wlan.NewGeometric(area, apPos, userPos, us,
+		[]wlan.Session{{Rate: 1}, {Rate: 1}, {Rate: 1}}, radio.Table1(), wlan.DefaultBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestChurnJoinsAndLeaves(t *testing.T) {
+	n := churnNetwork(t)
+	res, err := Run(Options{
+		Network:   n,
+		Objective: core.ObjMLA,
+		Jitter:    300 * time.Millisecond,
+		Seed:      1,
+		MaxTime:   10 * time.Minute,
+		Churn:     &ChurnConfig{MeanActive: time.Minute, MeanIdle: time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Joins == 0 || res.Stats.Leaves == 0 {
+		t.Fatalf("no churn recorded: %d joins, %d leaves", res.Stats.Joins, res.Stats.Leaves)
+	}
+	// Leaving users must disassociate: disassociations >= leaves of
+	// associated users — at least some.
+	if res.Stats.Disassociations == 0 {
+		t.Error("no disassociations despite churn")
+	}
+	if err := n.Validate(res.Assoc, false); err != nil {
+		t.Fatalf("final association invalid: %v", err)
+	}
+}
+
+func TestChurnReconvergesBetweenEvents(t *testing.T) {
+	// With rare churn (long periods) and fast decision cycles, the
+	// system re-stabilizes between events; the run tail should be
+	// quiet or the association at least remain valid and serve the
+	// active population.
+	n := churnNetwork(t)
+	res, err := Run(Options{
+		Network:       n,
+		Objective:     core.ObjMLA,
+		QueryInterval: 200 * time.Millisecond,
+		Jitter:        100 * time.Millisecond,
+		Seed:          2,
+		MaxTime:       5 * time.Minute,
+		Churn:         &ChurnConfig{MeanActive: 2 * time.Minute, MeanIdle: 2 * time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The protocol keeps running; validity is the invariant.
+	if err := n.Validate(res.Assoc, false); err != nil {
+		t.Fatalf("final association invalid: %v", err)
+	}
+	if res.Stats.Moves == 0 {
+		t.Error("nothing ever associated under churn")
+	}
+}
+
+func TestChurnDefaultsApplied(t *testing.T) {
+	n := churnNetwork(t)
+	res, err := Run(Options{
+		Network:   n,
+		Objective: core.ObjMLA,
+		Jitter:    100 * time.Millisecond,
+		Seed:      3,
+		MaxTime:   time.Minute,
+		Churn:     &ChurnConfig{}, // zero means 5m/5m defaults
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 5-minute means over a 1-minute run, churn events are few
+	// but the run must still work end to end.
+	if err := n.Validate(res.Assoc, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoChurnFieldUnused(t *testing.T) {
+	// Sanity: absence of churn leaves Joins/Leaves at zero.
+	n := churnNetwork(t)
+	res, err := Run(Options{
+		Network:   n,
+		Objective: core.ObjMLA,
+		Jitter:    200 * time.Millisecond,
+		Seed:      4,
+		MaxTime:   time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Joins != 0 || res.Stats.Leaves != 0 {
+		t.Error("churn stats nonzero without churn")
+	}
+	if !res.Converged {
+		t.Error("static run should converge")
+	}
+}

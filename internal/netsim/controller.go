@@ -1,0 +1,204 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"wlanmcast/internal/core"
+	"wlanmcast/internal/des"
+	"wlanmcast/internal/radio"
+	"wlanmcast/internal/wlan"
+)
+
+// The paper argues (§1) that "distributed solutions are preferred in
+// large networks, as centralized solutions will lead to more frequent
+// changes in associations causing increased signaling traffic over
+// the wireless links". RunCentralized makes that comparable: it
+// simulates the centralized control loop — every epoch each user
+// uplinks a measurement report over the air, the controller re-runs a
+// centralized algorithm on the wired side (free), and every changed
+// association costs (dis)association frames — so its Stats can be set
+// against a distributed Run of the same horizon.
+
+// CentralizedOptions configures a centralized control-loop simulation.
+type CentralizedOptions struct {
+	// Network is the WLAN under control.
+	Network *wlan.Network
+	// Algorithm is the centralized association algorithm re-run each
+	// epoch (e.g. &core.CentralizedBLA{}).
+	Algorithm core.Algorithm
+	// Epoch is the controller's re-optimization period (default 30s).
+	Epoch time.Duration
+	// MaxTime is the simulated horizon (default 60s).
+	MaxTime time.Duration
+	// Churn optionally applies the same on/off user dynamics as the
+	// distributed simulation, so the two control styles face the same
+	// workload.
+	Churn *ChurnConfig
+	// Seed drives churn timing.
+	Seed int64
+}
+
+// CentralizedResult is the outcome of a centralized control loop.
+type CentralizedResult struct {
+	// Assoc is the final association.
+	Assoc *wlan.Assoc
+	// Stats counts the wireless frames (reports + reassociations).
+	Stats Stats
+	// Epochs is the number of controller runs.
+	Epochs int
+}
+
+// RunCentralized executes the centralized control loop.
+func RunCentralized(opts CentralizedOptions) (*CentralizedResult, error) {
+	if opts.Network == nil || opts.Algorithm == nil {
+		return nil, fmt.Errorf("netsim: nil network or algorithm")
+	}
+	if opts.Epoch <= 0 {
+		opts.Epoch = 30 * time.Second
+	}
+	if opts.MaxTime <= 0 {
+		opts.MaxTime = 60 * time.Second
+	}
+	if opts.Churn != nil {
+		if opts.Churn.MeanActive <= 0 {
+			opts.Churn.MeanActive = 5 * time.Minute
+		}
+		if opts.Churn.MeanIdle <= 0 {
+			opts.Churn.MeanIdle = 5 * time.Minute
+		}
+	}
+	n := opts.Network
+	rng := rand.New(rand.NewSource(opts.Seed))
+	eng := des.New()
+	res := &CentralizedResult{Assoc: wlan.NewAssoc(n.NumUsers())}
+
+	active := make([]bool, n.NumUsers())
+	for u := range active {
+		active[u] = true
+	}
+	if opts.Churn != nil {
+		onFrac := float64(opts.Churn.MeanActive) / float64(opts.Churn.MeanActive+opts.Churn.MeanIdle)
+		var toggle func(u int)
+		delay := func(u int) time.Duration {
+			mean := opts.Churn.MeanActive
+			if !active[u] {
+				mean = opts.Churn.MeanIdle
+			}
+			d := time.Duration(rng.ExpFloat64() * float64(mean))
+			if d < time.Millisecond {
+				d = time.Millisecond
+			}
+			return d
+		}
+		toggle = func(u int) {
+			active[u] = !active[u]
+			if active[u] {
+				res.Stats.Joins++
+			} else {
+				res.Stats.Leaves++
+				if res.Assoc.APOf(u) != wlan.Unassociated {
+					res.Assoc.Associate(u, wlan.Unassociated)
+					res.Stats.Disassociations++
+				}
+			}
+			eng.Schedule(delay(u), func() { toggle(u) })
+		}
+		for u := 0; u < n.NumUsers(); u++ {
+			if !n.Coverable(u) {
+				continue
+			}
+			if rng.Float64() >= onFrac {
+				active[u] = false
+			}
+			u := u
+			eng.Schedule(delay(u), func() { toggle(u) })
+		}
+	}
+
+	var epoch func()
+	epoch = func() {
+		res.Epochs++
+		// Every active user uplinks one measurement report per
+		// neighbor AP (signal + session state), like an active scan.
+		for u := 0; u < n.NumUsers(); u++ {
+			if active[u] && n.Coverable(u) {
+				res.Stats.ProbeRequests += len(n.NeighborAPs(u))
+				res.Stats.ProbeResponses += len(n.NeighborAPs(u))
+			}
+		}
+		// The controller solves on the wired side (free) over the
+		// active population, then pushes the diff over the air.
+		target, err := opts.Algorithm.Run(maskInactive(n, active))
+		if err != nil {
+			// Algorithms only fail on malformed networks, which this
+			// is not; surface loudly if it ever happens.
+			panic(err)
+		}
+		for u := 0; u < n.NumUsers(); u++ {
+			want := wlan.Unassociated
+			if active[u] {
+				want = target.APOf(u)
+			}
+			cur := res.Assoc.APOf(u)
+			if want == cur {
+				continue
+			}
+			if cur != wlan.Unassociated {
+				res.Stats.Disassociations++
+			}
+			if want != wlan.Unassociated {
+				res.Stats.Associations++
+				res.Stats.Moves++
+			}
+			res.Assoc.Associate(u, want)
+		}
+		res.Stats.Decisions++
+		eng.Schedule(opts.Epoch, epoch)
+	}
+	eng.Schedule(0, epoch)
+	eng.RunUntil(opts.MaxTime)
+	return res, nil
+}
+
+// maskInactive returns a network view where inactive users are out of
+// everyone's range, so the algorithm simply never serves them.
+func maskInactive(n *wlan.Network, active []bool) *wlan.Network {
+	allActive := true
+	for _, a := range active {
+		if !a {
+			allActive = false
+			break
+		}
+	}
+	if allActive {
+		return n
+	}
+	rates := make([][]radio.Mbps, n.NumAPs())
+	userSession := make([]int, n.NumUsers())
+	for u := range userSession {
+		userSession[u] = n.UserSession(u)
+	}
+	for a := range rates {
+		rates[a] = make([]radio.Mbps, n.NumUsers())
+		for u := 0; u < n.NumUsers(); u++ {
+			if active[u] {
+				rates[a][u] = n.LinkRate(a, u)
+			}
+		}
+	}
+	sessions := make([]wlan.Session, n.NumSessions())
+	copy(sessions, n.Sessions)
+	masked, err := wlan.NewFromRates(rates, userSession, sessions, wlan.DefaultBudget)
+	if err != nil {
+		// The inputs come from a valid network; this cannot fail.
+		panic(err)
+	}
+	for a := range masked.APs {
+		masked.APs[a].Budget = n.APs[a].Budget
+	}
+	masked.BasicRateOnly = n.BasicRateOnly
+	masked.Load = n.Load
+	return masked
+}

@@ -1,0 +1,153 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"wlanmcast/internal/core"
+)
+
+func TestRunCentralizedBasics(t *testing.T) {
+	n := churnNetwork(t)
+	res, err := RunCentralized(CentralizedOptions{
+		Network:   n,
+		Algorithm: &core.CentralizedMLA{},
+		Epoch:     10 * time.Second,
+		MaxTime:   60 * time.Second,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs != 7 {
+		t.Errorf("epochs = %d, want 7 (t = 0s, 10s, ..., 60s)", res.Epochs)
+	}
+	if err := n.Validate(res.Assoc, false); err != nil {
+		t.Fatalf("controller association invalid: %v", err)
+	}
+	if !n.FullyAssociated(res.Assoc) {
+		t.Error("static centralized control should serve every coverable user")
+	}
+	// Reports flow every epoch even when nothing changes — the
+	// paper's standing-cost argument.
+	if res.Stats.ProbeRequests < res.Epochs*n.NumUsers()/2 {
+		t.Errorf("suspiciously few report frames: %d", res.Stats.ProbeRequests)
+	}
+}
+
+func TestCentralizedReportCostRecursEveryEpoch(t *testing.T) {
+	// Doubling the horizon doubles the report traffic even on a fully
+	// static network — unlike the distributed protocol, which settles.
+	n := churnNetwork(t)
+	frames := func(maxTime time.Duration) int {
+		res, err := RunCentralized(CentralizedOptions{
+			Network:   n,
+			Algorithm: &core.CentralizedMLA{},
+			Epoch:     5 * time.Second,
+			MaxTime:   maxTime,
+			Seed:      2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.ProbeRequests
+	}
+	short := frames(30 * time.Second)
+	long := frames(60 * time.Second)
+	// Doubling the horizon roughly doubles the epochs (7 → 13, the
+	// boundary epoch at t=0 making it one short of exact).
+	if long < short*13/7 {
+		t.Errorf("report traffic did not scale with horizon: %d vs %d", short, long)
+	}
+}
+
+func TestCentralizedVsDistributedSignaling(t *testing.T) {
+	// The §1 claim quantified: over a long static horizon the
+	// distributed protocol (which converges and goes quiet — its
+	// cycles stop at convergence) uses fewer wireless frames than a
+	// controller that must keep polling every user each epoch.
+	n := churnNetwork(t)
+	cent, err := RunCentralized(CentralizedOptions{
+		Network:   n,
+		Algorithm: &core.CentralizedBLA{},
+		Epoch:     10 * time.Second,
+		MaxTime:   10 * time.Minute,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := Run(Options{
+		Network:   n,
+		Objective: core.ObjBLA,
+		Jitter:    300 * time.Millisecond,
+		Seed:      3,
+		MaxTime:   10 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dist.Converged {
+		t.Fatal("distributed run should converge")
+	}
+	if dist.Stats.Messages() >= cent.Stats.Messages() {
+		t.Errorf("distributed used %d frames, centralized %d — expected distributed to be cheaper over a long static horizon",
+			dist.Stats.Messages(), cent.Stats.Messages())
+	}
+}
+
+func TestCentralizedWithChurn(t *testing.T) {
+	n := churnNetwork(t)
+	res, err := RunCentralized(CentralizedOptions{
+		Network:   n,
+		Algorithm: &core.CentralizedMLA{},
+		Epoch:     15 * time.Second,
+		MaxTime:   10 * time.Minute,
+		Seed:      4,
+		Churn:     &ChurnConfig{MeanActive: time.Minute, MeanIdle: time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Joins == 0 || res.Stats.Leaves == 0 {
+		t.Error("no churn recorded")
+	}
+	if err := n.Validate(res.Assoc, false); err != nil {
+		t.Fatalf("association invalid under churn: %v", err)
+	}
+}
+
+func TestRunCentralizedErrors(t *testing.T) {
+	if _, err := RunCentralized(CentralizedOptions{}); err == nil {
+		t.Error("nil network should error")
+	}
+	n := churnNetwork(t)
+	if _, err := RunCentralized(CentralizedOptions{Network: n}); err == nil {
+		t.Error("nil algorithm should error")
+	}
+}
+
+func TestMaskInactive(t *testing.T) {
+	n := churnNetwork(t)
+	active := make([]bool, n.NumUsers())
+	for u := range active {
+		active[u] = u%2 == 0
+	}
+	masked := maskInactive(n, active)
+	for u := 0; u < n.NumUsers(); u++ {
+		if active[u] {
+			if len(masked.NeighborAPs(u)) != len(n.NeighborAPs(u)) {
+				t.Errorf("active user %d lost neighbors", u)
+			}
+		} else if masked.Coverable(u) {
+			t.Errorf("inactive user %d still coverable", u)
+		}
+	}
+	// Fast path: all-active returns the same network.
+	for u := range active {
+		active[u] = true
+	}
+	if maskInactive(n, active) != n {
+		t.Error("all-active mask should return the original network")
+	}
+}

@@ -1,0 +1,48 @@
+package netsim_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wlanmcast/internal/core"
+	"wlanmcast/internal/netsim"
+	"wlanmcast/internal/radio"
+	"wlanmcast/internal/wlan"
+)
+
+// ExampleRun reproduces the paper's Figure 4 at the protocol level:
+// with perfectly aligned timers the network livelocks, and the §8
+// lock extension repairs it.
+func ExampleRun() {
+	rates := [][]radio.Mbps{
+		{5, 4, 4, 0},
+		{0, 4, 4, 5},
+	}
+	n, err := wlan.NewFromRates(rates, []int{0, 0, 0, 0}, []wlan.Session{{Rate: 1}}, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := wlan.NewAssoc(4)
+	start.Associate(0, 0)
+	start.Associate(1, 0)
+	start.Associate(2, 1)
+	start.Associate(3, 1)
+
+	for _, locks := range []bool{false, true} {
+		res, err := netsim.Run(netsim.Options{
+			Network:   n,
+			Objective: core.ObjMNU,
+			Start:     start,
+			UseLocks:  locks,
+			MaxTime:   30 * time.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("locks=%v converged=%v\n", locks, res.Converged)
+	}
+	// Output:
+	// locks=false converged=false
+	// locks=true converged=true
+}

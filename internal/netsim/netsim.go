@@ -1,0 +1,417 @@
+// Package netsim simulates the paper's distributed association
+// protocol at the message level on the internal/des engine, standing
+// in for the ns-2 testbed of §7.
+//
+// Each user periodically actively scans (probe request/response per
+// neighbor AP, as in SyncScan [19]), queries its neighbor APs for
+// their current multicast sessions and rates, decides with the local
+// rule of internal/core, and — when it moves — exchanges
+// disassociation and (re)association frames. Decisions are computed
+// against the load snapshot collected at query time, so overlapping
+// decision windows reproduce the simultaneous-decision livelock of
+// Figure 4, while jittered timers approximate the one-by-one regime
+// of Lemmas 1-2.
+//
+// The lock-based coordination the paper sketches as future work (§8)
+// is implemented too: a user first requests a lock from every
+// neighbor AP and only decides (on fresh state) once all grants
+// arrive, aborting on any denial. This serializes conflicting
+// decisions and restores convergence even with fully aligned timers.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"wlanmcast/internal/core"
+	"wlanmcast/internal/des"
+	"wlanmcast/internal/wlan"
+)
+
+// Options configures a protocol simulation.
+type Options struct {
+	// Network is the WLAN under simulation.
+	Network *wlan.Network
+	// Objective selects the local rule (core.ObjMNU/ObjBLA/ObjMLA).
+	Objective core.Objective
+	// EnforceBudget refuses joins that would exceed an AP budget.
+	EnforceBudget bool
+	// QueryInterval is the period between a user's decisions
+	// (default 1s).
+	QueryInterval time.Duration
+	// Jitter uniformly staggers each decision by [0, Jitter). Zero
+	// aligns all users — the simultaneous regime.
+	Jitter time.Duration
+	// RTT is the one-way message latency (default 2ms); a full
+	// query+decide cycle takes 2*RTT.
+	RTT time.Duration
+	// UseLocks enables the §8 lock-coordination extension.
+	UseLocks bool
+	// MaxTime stops the simulation (default 60s of virtual time).
+	MaxTime time.Duration
+	// StableCycles is the number of consecutive moveless decision
+	// cycles per user that counts as convergence (default 2).
+	StableCycles int
+	// Seed drives the jitter RNG.
+	Seed int64
+	// Start optionally seeds the association.
+	Start *wlan.Assoc
+	// Churn, when non-nil, makes users alternate between watching
+	// their stream and being idle (exponential on/off periods). Idle
+	// users disassociate and stop querying; reactivated users rejoin
+	// via the normal protocol — the "new user joins the network" case
+	// of Lemma 1, exercised continuously. With churn the simulation
+	// always runs to MaxTime and Converged reports whether the final
+	// stretch was stable.
+	Churn *ChurnConfig
+}
+
+// ChurnConfig parameterizes on/off session dynamics.
+type ChurnConfig struct {
+	// MeanActive is the mean watching period (default 5m).
+	MeanActive time.Duration
+	// MeanIdle is the mean idle period (default 5m).
+	MeanIdle time.Duration
+}
+
+// Stats counts protocol traffic — the signaling overhead the paper
+// cites as the reason to prefer distributed solutions at scale.
+type Stats struct {
+	// ProbeRequests and ProbeResponses count active-scan frames.
+	ProbeRequests  int
+	ProbeResponses int
+	// Associations and Disassociations count (re)association frames.
+	Associations    int
+	Disassociations int
+	// LockRequests, LockGrants, LockDenials, LockReleases count the
+	// lock extension's frames (zero without UseLocks).
+	LockRequests int
+	LockGrants   int
+	LockDenials  int
+	LockReleases int
+	// Moves is the number of association changes.
+	Moves int
+	// Decisions is the number of completed decision cycles.
+	Decisions int
+	// Joins and Leaves count churn activations/deactivations (zero
+	// without churn).
+	Joins  int
+	Leaves int
+}
+
+// Messages returns the total frame count.
+func (s *Stats) Messages() int {
+	return s.ProbeRequests + s.ProbeResponses + s.Associations +
+		s.Disassociations + s.LockRequests + s.LockGrants +
+		s.LockDenials + s.LockReleases
+}
+
+// Result is the outcome of a protocol simulation.
+type Result struct {
+	// Assoc is the final association.
+	Assoc *wlan.Assoc
+	// Converged reports that every user sat through StableCycles
+	// decision cycles without moving before MaxTime.
+	Converged bool
+	// ConvergedAt is the virtual time of the last move (meaningful
+	// when Converged).
+	ConvergedAt time.Duration
+	// Stats is the protocol traffic.
+	Stats Stats
+}
+
+// sim is the running simulation state.
+type sim struct {
+	opts    Options
+	eng     *des.Engine
+	rng     *rand.Rand
+	rule    *core.Distributed
+	tracker *wlan.Tracker
+	stats   Stats
+
+	lastMove  time.Duration
+	stable    []int  // consecutive moveless cycles per user
+	coverable []bool // users with at least one neighbor AP
+	active    []bool // churn: user currently wants its stream
+	done      bool
+
+	lockHolder []int // per AP: user holding the lock, or -1
+}
+
+// Run executes the protocol simulation.
+func Run(opts Options) (*Result, error) {
+	if opts.Network == nil {
+		return nil, fmt.Errorf("netsim: nil network")
+	}
+	applyDefaults(&opts)
+	tracker, err := wlan.NewTracker(opts.Network, opts.Start)
+	if err != nil {
+		return nil, err
+	}
+	s := &sim{
+		opts:       opts,
+		eng:        des.New(),
+		rng:        rand.New(rand.NewSource(opts.Seed)),
+		rule:       &core.Distributed{Objective: opts.Objective, EnforceBudget: opts.EnforceBudget},
+		tracker:    tracker,
+		stable:     make([]int, opts.Network.NumUsers()),
+		coverable:  make([]bool, opts.Network.NumUsers()),
+		lockHolder: make([]int, opts.Network.NumAPs()),
+	}
+	for i := range s.lockHolder {
+		s.lockHolder[i] = -1
+	}
+	for u := range s.coverable {
+		s.coverable[u] = opts.Network.Coverable(u)
+	}
+	s.active = make([]bool, opts.Network.NumUsers())
+	for u := range s.active {
+		s.active[u] = true
+	}
+	if opts.Churn != nil {
+		for u := 0; u < opts.Network.NumUsers(); u++ {
+			if !opts.Network.Coverable(u) {
+				continue
+			}
+			u := u
+			// Start a random fraction idle so the system begins in
+			// steady state.
+			onFrac := float64(opts.Churn.MeanActive) / float64(opts.Churn.MeanActive+opts.Churn.MeanIdle)
+			if s.rng.Float64() >= onFrac {
+				s.active[u] = false
+			}
+			s.eng.Schedule(s.churnDelay(u), func() { s.toggle(u) })
+		}
+	}
+	// Stagger the first cycle of each user across one interval so the
+	// protocol does not start with a thundering herd; with Jitter == 0
+	// all users still collide on every subsequent cycle boundary.
+	for u := 0; u < opts.Network.NumUsers(); u++ {
+		if !opts.Network.Coverable(u) {
+			s.stable[u] = opts.StableCycles // nothing to decide, always stable
+			continue
+		}
+		u := u
+		var first time.Duration
+		if opts.Jitter > 0 {
+			first = time.Duration(s.rng.Int63n(int64(opts.QueryInterval)))
+		}
+		s.eng.Schedule(first, func() { s.startCycle(u) })
+	}
+	s.eng.RunUntil(opts.MaxTime)
+	res := &Result{
+		Assoc:       s.tracker.Assoc(),
+		Converged:   s.done,
+		ConvergedAt: s.lastMove,
+		Stats:       s.stats,
+	}
+	if opts.Churn != nil {
+		// Under churn convergence is never terminal; report whether
+		// the tail of the run was quiet.
+		res.Converged = opts.MaxTime-s.lastMove > 3*opts.QueryInterval
+	}
+	return res, nil
+}
+
+// churnDelay draws an exponential on/off period for user u's current
+// state.
+func (s *sim) churnDelay(u int) time.Duration {
+	mean := s.opts.Churn.MeanActive
+	if !s.active[u] {
+		mean = s.opts.Churn.MeanIdle
+	}
+	d := time.Duration(s.rng.ExpFloat64() * float64(mean))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// toggle flips user u between watching and idle.
+func (s *sim) toggle(u int) {
+	if s.active[u] {
+		s.active[u] = false
+		s.stats.Leaves++
+		s.stable[u] = s.opts.StableCycles // nothing to decide while idle
+		if s.tracker.APOf(u) != wlan.Unassociated {
+			if err := s.tracker.Disassociate(u); err != nil {
+				panic(err) // tracker state mirrors ours; cannot fail
+			}
+			s.stats.Disassociations++
+		}
+	} else {
+		s.active[u] = true
+		s.stats.Joins++
+		s.stable[u] = 0
+		u := u
+		var first time.Duration
+		if s.opts.Jitter > 0 {
+			first = time.Duration(s.rng.Int63n(int64(s.opts.Jitter)))
+		}
+		s.eng.Schedule(first, func() { s.startCycle(u) })
+	}
+	uu := u
+	s.eng.Schedule(s.churnDelay(uu), func() { s.toggle(uu) })
+}
+
+func applyDefaults(o *Options) {
+	if o.QueryInterval <= 0 {
+		o.QueryInterval = time.Second
+	}
+	if o.RTT <= 0 {
+		o.RTT = 2 * time.Millisecond
+	}
+	if o.MaxTime <= 0 {
+		o.MaxTime = 60 * time.Second
+	}
+	if o.StableCycles <= 0 {
+		o.StableCycles = 2
+	}
+	if o.Objective == 0 {
+		o.Objective = core.ObjMLA
+	}
+	if o.Churn != nil {
+		if o.Churn.MeanActive <= 0 {
+			o.Churn.MeanActive = 5 * time.Minute
+		}
+		if o.Churn.MeanIdle <= 0 {
+			o.Churn.MeanIdle = 5 * time.Minute
+		}
+	}
+}
+
+// startCycle begins one query/decide cycle for user u.
+func (s *sim) startCycle(u int) {
+	if s.done || !s.active[u] {
+		return
+	}
+	n := s.opts.Network
+	neighbors := n.NeighborAPs(u)
+	// Active scan: one probe request/response per neighbor AP.
+	s.stats.ProbeRequests += len(neighbors)
+	s.stats.ProbeResponses += len(neighbors)
+	if s.opts.UseLocks {
+		s.requestLocks(u)
+		return
+	}
+	// Snapshot now (query time); decide after the response RTT.
+	snapshot, err := wlan.NewTracker(n, s.tracker.Assoc())
+	if err != nil {
+		// Assoc comes from a valid tracker; this cannot fail.
+		panic(err)
+	}
+	s.eng.Schedule(2*s.opts.RTT, func() { s.decide(u, snapshot) })
+}
+
+// decide applies the local rule for u against view (possibly stale)
+// and commits the move against the live state.
+func (s *sim) decide(u int, view *wlan.Tracker) {
+	if s.done || !s.active[u] {
+		return
+	}
+	s.finishCycle(u, s.commit(u, view))
+}
+
+// commit evaluates the rule for u against view and applies any move to
+// the live tracker, reporting whether u moved.
+func (s *sim) commit(u int, view *wlan.Tracker) bool {
+	s.stats.Decisions++
+	target, improves := s.rule.Choose(s.opts.Network, view, u)
+	cur := s.tracker.APOf(u)
+	if target == wlan.Unassociated || target == cur || (cur != wlan.Unassociated && !improves) {
+		return false
+	}
+	if cur != wlan.Unassociated {
+		s.stats.Disassociations++
+	}
+	if err := s.tracker.Move(u, target); err != nil {
+		panic(err) // target came from NeighborAPs; cannot fail
+	}
+	s.stats.Associations++
+	s.stats.Moves++
+	s.lastMove = s.eng.Now()
+	return true
+}
+
+// requestLocks runs the lock extension: request every neighbor AP's
+// lock; on full success decide with *fresh* state, else back off.
+func (s *sim) requestLocks(u int) {
+	n := s.opts.Network
+	neighbors := n.NeighborAPs(u)
+	s.stats.LockRequests += len(neighbors)
+	granted := make([]int, 0, len(neighbors))
+	ok := true
+	for _, a := range neighbors {
+		if s.lockHolder[a] != -1 && s.lockHolder[a] != u {
+			ok = false
+			s.stats.LockDenials++
+			break
+		}
+		s.lockHolder[a] = u
+		granted = append(granted, a)
+		s.stats.LockGrants++
+	}
+	if !ok {
+		// Release what we got and retry next cycle.
+		for _, a := range granted {
+			s.lockHolder[a] = -1
+		}
+		s.stats.LockReleases += len(granted)
+		s.finishCycle(u, false)
+		return
+	}
+	// All locks held: decide on fresh state after the lock RTT.
+	s.eng.Schedule(2*s.opts.RTT, func() {
+		defer func() {
+			for _, a := range granted {
+				s.lockHolder[a] = -1
+			}
+			s.stats.LockReleases += len(granted)
+		}()
+		if s.done || !s.active[u] {
+			return
+		}
+		s.finishCycle(u, s.commit(u, s.tracker))
+	})
+}
+
+// finishCycle updates convergence accounting and schedules u's next
+// cycle.
+func (s *sim) finishCycle(u int, moved bool) {
+	if moved {
+		// A move can change what every other user would decide, so
+		// their stability counters restart. Users with no AP in range
+		// have nothing to re-decide and stay exempt.
+		for i := range s.stable {
+			if s.coverable[i] {
+				s.stable[i] = 0
+			}
+		}
+	} else {
+		s.stable[u]++
+	}
+	if s.opts.Churn == nil && s.convergedNow() {
+		s.done = true
+		return
+	}
+	if !s.active[u] {
+		return // the next activation restarts the cycle
+	}
+	delay := s.opts.QueryInterval
+	if s.opts.Jitter > 0 {
+		delay += time.Duration(s.rng.Int63n(int64(s.opts.Jitter)))
+	}
+	s.eng.Schedule(delay, func() { s.startCycle(u) })
+}
+
+// convergedNow reports whether every user has been stable for the
+// required number of cycles.
+func (s *sim) convergedNow() bool {
+	for _, c := range s.stable {
+		if c < s.opts.StableCycles {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,240 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"wlanmcast/internal/core"
+	"wlanmcast/internal/geom"
+	"wlanmcast/internal/radio"
+	"wlanmcast/internal/wlan"
+)
+
+// figure4 is the paper's non-convergence example (see core tests).
+func figure4(t *testing.T) (*wlan.Network, *wlan.Assoc) {
+	t.Helper()
+	rates := [][]radio.Mbps{
+		{5, 4, 4, 0},
+		{0, 4, 4, 5},
+	}
+	n, err := wlan.NewFromRates(rates, []int{0, 0, 0, 0}, []wlan.Session{{Rate: 1}}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := wlan.NewAssoc(4)
+	start.Associate(0, 0)
+	start.Associate(1, 0)
+	start.Associate(2, 1)
+	start.Associate(3, 1)
+	return n, start
+}
+
+func figure1(t *testing.T) *wlan.Network {
+	t.Helper()
+	rates := [][]radio.Mbps{
+		{3, 6, 4, 4, 4},
+		{0, 0, 5, 5, 3},
+	}
+	n, err := wlan.NewFromRates(rates, []int{0, 1, 0, 1, 1},
+		[]wlan.Session{{Rate: 1}, {Rate: 1}}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestAlignedTimersLivelockFigure4(t *testing.T) {
+	// With zero jitter every user decides on the same stale snapshot
+	// each cycle: u2 and u3 swap forever, exactly the paper's Figure 4.
+	n, start := figure4(t)
+	res, err := Run(Options{
+		Network:   n,
+		Objective: core.ObjMNU,
+		Start:     start,
+		MaxTime:   20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("aligned timers on Figure 4 must livelock")
+	}
+	if res.Stats.Moves < 10 {
+		t.Errorf("expected sustained oscillation, got %d moves", res.Stats.Moves)
+	}
+	// The total load never improves past the swap state.
+	if got := n.TotalLoad(res.Assoc); got < 0.45-1e-9 {
+		t.Errorf("oscillating total load = %v, should stay at 1/2 or 9/20", got)
+	}
+}
+
+func TestLocksRestoreConvergenceFigure4(t *testing.T) {
+	// The §8 lock extension serializes u2/u3 even with aligned timers.
+	n, start := figure4(t)
+	res, err := Run(Options{
+		Network:   n,
+		Objective: core.ObjMNU,
+		Start:     start,
+		UseLocks:  true,
+		MaxTime:   30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("locks must restore convergence on Figure 4")
+	}
+	if got := n.TotalLoad(res.Assoc); math.Abs(got-9.0/20.0) > 1e-9 {
+		t.Errorf("total load = %v, want 9/20", got)
+	}
+	if res.Stats.LockRequests == 0 || res.Stats.LockGrants == 0 {
+		t.Error("lock traffic not recorded")
+	}
+	if res.Stats.LockDenials == 0 {
+		t.Error("aligned timers should produce at least one lock denial")
+	}
+}
+
+func TestJitterConvergesFigure4(t *testing.T) {
+	// Jittered timers approximate one-by-one decisions (Lemma 1).
+	n, start := figure4(t)
+	res, err := Run(Options{
+		Network:   n,
+		Objective: core.ObjMNU,
+		Start:     start,
+		Jitter:    500 * time.Millisecond,
+		Seed:      7,
+		MaxTime:   30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("jittered Figure 4 should converge")
+	}
+	if got := n.TotalLoad(res.Assoc); math.Abs(got-9.0/20.0) > 1e-9 {
+		t.Errorf("total load = %v, want 9/20", got)
+	}
+}
+
+func TestProtocolReachesFigure1Optimum(t *testing.T) {
+	n := figure1(t)
+	res, err := Run(Options{
+		Network:   n,
+		Objective: core.ObjMLA,
+		Jitter:    300 * time.Millisecond,
+		Seed:      3,
+		MaxTime:   30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("Figure 1 MLA protocol run should converge")
+	}
+	if got := n.TotalLoad(res.Assoc); math.Abs(got-7.0/12.0) > 1e-9 {
+		t.Errorf("total load = %v, want 7/12", got)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	n := figure1(t)
+	res, err := Run(Options{
+		Network:   n,
+		Objective: core.ObjMLA,
+		Jitter:    300 * time.Millisecond,
+		Seed:      5,
+		MaxTime:   30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.ProbeRequests != st.ProbeResponses {
+		t.Errorf("probe requests %d != responses %d", st.ProbeRequests, st.ProbeResponses)
+	}
+	if st.ProbeRequests == 0 || st.Decisions == 0 {
+		t.Error("no protocol activity recorded")
+	}
+	// Every user must associate at least once.
+	if st.Associations < n.NumUsers() {
+		t.Errorf("associations = %d, want >= %d", st.Associations, n.NumUsers())
+	}
+	if st.Moves != st.Associations {
+		t.Errorf("moves %d != associations %d", st.Moves, st.Associations)
+	}
+	if got := st.Messages(); got != st.ProbeRequests+st.ProbeResponses+st.Associations+st.Disassociations {
+		t.Errorf("Messages() = %d inconsistent with fields", got)
+	}
+	if res.ConvergedAt > 30*time.Second {
+		t.Errorf("ConvergedAt = %v beyond MaxTime", res.ConvergedAt)
+	}
+}
+
+func TestUncoverableUsersDoNotBlockConvergence(t *testing.T) {
+	rates := [][]radio.Mbps{{6, 0}}
+	n, err := wlan.NewFromRates(rates, []int{0, 0}, []wlan.Session{{Rate: 1}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{Network: n, Objective: core.ObjMLA, Jitter: time.Millisecond, MaxTime: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("network with an uncoverable user should still converge")
+	}
+	if res.Assoc.APOf(0) != 0 || res.Assoc.APOf(1) != wlan.Unassociated {
+		t.Errorf("assoc = [%d %d], want [0 unassociated]", res.Assoc.APOf(0), res.Assoc.APOf(1))
+	}
+}
+
+func TestRandomNetworksConverge(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	area := geom.Square(500)
+	for trial := 0; trial < 3; trial++ {
+		apPos := geom.UniformPoints(rng, 8, area)
+		userPos := geom.UniformPoints(rng, 30, area)
+		sess := []wlan.Session{{Rate: 1}, {Rate: 1}, {Rate: 1}}
+		us := make([]int, 30)
+		for i := range us {
+			us[i] = rng.Intn(3)
+		}
+		n, err := wlan.NewGeometric(area, apPos, userPos, us, sess, radio.Table1(), wlan.DefaultBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, useLocks := range []bool{false, true} {
+			res, err := Run(Options{
+				Network:   n,
+				Objective: core.ObjBLA,
+				Jitter:    400 * time.Millisecond,
+				UseLocks:  useLocks,
+				Seed:      int64(trial),
+				MaxTime:   120 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Errorf("trial %d (locks=%v): protocol did not converge", trial, useLocks)
+			}
+			if err := n.Validate(res.Assoc, false); err != nil {
+				t.Errorf("trial %d: invalid association: %v", trial, err)
+			}
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Options{}); err == nil {
+		t.Error("nil network should error")
+	}
+	n := figure1(t)
+	bad := wlan.NewAssoc(2)
+	if _, err := Run(Options{Network: n, Start: bad}); err == nil {
+		t.Error("size-mismatched start should error")
+	}
+}

@@ -1,0 +1,81 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// The paper defines multicast load as session-rate / PHY-rate, i.e. pure
+// payload airtime. A real 802.11a transmitter also pays per-frame
+// overhead (DIFS, PHY preamble, MAC header) that does not shrink with
+// the data rate, so high PHY rates save less airtime than the ratio
+// model suggests. AirtimeModel captures that; the wlan package lets
+// callers pick either model, with the paper's ratio model the default.
+
+// AirtimeModel computes per-frame airtime for 802.11a broadcast frames
+// (no ACK, no RTS/CTS — multicast frames are unacknowledged).
+type AirtimeModel struct {
+	// DIFS is the DCF interframe space.
+	DIFS time.Duration
+	// Preamble is the PHY preamble + PLCP header duration.
+	Preamble time.Duration
+	// MACHeaderBytes is the MAC header + FCS size in bytes.
+	MACHeaderBytes int
+	// SymbolDuration is the OFDM symbol time.
+	SymbolDuration time.Duration
+	// AvgBackoffSlots is the expected number of contention slots.
+	AvgBackoffSlots float64
+	// SlotTime is the slot duration.
+	SlotTime time.Duration
+}
+
+// Default80211a returns standard 802.11a timing: 34us DIFS, 20us
+// preamble+PLCP, 28-byte MAC overhead, 4us symbols, 9us slots, and an
+// average backoff of CWmin/2 = 7.5 slots.
+func Default80211a() AirtimeModel {
+	return AirtimeModel{
+		DIFS:            34 * time.Microsecond,
+		Preamble:        20 * time.Microsecond,
+		MACHeaderBytes:  28,
+		SymbolDuration:  4 * time.Microsecond,
+		AvgBackoffSlots: 7.5,
+		SlotTime:        9 * time.Microsecond,
+	}
+}
+
+// FrameAirtime returns the total channel time consumed by one broadcast
+// frame carrying payloadBytes at the given PHY rate.
+func (m AirtimeModel) FrameAirtime(payloadBytes int, rate Mbps) (time.Duration, error) {
+	if payloadBytes < 0 {
+		return 0, fmt.Errorf("radio: negative payload size %d", payloadBytes)
+	}
+	if rate <= 0 {
+		return 0, fmt.Errorf("radio: non-positive rate %v", rate)
+	}
+	bits := float64((payloadBytes + m.MACHeaderBytes) * 8)
+	bitsPerSymbol := float64(rate) * m.SymbolDuration.Seconds() * 1e6
+	symbols := math.Ceil(bits / bitsPerSymbol)
+	data := time.Duration(symbols) * m.SymbolDuration
+	backoff := time.Duration(m.AvgBackoffSlots * float64(m.SlotTime))
+	return m.DIFS + backoff + m.Preamble + data, nil
+}
+
+// Load returns the fraction of channel time needed to stream
+// streamMbps of payload in frames of payloadBytes at the given PHY rate.
+// It generalizes the paper's streamRate/phyRate definition by charging
+// per-frame overhead.
+func (m AirtimeModel) Load(streamMbps Mbps, payloadBytes int, rate Mbps) (float64, error) {
+	if streamMbps < 0 {
+		return 0, fmt.Errorf("radio: negative stream rate %v", streamMbps)
+	}
+	if payloadBytes <= 0 {
+		return 0, fmt.Errorf("radio: non-positive payload size %d", payloadBytes)
+	}
+	at, err := m.FrameAirtime(payloadBytes, rate)
+	if err != nil {
+		return 0, err
+	}
+	framesPerSec := float64(streamMbps) * 1e6 / float64(payloadBytes*8)
+	return framesPerSec * at.Seconds(), nil
+}

@@ -1,0 +1,94 @@
+package radio
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFrameAirtime(t *testing.T) {
+	m := Default80211a()
+	// 1472-byte payload at 54 Mbps: (1472+28)*8 = 12000 bits;
+	// 54 Mbps * 4us = 216 bits/symbol; ceil(12000/216) = 56 symbols =
+	// 224us; plus 34us DIFS + 67.5us backoff + 20us preamble.
+	at, err := m.FrameAirtime(1472, 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 34*time.Microsecond + 67500*time.Nanosecond + 20*time.Microsecond + 224*time.Microsecond
+	if at != want {
+		t.Errorf("FrameAirtime = %v, want %v", at, want)
+	}
+}
+
+func TestFrameAirtimeFasterRateShorter(t *testing.T) {
+	m := Default80211a()
+	rates := Table1().Rates()
+	var prev time.Duration
+	for i, r := range rates { // descending rates
+		at, err := m.FrameAirtime(1472, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && at < prev {
+			t.Fatalf("airtime at %v Mbps (%v) shorter than at faster rate (%v)", r, at, prev)
+		}
+		prev = at
+	}
+}
+
+func TestFrameAirtimeErrors(t *testing.T) {
+	m := Default80211a()
+	if _, err := m.FrameAirtime(-1, 6); err == nil {
+		t.Error("negative payload should error")
+	}
+	if _, err := m.FrameAirtime(100, 0); err == nil {
+		t.Error("zero rate should error")
+	}
+}
+
+func TestLoadOverheadExceedsRatio(t *testing.T) {
+	// The airtime model must always charge at least the paper's
+	// payload/rate ratio, because overhead only adds time.
+	m := Default80211a()
+	for _, rate := range Table1().Rates() {
+		got, err := m.Load(1.0, 1472, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := 1.0 / float64(rate)
+		if got < ratio {
+			t.Errorf("airtime load %v at %v Mbps below ratio model %v", got, rate, ratio)
+		}
+		if got > 3*ratio && rate < 54 {
+			t.Errorf("airtime load %v at %v Mbps implausibly above ratio %v", got, rate, ratio)
+		}
+	}
+}
+
+func TestLoadScalesWithStreamRate(t *testing.T) {
+	m := Default80211a()
+	l1, err := m.Load(1, 1472, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := m.Load(2, 1472, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := l2 - 2*l1; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("load not linear in stream rate: %v vs 2*%v", l2, l1)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	m := Default80211a()
+	if _, err := m.Load(-1, 1472, 6); err == nil {
+		t.Error("negative stream rate should error")
+	}
+	if _, err := m.Load(1, 0, 6); err == nil {
+		t.Error("zero payload should error")
+	}
+	if _, err := m.Load(1, 1472, -6); err == nil {
+		t.Error("negative PHY rate should error")
+	}
+}

@@ -1,0 +1,82 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+)
+
+// PathLossModel computes received signal strength with the standard
+// log-distance path-loss formula
+//
+//	RSSI(d) = TxPower - PL(d0) - 10*n*log10(d/d0)
+//
+// in dBm. The strongest-signal association baseline (SSA) ranks APs by
+// this value; with equal transmit powers the ranking is identical to the
+// distance ranking, which is exactly the behavior the paper's SSA
+// baseline assumes.
+type PathLossModel struct {
+	// TxPowerDBm is the transmit power in dBm. 802.11a commonly uses
+	// 15-17 dBm; the default model uses 17 dBm.
+	TxPowerDBm float64
+	// RefLossDB is the path loss at the reference distance, in dB.
+	RefLossDB float64
+	// RefDistance is the reference distance d0 in meters.
+	RefDistance float64
+	// Exponent is the path-loss exponent n (2 free space, 3-4 indoor).
+	Exponent float64
+}
+
+// DefaultPathLoss returns a 5 GHz outdoor-ish model: 17 dBm TX power,
+// 46.7 dB loss at 1 m (free space at 5.18 GHz), exponent 3.0.
+func DefaultPathLoss() PathLossModel {
+	return PathLossModel{TxPowerDBm: 17, RefLossDB: 46.7, RefDistance: 1, Exponent: 3.0}
+}
+
+// RSSI returns the received signal strength in dBm at distance d meters.
+// Distances below the reference distance clamp to the reference.
+func (m PathLossModel) RSSI(d float64) float64 {
+	if d < m.RefDistance {
+		d = m.RefDistance
+	}
+	return m.TxPowerDBm - m.RefLossDB - 10*m.Exponent*math.Log10(d/m.RefDistance)
+}
+
+// PowerLevel is one discrete transmit power setting for the
+// adaptive-power-control extension (paper §8). Level indices start at 1
+// per the style guide; level 1 is full power.
+type PowerLevel struct {
+	// Index identifies the level; 1 is the highest power.
+	Index int
+	// OffsetDB is the power reduction from full power in dB (>= 0).
+	OffsetDB float64
+}
+
+// PowerLevels builds n evenly spaced levels spanning spanDB dB below
+// full power. n must be >= 1; level 1 always has offset 0.
+func PowerLevels(n int, spanDB float64) ([]PowerLevel, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("radio: need at least one power level, got %d", n)
+	}
+	if spanDB < 0 {
+		return nil, fmt.Errorf("radio: negative power span %v dB", spanDB)
+	}
+	levels := make([]PowerLevel, n)
+	for i := range levels {
+		off := 0.0
+		if n > 1 {
+			off = spanDB * float64(i) / float64(n-1)
+		}
+		levels[i] = PowerLevel{Index: i + 1, OffsetDB: off}
+	}
+	return levels, nil
+}
+
+// RangeFactor converts a power reduction in dB into the multiplicative
+// shrink factor of every distance threshold under a log-distance model
+// with the given path-loss exponent: d' = d * 10^(-offset/(10 n)).
+func RangeFactor(offsetDB, exponent float64) float64 {
+	if exponent <= 0 {
+		exponent = 3.0
+	}
+	return math.Pow(10, -offsetDB/(10*exponent))
+}

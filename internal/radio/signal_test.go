@@ -1,0 +1,117 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRSSIMonotoneDecreasing(t *testing.T) {
+	m := DefaultPathLoss()
+	f := func(a, b float64) bool {
+		da, db := 1+abs(a), 1+abs(b)
+		if da > db {
+			da, db = db, da
+		}
+		return m.RSSI(da) >= m.RSSI(db)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRSSIReferencePoint(t *testing.T) {
+	m := DefaultPathLoss()
+	got := m.RSSI(1)
+	want := 17.0 - 46.7
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("RSSI(1m) = %v, want %v", got, want)
+	}
+	// Below the reference distance it must clamp, not blow up.
+	if m.RSSI(0) != got || m.RSSI(0.5) != got {
+		t.Error("RSSI below reference distance should clamp")
+	}
+}
+
+func TestRSSIDecadeSlope(t *testing.T) {
+	m := DefaultPathLoss()
+	// A 10x distance increase loses exactly 10*n dB.
+	drop := m.RSSI(10) - m.RSSI(100)
+	if math.Abs(drop-30) > 1e-9 {
+		t.Errorf("decade drop = %v dB, want 30", drop)
+	}
+}
+
+func TestRSSIRankingMatchesDistance(t *testing.T) {
+	// SSA relies on RSSI ordering == (reverse) distance ordering.
+	m := DefaultPathLoss()
+	dists := []float64{5, 20, 35, 60, 100, 150, 199}
+	for i := 0; i < len(dists)-1; i++ {
+		if m.RSSI(dists[i]) <= m.RSSI(dists[i+1]) {
+			t.Errorf("RSSI(%vm)=%v not > RSSI(%vm)=%v",
+				dists[i], m.RSSI(dists[i]), dists[i+1], m.RSSI(dists[i+1]))
+		}
+	}
+}
+
+func TestPowerLevels(t *testing.T) {
+	levels, err := PowerLevels(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 4 {
+		t.Fatalf("got %d levels, want 4", len(levels))
+	}
+	wantOff := []float64{0, 3, 6, 9}
+	for i, l := range levels {
+		if l.Index != i+1 {
+			t.Errorf("level %d has index %d, want %d", i, l.Index, i+1)
+		}
+		if math.Abs(l.OffsetDB-wantOff[i]) > 1e-9 {
+			t.Errorf("level %d offset = %v, want %v", i, l.OffsetDB, wantOff[i])
+		}
+	}
+}
+
+func TestPowerLevelsSingle(t *testing.T) {
+	levels, err := PowerLevels(1, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 1 || levels[0].OffsetDB != 0 || levels[0].Index != 1 {
+		t.Errorf("single level = %+v, want {1 0}", levels[0])
+	}
+}
+
+func TestPowerLevelsErrors(t *testing.T) {
+	if _, err := PowerLevels(0, 9); err == nil {
+		t.Error("PowerLevels(0, _) should error")
+	}
+	if _, err := PowerLevels(3, -1); err == nil {
+		t.Error("negative span should error")
+	}
+}
+
+func TestRangeFactor(t *testing.T) {
+	// Full power: no shrink.
+	if f := RangeFactor(0, 3); f != 1 {
+		t.Errorf("RangeFactor(0) = %v, want 1", f)
+	}
+	// 30 dB down with exponent 3 shrinks range 10x.
+	if f := RangeFactor(30, 3); math.Abs(f-0.1) > 1e-12 {
+		t.Errorf("RangeFactor(30,3) = %v, want 0.1", f)
+	}
+	// Bad exponent falls back to 3.
+	if f := RangeFactor(30, 0); math.Abs(f-0.1) > 1e-12 {
+		t.Errorf("RangeFactor with exponent 0 = %v, want 0.1", f)
+	}
+	// Monotone: more offset, smaller factor.
+	prev := 1.1
+	for off := 0.0; off <= 20; off += 2.5 {
+		f := RangeFactor(off, 3)
+		if f >= prev {
+			t.Fatalf("RangeFactor not decreasing at offset %v", off)
+		}
+		prev = f
+	}
+}

@@ -1,0 +1,49 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the scenario decoder: it must
+// never panic, and anything it accepts must either build a network or
+// fail Network() cleanly.
+func FuzzLoad(f *testing.F) {
+	// Seed with a real scenario and some near-misses.
+	spec, err := Generate(Params{Seed: 1, NumAPs: 3, NumUsers: 5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := spec.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"kind":"rates","rates":[[6]],"user_sessions":[0],"sessions":[{"rate":1}],"budget":1}`))
+	f.Add([]byte(`{"kind":"geometric"}`))
+	f.Add([]byte(`{"kind":"rates","rates":[[-1]]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		n, err := s.Network()
+		if err != nil {
+			return // structurally invalid, rejected cleanly
+		}
+		// Anything accepted end-to-end must be internally consistent.
+		if n.NumUsers() < 0 || n.NumAPs() < 0 {
+			t.Fatal("negative sizes from accepted spec")
+		}
+		for u := 0; u < n.NumUsers(); u++ {
+			for _, a := range n.NeighborAPs(u) {
+				if !n.Reachable(a, u) {
+					t.Fatalf("neighbor %d of user %d not reachable", a, u)
+				}
+			}
+		}
+	})
+}

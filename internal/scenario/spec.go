@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wlanmcast/internal/geom"
+	"wlanmcast/internal/radio"
+	"wlanmcast/internal/wlan"
+)
+
+// Kind discriminates how a Spec describes connectivity.
+type Kind string
+
+// Spec kinds.
+const (
+	// KindGeometric derives link rates from positions and a rate table.
+	KindGeometric Kind = "geometric"
+	// KindRates carries an explicit AP x user rate matrix.
+	KindRates Kind = "rates"
+)
+
+// Spec is a complete, self-contained scenario that can be serialized
+// to JSON and rebuilt into a wlan.Network anywhere.
+type Spec struct {
+	Kind Kind      `json:"kind"`
+	Area geom.Rect `json:"area,omitempty"`
+
+	// Geometric form.
+	APPositions   []geom.Point     `json:"ap_positions,omitempty"`
+	UserPositions []geom.Point     `json:"user_positions,omitempty"`
+	RateSteps     []radio.RateStep `json:"rate_steps,omitempty"`
+
+	// Explicit form.
+	Rates [][]radio.Mbps `json:"rates,omitempty"`
+
+	// Common.
+	UserSessions  []int          `json:"user_sessions"`
+	Sessions      []wlan.Session `json:"sessions"`
+	Budget        float64        `json:"budget"`
+	BasicRateOnly bool           `json:"basic_rate_only,omitempty"`
+}
+
+// Network materializes the spec.
+func (s *Spec) Network() (*wlan.Network, error) {
+	var (
+		n   *wlan.Network
+		err error
+	)
+	switch s.Kind {
+	case KindGeometric:
+		table, terr := radio.NewRateTable(s.RateSteps)
+		if terr != nil {
+			return nil, fmt.Errorf("scenario: bad rate table: %w", terr)
+		}
+		n, err = wlan.NewGeometric(s.Area, s.APPositions, s.UserPositions, s.UserSessions, cloneSessions(s.Sessions), table, s.Budget)
+	case KindRates:
+		n, err = wlan.NewFromRates(s.Rates, s.UserSessions, cloneSessions(s.Sessions), s.Budget)
+	default:
+		return nil, fmt.Errorf("scenario: unknown kind %q", s.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	n.BasicRateOnly = s.BasicRateOnly
+	return n, nil
+}
+
+// cloneSessions copies the slice so building a network twice from one
+// spec cannot alias (wlan.finish rewrites session IDs in place).
+func cloneSessions(in []wlan.Session) []wlan.Session {
+	out := make([]wlan.Session, len(in))
+	copy(out, in)
+	return out
+}
+
+// Save writes the spec as indented JSON.
+func (s *Spec) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("scenario: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a spec from JSON.
+func Load(r io.Reader) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: decode: %w", err)
+	}
+	return &s, nil
+}

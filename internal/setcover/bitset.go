@@ -1,0 +1,66 @@
+package setcover
+
+import "math/bits"
+
+// bitset is a fixed-size set of element indices packed into words.
+type bitset []uint64
+
+func newBitset(n int) bitset {
+	return make(bitset, (n+63)/64)
+}
+
+func (b bitset) set(i int) {
+	b[i/64] |= 1 << (uint(i) % 64)
+}
+
+func (b bitset) get(i int) bool {
+	return b[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// count returns the number of set bits.
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// andCount returns |b ∩ o| without allocating.
+func (b bitset) andCount(o bitset) int {
+	n := 0
+	for i, w := range b {
+		n += bits.OnesCount64(w & o[i])
+	}
+	return n
+}
+
+// subtract removes all elements of o from b in place.
+func (b bitset) subtract(o bitset) {
+	for i := range b {
+		b[i] &^= o[i]
+	}
+}
+
+// or adds all elements of o to b in place.
+func (b bitset) or(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// empty reports whether no bit is set.
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,217 @@
+package setcover
+
+import (
+	"fmt"
+	"math"
+)
+
+// The exact solvers below are exponential-time searches intended for
+// the small instances used in property tests (a dozen sets or so) and
+// as an ILP cross-check. They branch on the first uncovered element,
+// trying every set that covers it — the standard exact set-cover
+// enumeration — with cost-bound pruning.
+
+// ExactMinCover returns the minimum-cost selection covering every
+// coverable element (the exact MLA / set-cover optimum).
+func ExactMinCover(in *Instance) (*CoverResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	ms := in.masks()
+	target := in.coverable(ms)
+	var (
+		bestCost   = math.Inf(1)
+		bestPicked []int
+	)
+	var cur []int
+	var dfs func(uncov bitset, cost float64)
+	dfs = func(uncov bitset, cost float64) {
+		if cost >= bestCost-costEps {
+			return
+		}
+		e := firstSet(uncov)
+		if e == -1 {
+			bestCost = cost
+			bestPicked = append([]int(nil), cur...)
+			return
+		}
+		for i, m := range ms {
+			if !m.get(e) {
+				continue
+			}
+			nu := uncov.clone()
+			nu.subtract(m)
+			cur = append(cur, i)
+			dfs(nu, cost+in.Sets[i].Cost)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	dfs(target.clone(), 0)
+	if math.IsInf(bestCost, 1) {
+		// Only possible when nothing is coverable at all.
+		bestCost = 0
+	}
+	res := &CoverResult{
+		Picked:    bestPicked,
+		Covered:   make([]bool, in.NumElements),
+		TotalCost: bestCost,
+	}
+	markCovered(in, res)
+	for _, c := range res.Covered {
+		if c {
+			res.NumCovered++
+		}
+	}
+	return res, nil
+}
+
+// ExactMinMaxGroupCost returns the selection covering every coverable
+// element that minimizes the maximum per-group cost (the exact BLA /
+// SCG optimum). It returns the optimal max group cost and the picks.
+func ExactMinMaxGroupCost(in *Instance) (float64, []int, error) {
+	if err := in.Validate(); err != nil {
+		return 0, nil, err
+	}
+	if in.NumGroups <= 0 {
+		return 0, nil, fmt.Errorf("setcover: SCG optimum needs groups")
+	}
+	ms := in.masks()
+	target := in.coverable(ms)
+	var (
+		best       = math.Inf(1)
+		bestPicked []int
+		cur        []int
+	)
+	spent := make([]float64, in.NumGroups)
+	var dfs func(uncov bitset, curMax float64)
+	dfs = func(uncov bitset, curMax float64) {
+		if curMax >= best-costEps {
+			return
+		}
+		e := firstSet(uncov)
+		if e == -1 {
+			best = curMax
+			bestPicked = append([]int(nil), cur...)
+			return
+		}
+		for i, m := range ms {
+			if !m.get(e) {
+				continue
+			}
+			g := in.Sets[i].Group
+			spent[g] += in.Sets[i].Cost
+			nm := curMax
+			if spent[g] > nm {
+				nm = spent[g]
+			}
+			nu := uncov.clone()
+			nu.subtract(m)
+			cur = append(cur, i)
+			dfs(nu, nm)
+			cur = cur[:len(cur)-1]
+			spent[g] -= in.Sets[i].Cost
+		}
+	}
+	dfs(target.clone(), 0)
+	if math.IsInf(best, 1) {
+		best = 0
+	}
+	return best, bestPicked, nil
+}
+
+// ExactMaxCoverage returns the selection maximizing the number of
+// covered elements subject to every group budget (the exact MNU / MCG
+// optimum). Sets without a group are rejected.
+func ExactMaxCoverage(in *Instance) (*MCGResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if in.NumGroups <= 0 {
+		return nil, fmt.Errorf("setcover: MCG optimum needs groups")
+	}
+	for i, s := range in.Sets {
+		if s.Group == NoGroup {
+			return nil, fmt.Errorf("setcover: set %d has no group", i)
+		}
+	}
+	ms := in.masks()
+	// Suffix unions bound how much coverage the remaining sets can add.
+	n := len(in.Sets)
+	suffix := make([]bitset, n+1)
+	suffix[n] = newBitset(in.NumElements)
+	for i := n - 1; i >= 0; i-- {
+		s := suffix[i+1].clone()
+		s.or(ms[i])
+		suffix[i] = s
+	}
+	var (
+		bestCovered = -1
+		bestPicked  []int
+		cur         []int
+	)
+	spent := make([]float64, in.NumGroups)
+	covered := newBitset(in.NumElements)
+	var dfs func(idx int)
+	dfs = func(idx int) {
+		cc := covered.count()
+		if cc > bestCovered {
+			bestCovered = cc
+			bestPicked = append([]int(nil), cur...)
+		}
+		if idx == n {
+			return
+		}
+		// Bound: even taking every remaining set cannot beat best.
+		ub := covered.clone()
+		ub.or(suffix[idx])
+		if ub.count() <= bestCovered {
+			return
+		}
+		// Include idx if its group budget allows.
+		g := in.Sets[idx].Group
+		if spent[g]+in.Sets[idx].Cost <= in.Budgets[g]+costEps {
+			spent[g] += in.Sets[idx].Cost
+			added := ms[idx].clone()
+			added.subtract(covered) // remember exactly what idx added
+			covered.or(ms[idx])
+			cur = append(cur, idx)
+			dfs(idx + 1)
+			cur = cur[:len(cur)-1]
+			covered.subtract(added)
+			spent[g] -= in.Sets[idx].Cost
+		}
+		// Exclude idx.
+		dfs(idx + 1)
+	}
+	dfs(0)
+
+	res := &MCGResult{
+		Picked:     bestPicked,
+		H:          bestPicked,
+		H1:         bestPicked,
+		Covered:    make([]bool, in.NumElements),
+		GroupCost:  make([]float64, in.NumGroups),
+		NumCovered: bestCovered,
+	}
+	for _, i := range bestPicked {
+		res.GroupCost[in.Sets[i].Group] += in.Sets[i].Cost
+		for _, e := range in.Sets[i].Elems {
+			res.Covered[e] = true
+		}
+	}
+	return res, nil
+}
+
+// firstSet returns the index of the first set bit, or -1.
+func firstSet(b bitset) int {
+	for w, word := range b {
+		if word != 0 {
+			for i := 0; i < 64; i++ {
+				if word&(1<<uint(i)) != 0 {
+					return w*64 + i
+				}
+			}
+		}
+	}
+	return -1
+}

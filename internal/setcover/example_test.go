@@ -1,0 +1,57 @@
+package setcover_test
+
+import (
+	"fmt"
+	"log"
+
+	"wlanmcast/internal/setcover"
+)
+
+// figure7 is the paper's Figure 7 instance (see the package tests).
+func figure7() *setcover.Instance {
+	return &setcover.Instance{
+		NumElements: 5,
+		NumGroups:   2,
+		Budgets:     []float64{1, 1},
+		Sets: []setcover.Set{
+			{Group: 0, Cost: 1.0 / 4, Elems: []int{2}},
+			{Group: 0, Cost: 1.0 / 3, Elems: []int{0, 2}},
+			{Group: 0, Cost: 1.0 / 6, Elems: []int{1}},
+			{Group: 0, Cost: 1.0 / 4, Elems: []int{1, 3, 4}},
+			{Group: 1, Cost: 1.0 / 5, Elems: []int{2}},
+			{Group: 1, Cost: 1.0 / 5, Elems: []int{3}},
+			{Group: 1, Cost: 1.0 / 3, Elems: []int{3, 4}},
+		},
+	}
+}
+
+// ExampleGreedyCover reproduces the paper's §6.1 CostSC walk-through:
+// S4 is picked first (effectiveness 3/(1/4) = 12), then S2, for the
+// optimal total cost 7/12.
+func ExampleGreedyCover() {
+	res, err := setcover.GreedyCover(figure7())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("picked S%d then S%d, cost %.4f\n", res.Picked[0]+1, res.Picked[1]+1, res.TotalCost)
+	// Output:
+	// picked S4 then S2, cost 0.5833
+}
+
+// ExampleGreedyMCG reproduces the §4.1 walk-through on the Figure 2
+// instance (Figure 7 with tripled costs): the raw greedy selects
+// {S4, S2}, the budget repair splits them, and H1 = {S4} wins with 3
+// covered users.
+func ExampleGreedyMCG() {
+	in := figure7()
+	for i := range in.Sets {
+		in.Sets[i].Cost *= 3
+	}
+	res, err := setcover.GreedyMCG(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("H=%v H1=%v H2=%v covered=%d\n", res.H, res.H1, res.H2, res.NumCovered)
+	// Output:
+	// H=[3 1] H1=[3] H2=[1] covered=3
+}

@@ -1,0 +1,273 @@
+package setcover
+
+import (
+	"fmt"
+	"math"
+)
+
+// MCGResult is the outcome of the greedy MCG algorithm plus the H1/H2
+// budget repair of paper §4.1.
+type MCGResult struct {
+	// H is the raw greedy selection (may violate group budgets by at
+	// most one set per group).
+	H []int
+	// H1 holds the sets of H that kept their group within budget; H2
+	// holds, per group, the one set whose addition pushed the group
+	// over. Both respect all budgets on their own.
+	H1, H2 []int
+	// Picked is whichever of H1/H2 covers more elements: the final,
+	// budget-feasible answer.
+	Picked []int
+	// Covered and NumCovered describe the coverage of Picked.
+	Covered    []bool
+	NumCovered int
+	// GroupCost[g] is the cost Picked charges to group g.
+	GroupCost []float64
+}
+
+// GreedyMCG runs the paper's Centralized MNU greedy (Fig 3) on an MCG
+// instance (cost version, no overall budget): in every round each group
+// whose spent budget is still strictly below its limit nominates its
+// most cost-effective set, the best nomination is added, and covered
+// elements are removed. The raw selection H is then split into H1/H2
+// and the better half is returned, giving the 8-approximation of
+// Theorem 2.
+//
+// Sets whose individual cost exceeds their group budget are ignored
+// (the paper assumes no such set exists; dropping them preserves that
+// assumption without excluding anything feasible).
+func GreedyMCG(in *Instance) (*MCGResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if in.NumGroups <= 0 {
+		return nil, fmt.Errorf("setcover: MCG needs groups, got %d", in.NumGroups)
+	}
+	for i, s := range in.Sets {
+		if s.Group == NoGroup {
+			return nil, fmt.Errorf("setcover: MCG set %d has no group", i)
+		}
+	}
+	ms := in.masks()
+	uncov := in.coverable(ms)
+	spent := make([]float64, in.NumGroups)
+	var h []int
+
+	// The nested "each eligible group nominates its best set, then the
+	// best nomination wins" loop of Fig 3 selects exactly the globally
+	// most cost-effective set among eligible groups, so a single lazy
+	// selector implements it. Eligibility (line 5: a group accepts
+	// sets only while c(H ∩ G_i) < B_i) can only be lost, never
+	// regained, which is what the lazy selector requires. Sets whose
+	// own cost exceeds their group budget are unusable (the paper
+	// assumes none exist).
+	sel := newLazySelector(in, ms, uncov, func(i int) bool {
+		return in.Sets[i].Cost <= in.Budgets[in.Sets[i].Group]+costEps
+	})
+	for !uncov.empty() {
+		best, gain := sel.next(func(i int) bool {
+			g := in.Sets[i].Group
+			return spent[g] < in.Budgets[g]-costEps
+		})
+		if best == -1 || gain == 0 {
+			// Line 11: no group can contribute anything new.
+			break
+		}
+		h = append(h, best)
+		spent[in.Sets[best].Group] += in.Sets[best].Cost
+		sel.take(best)
+	}
+
+	// H1/H2 split (paper §4.1): walk H in selection order, tracking
+	// each group's running cost; the set that first pushes a group
+	// over its budget goes to H2, everything else to H1.
+	res := &MCGResult{H: h}
+	run := make([]float64, in.NumGroups)
+	for _, i := range h {
+		g := in.Sets[i].Group
+		run[g] += in.Sets[i].Cost
+		if run[g] > in.Budgets[g]+costEps {
+			res.H2 = append(res.H2, i)
+		} else {
+			res.H1 = append(res.H1, i)
+		}
+	}
+	c1 := coverageCount(in, ms, res.H1)
+	c2 := coverageCount(in, ms, res.H2)
+	if c1 >= c2 {
+		res.Picked = res.H1
+		res.NumCovered = c1
+	} else {
+		res.Picked = res.H2
+		res.NumCovered = c2
+	}
+	res.Covered = make([]bool, in.NumElements)
+	res.GroupCost = make([]float64, in.NumGroups)
+	for _, i := range res.Picked {
+		res.GroupCost[in.Sets[i].Group] += in.Sets[i].Cost
+		for _, e := range in.Sets[i].Elems {
+			res.Covered[e] = true
+		}
+	}
+	return res, nil
+}
+
+func coverageCount(in *Instance, ms []bitset, picked []int) int {
+	u := newBitset(in.NumElements)
+	for _, i := range picked {
+		u.or(ms[i])
+	}
+	return u.count()
+}
+
+// SCGResult is the outcome of the iterated-MCG algorithm for Set Cover
+// with Group Budgets.
+type SCGResult struct {
+	// Picked lists the selected set indices across all iterations.
+	Picked []int
+	// Covered / NumCovered describe the union coverage.
+	Covered    []bool
+	NumCovered int
+	// GroupCost[g] is the total cost charged to group g.
+	GroupCost []float64
+	// MaxGroupCost is the largest group cost (the BLA objective).
+	MaxGroupCost float64
+	// Complete reports whether every coverable element got covered
+	// within the iteration limit (if false, the B* guess was too low).
+	Complete bool
+	// Iterations is the number of MCG passes used.
+	Iterations int
+}
+
+// GreedySCG runs the paper's Centralized BLA inner loop (Fig 6): give
+// every group budget bStar, run GreedyMCG, remove covered elements,
+// and repeat up to maxIters times (the paper uses log_{8/7}(n)+1).
+// maxIters <= 0 selects that default.
+//
+// Budgets are cumulative: iteration k hands each group (k+1)*bStar
+// minus what it already spent, so a group that absorbed a lot early
+// waits while cheaper groups catch up. Theorem 4's bound is unchanged
+// — every group still ends at most maxIters*bStar — but the covers
+// come out far more balanced than with per-iteration resets, which
+// let the same few cost-effective groups absorb bStar every round.
+func GreedySCG(in *Instance, bStar float64, maxIters int) (*SCGResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if in.NumGroups <= 0 {
+		return nil, fmt.Errorf("setcover: SCG needs groups, got %d", in.NumGroups)
+	}
+	if bStar <= 0 {
+		return nil, fmt.Errorf("setcover: non-positive budget guess %v", bStar)
+	}
+	if maxIters <= 0 {
+		maxIters = DefaultSCGIters(in.NumElements)
+	}
+
+	res := &SCGResult{
+		Covered:   make([]bool, in.NumElements),
+		GroupCost: make([]float64, in.NumGroups),
+	}
+	remaining := make([]Set, len(in.Sets))
+	copy(remaining, in.Sets)
+	covered := newBitset(in.NumElements)
+
+	for it := 0; it < maxIters; it++ {
+		budgets := make([]float64, in.NumGroups)
+		for g := range budgets {
+			budgets[g] = bStar*float64(it+1) - res.GroupCost[g]
+			if budgets[g] < 0 {
+				budgets[g] = 0
+			}
+		}
+		sub := &Instance{
+			NumElements: in.NumElements,
+			Sets:        pruneCovered(remaining, covered),
+			NumGroups:   in.NumGroups,
+			Budgets:     budgets,
+		}
+		mcg, err := GreedyMCG(sub)
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations = it + 1
+		if mcg.NumCovered == 0 {
+			// Nothing covered this round. Under cumulative budgets a
+			// later round hands out more, so only give up when no
+			// useful set is merely cost-blocked — otherwise the
+			// remaining elements are plain uncoverable.
+			if !anyCostBlocked(sub) {
+				break
+			}
+			continue
+		}
+		for _, i := range mcg.Picked {
+			res.Picked = append(res.Picked, i)
+			res.GroupCost[sub.Sets[i].Group] += sub.Sets[i].Cost
+			for _, e := range sub.Sets[i].Elems {
+				if !res.Covered[e] {
+					res.Covered[e] = true
+					res.NumCovered++
+				}
+				covered.set(e)
+			}
+		}
+		if allCoverableCovered(in, covered) {
+			break
+		}
+	}
+	for _, c := range res.GroupCost {
+		if c > res.MaxGroupCost {
+			res.MaxGroupCost = c
+		}
+	}
+	res.Complete = allCoverableCovered(in, covered)
+	return res, nil
+}
+
+// DefaultSCGIters returns the paper's iteration bound log_{8/7}(n)+1.
+func DefaultSCGIters(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log(float64(n))/math.Log(8.0/7.0))) + 1
+}
+
+// anyCostBlocked reports whether some set still covering elements is
+// unaffordable under its group's current budget — the only situation
+// a later cumulative-budget iteration can unblock.
+func anyCostBlocked(in *Instance) bool {
+	for _, s := range in.Sets {
+		if len(s.Elems) > 0 && s.Cost > in.Budgets[s.Group]+costEps {
+			return true
+		}
+	}
+	return false
+}
+
+// pruneCovered removes already-covered elements from every set. Set
+// indices are preserved so callers can map picks back.
+func pruneCovered(sets []Set, covered bitset) []Set {
+	out := make([]Set, len(sets))
+	for i, s := range sets {
+		ns := Set{Group: s.Group, Cost: s.Cost}
+		for _, e := range s.Elems {
+			if !covered.get(e) {
+				ns.Elems = append(ns.Elems, e)
+			}
+		}
+		out[i] = ns
+	}
+	return out
+}
+
+func allCoverableCovered(in *Instance, covered bitset) bool {
+	for _, s := range in.Sets {
+		for _, e := range s.Elems {
+			if !covered.get(e) {
+				return false
+			}
+		}
+	}
+	return true
+}

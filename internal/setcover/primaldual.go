@@ -1,0 +1,104 @@
+package setcover
+
+// The paper (§6.1) notes that besides the greedy, "the layer
+// algorithm, which is bounded by a constant, can also be used if for
+// any user the number of APs that it can associate with is bounded by
+// a constant". This is the classic primal-dual / layering f-approx
+// for weighted set cover (Vazirani ch. 2 and 13): raise each
+// element's dual price until some covering set goes tight, pick every
+// tight set, and the result costs at most f * OPT, where f is the
+// maximum number of sets any element appears in — in WLAN terms, the
+// maximum number of candidate transmissions covering one user, a
+// small constant in sparse deployments.
+
+// PrimalDualResult extends CoverResult with the dual certificate.
+type PrimalDualResult struct {
+	CoverResult
+	// Prices[e] is element e's dual variable. Their sum lower-bounds
+	// the optimal cover cost (weak duality), giving a per-instance
+	// optimality certificate: TotalCost <= f * sum(Prices).
+	Prices []float64
+	// Frequency is f, the maximum element frequency.
+	Frequency int
+}
+
+// PrimalDualCover runs the primal-dual set-cover algorithm: process
+// elements in index order; for an uncovered element, raise its price
+// by the minimum residual cost among its sets, decreasing every such
+// set's residual; sets with zero residual are picked. Elements no set
+// covers are left uncovered.
+func PrimalDualCover(in *Instance) (*PrimalDualResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	res := &PrimalDualResult{
+		CoverResult: CoverResult{Covered: make([]bool, in.NumElements)},
+		Prices:      make([]float64, in.NumElements),
+	}
+	// setsOf[e] lists the sets covering element e.
+	setsOf := make([][]int, in.NumElements)
+	for j, s := range in.Sets {
+		for _, e := range s.Elems {
+			setsOf[e] = append(setsOf[e], j)
+		}
+	}
+	for _, sets := range setsOf {
+		if len(sets) > res.Frequency {
+			res.Frequency = len(sets)
+		}
+	}
+	residual := make([]float64, len(in.Sets))
+	for j, s := range in.Sets {
+		residual[j] = s.Cost
+	}
+	picked := make([]bool, len(in.Sets))
+	for e := 0; e < in.NumElements; e++ {
+		if res.Covered[e] || len(setsOf[e]) == 0 {
+			continue
+		}
+		// Raise e's price until the cheapest-residual set goes tight.
+		raise := -1.0
+		for _, j := range setsOf[e] {
+			if picked[j] {
+				continue
+			}
+			if raise < 0 || residual[j] < raise {
+				raise = residual[j]
+			}
+		}
+		if raise < 0 {
+			// All covering sets already picked — e is covered;
+			// unreachable because picking marks elements covered.
+			continue
+		}
+		res.Prices[e] = raise
+		for _, j := range setsOf[e] {
+			if picked[j] {
+				continue
+			}
+			residual[j] -= raise
+			if residual[j] <= costEps {
+				picked[j] = true
+				res.Picked = append(res.Picked, j)
+				res.TotalCost += in.Sets[j].Cost
+				for _, e2 := range in.Sets[j].Elems {
+					if !res.Covered[e2] {
+						res.Covered[e2] = true
+						res.NumCovered++
+					}
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// DualLowerBound returns the sum of prices — a lower bound on the
+// optimal (fractional and integral) cover cost by LP weak duality.
+func (r *PrimalDualResult) DualLowerBound() float64 {
+	sum := 0.0
+	for _, p := range r.Prices {
+		sum += p
+	}
+	return sum
+}

@@ -1,0 +1,123 @@
+package setcover
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPrimalDualFigure7(t *testing.T) {
+	res, err := PrimalDualCover(figure7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumCovered != 5 {
+		t.Fatalf("covered %d, want all 5", res.NumCovered)
+	}
+	// f = max element frequency: u3 appears in S1, S2, S5 → 3;
+	// u4 in S4, S6, S7 → 3.
+	if res.Frequency != 3 {
+		t.Errorf("frequency = %d, want 3", res.Frequency)
+	}
+	// Certificate: cost within f * dual lower bound, and the bound is
+	// itself at most the greedy optimum 7/12.
+	lb := res.DualLowerBound()
+	if lb <= 0 {
+		t.Fatal("dual lower bound should be positive")
+	}
+	if lb > 7.0/12.0+1e-9 {
+		t.Errorf("dual bound %v exceeds OPT 7/12", lb)
+	}
+	if res.TotalCost > float64(res.Frequency)*lb+1e-9 {
+		t.Errorf("cost %v exceeds f*dual = %v", res.TotalCost, float64(res.Frequency)*lb)
+	}
+}
+
+func TestPrimalDualUncoverable(t *testing.T) {
+	in := &Instance{
+		NumElements: 3,
+		Sets:        []Set{{Group: NoGroup, Cost: 1, Elems: []int{1}}},
+	}
+	res, err := PrimalDualCover(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumCovered != 1 || res.Covered[0] || !res.Covered[1] {
+		t.Errorf("coverage = %v", res.Covered)
+	}
+}
+
+func TestPrimalDualZeroCost(t *testing.T) {
+	in := &Instance{
+		NumElements: 2,
+		Sets: []Set{
+			{Group: NoGroup, Cost: 0, Elems: []int{0, 1}},
+			{Group: NoGroup, Cost: 5, Elems: []int{0}},
+		},
+	}
+	res, err := PrimalDualCover(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The zero-cost set is immediately tight and covers everything.
+	if res.TotalCost != 0 || res.NumCovered != 2 {
+		t.Errorf("cost %v covered %d, want 0 and 2", res.TotalCost, res.NumCovered)
+	}
+}
+
+func TestPrimalDualGuarantees(t *testing.T) {
+	// Property: on random instances the primal-dual cover (i) covers
+	// every coverable element, (ii) costs at most f * OPT, and (iii)
+	// its dual bound never exceeds OPT (weak duality).
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 60; trial++ {
+		in := randomInstance(rng, 9, 9, 0)
+		res, err := PrimalDualCover(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := ExactMinCover(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumCovered != opt.NumCovered {
+			t.Fatalf("trial %d: covered %d, optimal covers %d", trial, res.NumCovered, opt.NumCovered)
+		}
+		if res.TotalCost > float64(res.Frequency)*opt.TotalCost+1e-9 {
+			t.Fatalf("trial %d: cost %v exceeds f(%d)*OPT(%v)", trial, res.TotalCost, res.Frequency, opt.TotalCost)
+		}
+		if lb := res.DualLowerBound(); lb > opt.TotalCost+1e-9 {
+			t.Fatalf("trial %d: dual bound %v exceeds OPT %v", trial, lb, opt.TotalCost)
+		}
+	}
+}
+
+func TestPrimalDualValidatesInput(t *testing.T) {
+	if _, err := PrimalDualCover(&Instance{NumElements: -1}); err == nil {
+		t.Error("invalid instance should error")
+	}
+}
+
+func TestPrimalDualVsGreedyCost(t *testing.T) {
+	// Not a guarantee, just a sanity expectation: on random instances
+	// neither algorithm should be catastrophically worse than the
+	// other on average.
+	rng := rand.New(rand.NewSource(62))
+	var pdTotal, gTotal float64
+	for trial := 0; trial < 40; trial++ {
+		in := randomInstance(rng, 12, 12, 0)
+		pd, err := PrimalDualCover(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := GreedyCover(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pdTotal += pd.TotalCost
+		gTotal += g.TotalCost
+	}
+	if math.IsNaN(pdTotal) || pdTotal > 5*gTotal {
+		t.Errorf("primal-dual average cost %v implausible vs greedy %v", pdTotal, gTotal)
+	}
+}

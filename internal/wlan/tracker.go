@@ -1,0 +1,219 @@
+package wlan
+
+import (
+	"fmt"
+
+	"wlanmcast/internal/radio"
+)
+
+// Tracker maintains per-AP load incrementally as users associate and
+// disassociate. The distributed algorithms evaluate many hypothetical
+// "what if I joined AP a / left my AP" loads per decision; recomputing
+// from scratch would be O(users) each time, the tracker answers in
+// O(rates) using per-AP per-session rate multisets.
+type Tracker struct {
+	n *Network
+	// counts[ap][session][txRate] = number of associated users of that
+	// session whose multicast transmission rate from ap is txRate.
+	counts []map[int]map[radio.Mbps]int
+	// load[ap] is the cached multicast load of ap.
+	load []float64
+	// total is the cached sum of load.
+	total float64
+	// apOf[u] mirrors the association.
+	apOf []int
+}
+
+// NewTracker builds a tracker over network n starting from association
+// a (which may be nil for the all-unassociated start).
+func NewTracker(n *Network, a *Assoc) (*Tracker, error) {
+	t := &Tracker{
+		n:      n,
+		counts: make([]map[int]map[radio.Mbps]int, n.NumAPs()),
+		load:   make([]float64, n.NumAPs()),
+		apOf:   make([]int, n.NumUsers()),
+	}
+	for ap := range t.counts {
+		t.counts[ap] = make(map[int]map[radio.Mbps]int)
+	}
+	for u := range t.apOf {
+		t.apOf[u] = Unassociated
+	}
+	if a != nil {
+		if a.NumUsers() != n.NumUsers() {
+			return nil, fmt.Errorf("wlan: tracker: association covers %d users, network has %d", a.NumUsers(), n.NumUsers())
+		}
+		for u := 0; u < a.NumUsers(); u++ {
+			if ap := a.APOf(u); ap != Unassociated {
+				if err := t.Associate(u, ap); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// APOf returns the AP user u is currently associated with.
+func (t *Tracker) APOf(u int) int { return t.apOf[u] }
+
+// APLoad returns the current multicast load of ap.
+func (t *Tracker) APLoad(ap int) float64 { return t.load[ap] }
+
+// TotalLoad returns the current total multicast load.
+func (t *Tracker) TotalLoad() float64 { return t.total }
+
+// MaxLoad returns the current maximum AP load.
+func (t *Tracker) MaxLoad() float64 {
+	m := 0.0
+	for _, l := range t.load {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// Assoc materializes the tracked association.
+func (t *Tracker) Assoc() *Assoc {
+	return &Assoc{apOf: append([]int(nil), t.apOf...)}
+}
+
+// sessionMin returns the minimum rate present in a session multiset,
+// or 0 when the multiset is empty.
+func sessionMin(m map[radio.Mbps]int) radio.Mbps {
+	var min radio.Mbps
+	for r, c := range m {
+		if c > 0 && (min == 0 || r < min) {
+			min = r
+		}
+	}
+	return min
+}
+
+// Associate adds user u to AP ap, updating loads incrementally.
+// u must currently be unassociated.
+func (t *Tracker) Associate(u, ap int) error {
+	if t.apOf[u] != Unassociated {
+		return fmt.Errorf("wlan: tracker: user %d already associated with AP %d", u, t.apOf[u])
+	}
+	r, ok := t.n.TxRate(ap, u)
+	if !ok {
+		return fmt.Errorf("wlan: tracker: user %d out of range of AP %d", u, ap)
+	}
+	s := t.n.UserSession(u)
+	ss := t.counts[ap][s]
+	if ss == nil {
+		ss = make(map[radio.Mbps]int)
+		t.counts[ap][s] = ss
+	}
+	old := sessionMin(ss)
+	ss[r]++
+	now := sessionMin(ss)
+	t.bump(ap, s, old, now)
+	t.apOf[u] = ap
+	return nil
+}
+
+// Disassociate removes user u from its AP. u must be associated.
+func (t *Tracker) Disassociate(u int) error {
+	ap := t.apOf[u]
+	if ap == Unassociated {
+		return fmt.Errorf("wlan: tracker: user %d is not associated", u)
+	}
+	r, _ := t.n.TxRate(ap, u)
+	s := t.n.UserSession(u)
+	ss := t.counts[ap][s]
+	old := sessionMin(ss)
+	ss[r]--
+	if ss[r] == 0 {
+		delete(ss, r)
+	}
+	now := sessionMin(ss)
+	t.bump(ap, s, old, now)
+	t.apOf[u] = Unassociated
+	return nil
+}
+
+// Move reassociates user u to AP ap in one step.
+func (t *Tracker) Move(u, ap int) error {
+	if t.apOf[u] == ap {
+		return nil
+	}
+	if t.apOf[u] != Unassociated {
+		if err := t.Disassociate(u); err != nil {
+			return err
+		}
+	}
+	return t.Associate(u, ap)
+}
+
+// bump replaces ap's contribution for session s when the session's
+// minimum rate changes from old to now (either may be 0 = absent).
+func (t *Tracker) bump(ap, s int, old, now radio.Mbps) {
+	delta := 0.0
+	if old > 0 {
+		delta -= t.n.SessionLoad(s, old)
+	}
+	if now > 0 {
+		delta += t.n.SessionLoad(s, now)
+	}
+	t.load[ap] += delta
+	t.total += delta
+}
+
+// LoadIfJoin returns AP ap's load if user u additionally associated
+// with it, and whether the join is possible (in range). u's current
+// association is ignored — callers combine with LoadIfLeave.
+func (t *Tracker) LoadIfJoin(u, ap int) (float64, bool) {
+	r, ok := t.n.TxRate(ap, u)
+	if !ok {
+		return 0, false
+	}
+	s := t.n.UserSession(u)
+	ss := t.counts[ap][s]
+	old := sessionMin(ss)
+	now := old
+	if old == 0 || r < old {
+		now = r
+	}
+	l := t.load[ap]
+	if old > 0 {
+		l -= t.n.SessionLoad(s, old)
+	}
+	l += t.n.SessionLoad(s, now)
+	return l, true
+}
+
+// LoadIfLeave returns the load of u's current AP if u left it. The
+// second result is the AP in question; it is Unassociated when u has
+// no AP (then the first result is 0).
+func (t *Tracker) LoadIfLeave(u int) (float64, int) {
+	ap := t.apOf[u]
+	if ap == Unassociated {
+		return 0, Unassociated
+	}
+	r, _ := t.n.TxRate(ap, u)
+	s := t.n.UserSession(u)
+	ss := t.counts[ap][s]
+	old := sessionMin(ss)
+	// Minimum after removing one copy of r.
+	var now radio.Mbps
+	for rr, c := range ss {
+		cc := c
+		if rr == r {
+			cc--
+		}
+		if cc > 0 && (now == 0 || rr < now) {
+			now = rr
+		}
+	}
+	l := t.load[ap]
+	if old > 0 {
+		l -= t.n.SessionLoad(s, old)
+	}
+	if now > 0 {
+		l += t.n.SessionLoad(s, now)
+	}
+	return l, ap
+}

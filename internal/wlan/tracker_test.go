@@ -1,0 +1,265 @@
+package wlan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wlanmcast/internal/geom"
+	"wlanmcast/internal/radio"
+)
+
+func TestTrackerMatchesRecompute(t *testing.T) {
+	// Property: after any random sequence of associate / disassociate /
+	// move operations, the tracker's cached loads equal a from-scratch
+	// recomputation.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		n := randomNet(t, rng, 6, 25, 3)
+		tr, err := NewTracker(n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 200; step++ {
+			u := rng.Intn(n.NumUsers())
+			nb := n.NeighborAPs(u)
+			if len(nb) == 0 {
+				continue
+			}
+			switch rng.Intn(3) {
+			case 0: // associate somewhere (if free)
+				if tr.APOf(u) == Unassociated {
+					if err := tr.Associate(u, nb[rng.Intn(len(nb))]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 1: // leave
+				if tr.APOf(u) != Unassociated {
+					if err := tr.Disassociate(u); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 2: // move
+				if err := tr.Move(u, nb[rng.Intn(len(nb))]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		a := tr.Assoc()
+		for ap := 0; ap < n.NumAPs(); ap++ {
+			want := n.APLoad(a, ap)
+			if got := tr.APLoad(ap); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: AP %d tracker load %v, recompute %v", trial, ap, got, want)
+			}
+		}
+		if got, want := tr.TotalLoad(), n.TotalLoad(a); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: total %v vs %v", trial, got, want)
+		}
+		if got, want := tr.MaxLoad(), n.MaxLoad(a); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: max %v vs %v", trial, got, want)
+		}
+	}
+}
+
+func TestTrackerWhatIfMatchesApply(t *testing.T) {
+	// Property: LoadIfJoin / LoadIfLeave predictions equal the loads
+	// observed after actually applying the change.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		n := randomNet(t, rng, 5, 20, 2)
+		tr, err := NewTracker(n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random initial association.
+		for u := 0; u < n.NumUsers(); u++ {
+			nb := n.NeighborAPs(u)
+			if len(nb) > 0 && rng.Intn(2) == 0 {
+				if err := tr.Associate(u, nb[rng.Intn(len(nb))]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for u := 0; u < n.NumUsers(); u++ {
+			// Leave prediction.
+			if tr.APOf(u) != Unassociated {
+				pred, ap := tr.LoadIfLeave(u)
+				cp, err := NewTracker(n, tr.Assoc())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := cp.Disassociate(u); err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(cp.APLoad(ap)-pred) > 1e-9 {
+					t.Fatalf("LoadIfLeave(%d) = %v, actual %v", u, pred, cp.APLoad(ap))
+				}
+			}
+			// Join predictions for every neighbor AP.
+			for _, ap := range n.NeighborAPs(u) {
+				if ap == tr.APOf(u) {
+					continue
+				}
+				pred, ok := tr.LoadIfJoin(u, ap)
+				if !ok {
+					t.Fatalf("LoadIfJoin(%d,%d) not ok for a neighbor", u, ap)
+				}
+				cp, err := NewTracker(n, tr.Assoc())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cp.APOf(u) != Unassociated {
+					if err := cp.Disassociate(u); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := cp.Associate(u, ap); err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(cp.APLoad(ap)-pred) > 1e-9 {
+					t.Fatalf("LoadIfJoin(%d,%d) = %v, actual %v", u, ap, pred, cp.APLoad(ap))
+				}
+			}
+		}
+	}
+}
+
+func TestTrackerErrors(t *testing.T) {
+	n := figure1(t, 1, 1)
+	tr, err := NewTracker(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Associate(0, 1); err == nil {
+		t.Error("associating out of range should error")
+	}
+	if err := tr.Disassociate(0); err == nil {
+		t.Error("disassociating a free user should error")
+	}
+	if err := tr.Associate(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Associate(0, 0); err == nil {
+		t.Error("double association should error")
+	}
+	if _, err := NewTracker(n, NewAssoc(2)); err == nil {
+		t.Error("size-mismatched seed association should error")
+	}
+	if l, ap := tr.LoadIfLeave(1); l != 0 || ap != Unassociated {
+		t.Error("LoadIfLeave of free user should be (0, Unassociated)")
+	}
+	if _, ok := tr.LoadIfJoin(0, 1); ok {
+		t.Error("LoadIfJoin out of range should report not ok")
+	}
+}
+
+func TestTrackerSeededFromAssoc(t *testing.T) {
+	n := figure1(t, 1, 1)
+	a := NewAssoc(5)
+	a.Associate(0, 0)
+	a.Associate(2, 1)
+	tr, err := NewTracker(n, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Assoc().Equal(a) {
+		t.Error("tracker does not reproduce the seed association")
+	}
+	if math.Abs(tr.APLoad(0)-n.APLoad(a, 0)) > 1e-12 {
+		t.Error("seeded tracker load mismatch")
+	}
+}
+
+func TestTrackerMoveNoop(t *testing.T) {
+	n := figure1(t, 1, 1)
+	tr, err := NewTracker(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Associate(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := tr.APLoad(0)
+	if err := tr.Move(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.APLoad(0) != before || tr.APOf(2) != 0 {
+		t.Error("Move to the same AP must be a no-op")
+	}
+}
+
+func TestAPLoadMonotoneInUsers(t *testing.T) {
+	// Property: associating one more user with an AP never decreases
+	// that AP's load (the transmission set only grows and per-session
+	// rates only drop).
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 15; trial++ {
+		n := randomNet(t, rng, 6, 25, 3)
+		tr, err := NewTracker(n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < n.NumUsers(); u++ {
+			nb := n.NeighborAPs(u)
+			if len(nb) == 0 {
+				continue
+			}
+			ap := nb[rng.Intn(len(nb))]
+			before := tr.APLoad(ap)
+			if err := tr.Associate(u, ap); err != nil {
+				t.Fatal(err)
+			}
+			if after := tr.APLoad(ap); after < before-1e-12 {
+				t.Fatalf("trial %d: load of AP %d dropped %v -> %v on join", trial, ap, before, after)
+			}
+		}
+	}
+}
+
+func TestLoadVectorSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		n := randomNet(t, rng, 8, 30, 3)
+		a := NewAssoc(n.NumUsers())
+		for u := 0; u < n.NumUsers(); u++ {
+			if nb := n.NeighborAPs(u); len(nb) > 0 {
+				a.Associate(u, nb[rng.Intn(len(nb))])
+			}
+		}
+		v := n.LoadVector(a)
+		if len(v) != n.NumAPs() {
+			t.Fatalf("vector has %d entries for %d APs", len(v), n.NumAPs())
+		}
+		sum := 0.0
+		for i := range v {
+			sum += v[i]
+			if i > 0 && v[i] > v[i-1]+1e-12 {
+				t.Fatalf("vector not non-increasing at %d: %v", i, v)
+			}
+		}
+		if total := n.TotalLoad(a); total < sum-1e-9 || total > sum+1e-9 {
+			t.Fatalf("vector sum %v != total load %v", sum, total)
+		}
+	}
+}
+
+// randomNet builds a random geometric network for property tests.
+func randomNet(t *testing.T, rng *rand.Rand, nAPs, nUsers, nSessions int) *Network {
+	t.Helper()
+	area := geom.Square(500)
+	apPos := geom.UniformPoints(rng, nAPs, area)
+	userPos := geom.UniformPoints(rng, nUsers, area)
+	sessions := make([]Session, nSessions)
+	for s := range sessions {
+		sessions[s] = Session{Rate: 1}
+	}
+	userSession := make([]int, nUsers)
+	for u := range userSession {
+		userSession[u] = rng.Intn(nSessions)
+	}
+	n, err := NewGeometric(area, apPos, userPos, userSession, sessions, radio.Table1(), DefaultBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

@@ -1,0 +1,299 @@
+// Package wlan is the network model of the paper: a set of access
+// points and a set of multicast users in a deployment area, the
+// per-link maximum PHY rates r_{a,u}, the multicast sessions users
+// request, and the resulting per-AP multicast load (Definition 1: the
+// fraction of time an AP spends transmitting multicast flows).
+//
+// Everything the association-control algorithms in internal/core need —
+// neighbor sets, transmission-rate choices, load accounting, budget
+// feasibility — lives here.
+package wlan
+
+import (
+	"fmt"
+
+	"wlanmcast/internal/geom"
+	"wlanmcast/internal/radio"
+)
+
+// Unassociated marks a user that receives no multicast service.
+const Unassociated = -1
+
+// DefaultBudget is the per-AP multicast load limit used throughout the
+// paper's evaluation (§7).
+const DefaultBudget = 0.9
+
+// Session is one multicast stream (a TV channel, a radio channel, ...).
+type Session struct {
+	// ID is the session's index in Network.Sessions.
+	ID int `json:"id"`
+	// Rate is the stream bitrate in Mbps.
+	Rate radio.Mbps `json:"rate"`
+	// Name is an optional human-readable label.
+	Name string `json:"name,omitempty"`
+}
+
+// AP is one access point.
+type AP struct {
+	// ID is the AP's index in Network.APs.
+	ID int `json:"id"`
+	// Pos is the AP location; meaningful only for geometric networks.
+	Pos geom.Point `json:"pos"`
+	// Budget is the maximum multicast load this AP may carry.
+	Budget float64 `json:"budget"`
+}
+
+// User is one multicast user. Per the paper each user requests exactly
+// one multicast session at a time (§3.1).
+type User struct {
+	// ID is the user's index in Network.Users.
+	ID int `json:"id"`
+	// Pos is the user location; meaningful only for geometric networks.
+	Pos geom.Point `json:"pos"`
+	// Session is the index of the requested session.
+	Session int `json:"session"`
+}
+
+// Network is an immutable WLAN instance. Build one with NewGeometric
+// (positions + rate table, as in the paper's simulations) or
+// NewFromRates (an explicit rate matrix, as in the paper's worked
+// examples). Association state lives outside in Assoc values.
+type Network struct {
+	// Area is the deployment area (zero value for explicit-rate nets).
+	Area geom.Rect
+	// APs, Users, Sessions are the model entities; IDs equal indices.
+	APs      []AP
+	Users    []User
+	Sessions []Session
+
+	// BasicRateOnly restricts every multicast transmission to the
+	// lowest rate, as the unmodified 802.11 standard does. The
+	// problems stay NP-hard (§3.1) and all algorithms keep working.
+	BasicRateOnly bool
+
+	// Load converts a (stream rate, PHY rate) pair into channel load.
+	// Defaults to the paper's ratio model.
+	Load LoadModel
+
+	// geometric records whether positions are meaningful (NewGeometric)
+	// or the network came from an explicit rate matrix.
+	geometric bool
+	// rates[a][u] is the maximum PHY rate from AP a to user u,
+	// 0 when out of range.
+	rates [][]radio.Mbps
+	// rateSet is the ascending list of distinct nonzero rates.
+	rateSet []radio.Mbps
+	// basicRate is the lowest rate of the rate set.
+	basicRate radio.Mbps
+	// neighborAPs[u] lists the APs in range of user u, ascending.
+	neighborAPs [][]int
+	// coverage[a] lists the users in range of AP a, ascending.
+	coverage [][]int
+}
+
+// NewGeometric builds a network from node positions using the given
+// rate-vs-distance table (the paper's Table 1 via radio.Table1).
+// budget applies to every AP; sessions[u.Session] must exist.
+func NewGeometric(area geom.Rect, apPos, userPos []geom.Point, userSession []int, sessions []Session, table *radio.RateTable, budget float64) (*Network, error) {
+	if table == nil {
+		return nil, fmt.Errorf("wlan: nil rate table")
+	}
+	if len(userPos) != len(userSession) {
+		return nil, fmt.Errorf("wlan: %d user positions but %d session choices", len(userPos), len(userSession))
+	}
+	rates := make([][]radio.Mbps, len(apPos))
+	for a := range apPos {
+		row := make([]radio.Mbps, len(userPos))
+		for u := range userPos {
+			if r, ok := table.RateFor(apPos[a].Dist(userPos[u])); ok {
+				row[u] = r
+			}
+		}
+		rates[a] = row
+	}
+	aps := make([]AP, len(apPos))
+	for a := range aps {
+		aps[a] = AP{ID: a, Pos: apPos[a], Budget: budget}
+	}
+	users := make([]User, len(userPos))
+	for u := range users {
+		users[u] = User{ID: u, Pos: userPos[u], Session: userSession[u]}
+	}
+	n := &Network{Area: area, APs: aps, Users: users, Sessions: sessions, Load: RatioLoad{}, geometric: true, rates: rates}
+	if err := n.finish(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// NewFromRates builds a network from an explicit rate matrix
+// rates[a][u] in Mbps with 0 meaning "out of range". It is how the
+// paper's Figure 1 and Figure 4 examples are expressed.
+func NewFromRates(rates [][]radio.Mbps, userSession []int, sessions []Session, budget float64) (*Network, error) {
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("wlan: need at least one AP")
+	}
+	nUsers := len(rates[0])
+	cp := make([][]radio.Mbps, len(rates))
+	for a, row := range rates {
+		if len(row) != nUsers {
+			return nil, fmt.Errorf("wlan: rate row %d has %d entries, want %d", a, len(row), nUsers)
+		}
+		cp[a] = append([]radio.Mbps(nil), row...)
+	}
+	if len(userSession) != nUsers {
+		return nil, fmt.Errorf("wlan: %d users but %d session choices", nUsers, len(userSession))
+	}
+	aps := make([]AP, len(rates))
+	for a := range aps {
+		aps[a] = AP{ID: a, Budget: budget}
+	}
+	users := make([]User, nUsers)
+	for u := range users {
+		users[u] = User{ID: u, Session: userSession[u]}
+	}
+	n := &Network{APs: aps, Users: users, Sessions: sessions, Load: RatioLoad{}, rates: cp}
+	if err := n.finish(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// finish validates entities and derives the neighbor and coverage
+// indices and the rate set.
+func (n *Network) finish() error {
+	if len(n.Sessions) == 0 {
+		return fmt.Errorf("wlan: need at least one session")
+	}
+	for i, s := range n.Sessions {
+		if s.ID != 0 && s.ID != i {
+			return fmt.Errorf("wlan: session %d has ID %d", i, s.ID)
+		}
+		n.Sessions[i].ID = i
+		if s.Rate <= 0 {
+			return fmt.Errorf("wlan: session %d has non-positive rate %v", i, s.Rate)
+		}
+	}
+	for a := range n.APs {
+		if n.APs[a].Budget < 0 {
+			return fmt.Errorf("wlan: AP %d has negative budget %v", a, n.APs[a].Budget)
+		}
+	}
+	for u, usr := range n.Users {
+		if usr.Session < 0 || usr.Session >= len(n.Sessions) {
+			return fmt.Errorf("wlan: user %d requests unknown session %d", u, usr.Session)
+		}
+	}
+	seen := make(map[radio.Mbps]bool)
+	n.neighborAPs = make([][]int, len(n.Users))
+	n.coverage = make([][]int, len(n.APs))
+	for a := range n.rates {
+		for u, r := range n.rates[a] {
+			if r < 0 {
+				return fmt.Errorf("wlan: negative rate %v for AP %d user %d", r, a, u)
+			}
+			if r > 0 {
+				n.neighborAPs[u] = append(n.neighborAPs[u], a)
+				n.coverage[a] = append(n.coverage[a], u)
+				if !seen[r] {
+					seen[r] = true
+					n.rateSet = append(n.rateSet, r)
+				}
+			}
+		}
+	}
+	sortRates(n.rateSet)
+	if len(n.rateSet) > 0 {
+		n.basicRate = n.rateSet[0]
+	}
+	return nil
+}
+
+func sortRates(rs []radio.Mbps) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j] < rs[j-1]; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// NumAPs returns the AP count.
+func (n *Network) NumAPs() int { return len(n.APs) }
+
+// NumUsers returns the user count.
+func (n *Network) NumUsers() int { return len(n.Users) }
+
+// NumSessions returns the session count.
+func (n *Network) NumSessions() int { return len(n.Sessions) }
+
+// LinkRate returns the maximum PHY rate from AP a to user u (0 when out
+// of range). This is r_{a,u} of the paper.
+func (n *Network) LinkRate(a, u int) radio.Mbps { return n.rates[a][u] }
+
+// Reachable reports whether user u is in range of AP a.
+func (n *Network) Reachable(a, u int) bool { return n.rates[a][u] > 0 }
+
+// TxRate returns the PHY rate AP a would use toward user u for
+// multicast: the link rate normally, the basic rate in basic-rate-only
+// mode. The second result is false when u is out of range.
+func (n *Network) TxRate(a, u int) (radio.Mbps, bool) {
+	r := n.rates[a][u]
+	if r == 0 {
+		return 0, false
+	}
+	if n.BasicRateOnly {
+		return n.basicRate, true
+	}
+	return r, true
+}
+
+// RateSet returns the distinct usable rates in ascending order. In
+// basic-rate-only mode that is just the basic rate. The slice is a copy.
+func (n *Network) RateSet() []radio.Mbps {
+	if n.BasicRateOnly {
+		if n.basicRate == 0 {
+			return nil
+		}
+		return []radio.Mbps{n.basicRate}
+	}
+	return append([]radio.Mbps(nil), n.rateSet...)
+}
+
+// BasicRate returns the lowest usable rate (0 if no link exists at all).
+func (n *Network) BasicRate() radio.Mbps { return n.basicRate }
+
+// NeighborAPs returns the APs within range of user u, ascending by ID.
+// The slice is shared; callers must not modify it.
+func (n *Network) NeighborAPs(u int) []int { return n.neighborAPs[u] }
+
+// Coverage returns the users within range of AP a, ascending by ID.
+// The slice is shared; callers must not modify it.
+func (n *Network) Coverage(a int) []int { return n.coverage[a] }
+
+// SessionRate returns the stream bitrate of session s.
+func (n *Network) SessionRate(s int) radio.Mbps { return n.Sessions[s].Rate }
+
+// UserSession returns the session requested by user u.
+func (n *Network) UserSession(u int) int { return n.Users[u].Session }
+
+// Coverable reports whether at least one AP can reach user u.
+func (n *Network) Coverable(u int) bool { return len(n.neighborAPs[u]) > 0 }
+
+// Geometric reports whether node positions are meaningful (the network
+// was built from geometry rather than an explicit rate matrix).
+func (n *Network) Geometric() bool { return n.geometric }
+
+// Distance returns the AP-user distance in meters for geometric
+// networks (0 otherwise).
+func (n *Network) Distance(a, u int) float64 {
+	if !n.geometric {
+		return 0
+	}
+	return n.APs[a].Pos.Dist(n.Users[u].Pos)
+}
+
+// SessionLoad returns the load AP a incurs by serving session s at PHY
+// rate txRate, under the network's load model.
+func (n *Network) SessionLoad(s int, txRate radio.Mbps) float64 {
+	return n.Load.SessionLoad(n.Sessions[s].Rate, txRate)
+}

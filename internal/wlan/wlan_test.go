@@ -1,0 +1,396 @@
+package wlan
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"wlanmcast/internal/geom"
+	"wlanmcast/internal/radio"
+)
+
+// figure1 builds the paper's Figure 1 example network with the given
+// session rates. Users u1,u3 request s1; u2,u4,u5 request s2. Indices
+// here are zero-based (paper's u1 = user 0, a1 = AP 0).
+func figure1(t *testing.T, s1Rate, s2Rate radio.Mbps) *Network {
+	t.Helper()
+	rates := [][]radio.Mbps{
+		{3, 6, 4, 4, 4}, // a1
+		{0, 0, 5, 5, 3}, // a2
+	}
+	sessions := []Session{{Rate: s1Rate, Name: "s1"}, {Rate: s2Rate, Name: "s2"}}
+	userSession := []int{0, 1, 0, 1, 1}
+	n, err := NewFromRates(rates, userSession, sessions, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestFigure1Construction(t *testing.T) {
+	n := figure1(t, 1, 1)
+	if n.NumAPs() != 2 || n.NumUsers() != 5 || n.NumSessions() != 2 {
+		t.Fatalf("sizes = %d APs, %d users, %d sessions", n.NumAPs(), n.NumUsers(), n.NumSessions())
+	}
+	if !n.Reachable(0, 0) || n.Reachable(1, 0) || n.Reachable(1, 1) {
+		t.Error("reachability mismatch with Figure 1")
+	}
+	if got := n.NeighborAPs(2); len(got) != 2 {
+		t.Errorf("u3 neighbors = %v, want both APs", got)
+	}
+	if got := n.NeighborAPs(0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("u1 neighbors = %v, want [0]", got)
+	}
+	if got := n.Coverage(1); len(got) != 3 {
+		t.Errorf("a2 coverage = %v, want 3 users", got)
+	}
+	rs := n.RateSet()
+	want := []radio.Mbps{3, 4, 5, 6}
+	if len(rs) != len(want) {
+		t.Fatalf("rate set = %v, want %v", rs, want)
+	}
+	for i := range want {
+		if rs[i] != want[i] {
+			t.Fatalf("rate set = %v, want %v", rs, want)
+		}
+	}
+	if n.BasicRate() != 3 {
+		t.Errorf("basic rate = %v, want 3", n.BasicRate())
+	}
+}
+
+func TestFigure1MLAOptimalLoad(t *testing.T) {
+	// Paper §3.2: with both sessions at 1 Mbps, all users on a1 gives
+	// total load 1/3 + 1/4 = 7/12 (the MLA optimum).
+	n := figure1(t, 1, 1)
+	a := NewAssoc(5)
+	for u := 0; u < 5; u++ {
+		a.Associate(u, 0)
+	}
+	if got, want := n.APLoad(a, 0), 7.0/12.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("a1 load = %v, want %v", got, want)
+	}
+	if got := n.APLoad(a, 1); got != 0 {
+		t.Errorf("a2 load = %v, want 0", got)
+	}
+	if got, want := n.TotalLoad(a), 7.0/12.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("total load = %v, want %v", got, want)
+	}
+}
+
+func TestFigure1BLAOptimalLoad(t *testing.T) {
+	// Paper §3.2: u1,u2,u3 on a1 (load 1/3+1/6=1/2), u4,u5 on a2
+	// (min rate 3 → load 1/3) is the BLA optimum.
+	n := figure1(t, 1, 1)
+	a := NewAssoc(5)
+	a.Associate(0, 0)
+	a.Associate(1, 0)
+	a.Associate(2, 0)
+	a.Associate(3, 1)
+	a.Associate(4, 1)
+	if got := n.APLoad(a, 0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("a1 load = %v, want 1/2", got)
+	}
+	if got := n.APLoad(a, 1); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("a2 load = %v, want 1/3", got)
+	}
+	if got := n.MaxLoad(a); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("max load = %v, want 1/2", got)
+	}
+	lv := n.LoadVector(a)
+	if len(lv) != 2 || lv[0] < lv[1] {
+		t.Errorf("load vector %v not non-increasing", lv)
+	}
+}
+
+func TestFigure1MNUInfeasibility(t *testing.T) {
+	// Paper §3.2: with both sessions at 3 Mbps, u1 and u2 together on
+	// a1 load it to 3/3 + 3/6 = 1.5 > 1, so not all users fit.
+	n := figure1(t, 3, 3)
+	a := NewAssoc(5)
+	a.Associate(0, 0)
+	a.Associate(1, 0)
+	if got := n.APLoad(a, 0); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("a1 load = %v, want 1.5", got)
+	}
+	if err := n.Validate(a, true); err == nil {
+		t.Error("budget violation not detected")
+	}
+	// The paper's optimal MNU: u2,u4,u5 on a1 (3/4), u3 on a2 (3/5).
+	opt := NewAssoc(5)
+	opt.Associate(1, 0)
+	opt.Associate(3, 0)
+	opt.Associate(4, 0)
+	opt.Associate(2, 1)
+	if err := n.Validate(opt, true); err != nil {
+		t.Errorf("paper's optimal MNU association invalid: %v", err)
+	}
+	if got := n.APLoad(opt, 0); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("a1 load = %v, want 3/4", got)
+	}
+	if got := n.APLoad(opt, 1); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("a2 load = %v, want 3/5", got)
+	}
+	if opt.SatisfiedCount() != 4 {
+		t.Errorf("satisfied = %d, want 4", opt.SatisfiedCount())
+	}
+}
+
+func TestBasicRateOnlyMode(t *testing.T) {
+	n := figure1(t, 1, 1)
+	n.BasicRateOnly = true
+	if r, ok := n.TxRate(0, 1); !ok || r != 3 {
+		t.Errorf("TxRate in basic mode = %v, want basic rate 3", r)
+	}
+	rs := n.RateSet()
+	if len(rs) != 1 || rs[0] != 3 {
+		t.Errorf("RateSet in basic mode = %v, want [3]", rs)
+	}
+	a := NewAssoc(5)
+	for u := 0; u < 5; u++ {
+		a.Associate(u, 0)
+	}
+	// Both sessions at basic rate 3: load = 1/3 + 1/3.
+	if got, want := n.APLoad(a, 0), 2.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("basic-rate load = %v, want %v", got, want)
+	}
+}
+
+func TestNewFromRatesErrors(t *testing.T) {
+	sessions := []Session{{Rate: 1}}
+	tests := []struct {
+		name    string
+		rates   [][]radio.Mbps
+		userSes []int
+		ses     []Session
+		budget  float64
+		wantSub string
+	}{
+		{"no APs", nil, nil, sessions, 1, "at least one AP"},
+		{"ragged rows", [][]radio.Mbps{{1, 2}, {1}}, []int{0, 0}, sessions, 1, "entries"},
+		{"session count mismatch", [][]radio.Mbps{{1, 2}}, []int{0}, sessions, 1, "session choices"},
+		{"no sessions", [][]radio.Mbps{{1}}, []int{0}, nil, 1, "at least one session"},
+		{"bad session index", [][]radio.Mbps{{1}}, []int{3}, sessions, 1, "unknown session"},
+		{"negative rate", [][]radio.Mbps{{-1}}, []int{0}, sessions, 1, "negative rate"},
+		{"zero session rate", [][]radio.Mbps{{1}}, []int{0}, []Session{{Rate: 0}}, 1, "non-positive rate"},
+		{"negative budget", [][]radio.Mbps{{1}}, []int{0}, sessions, -1, "negative budget"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewFromRates(tt.rates, tt.userSes, tt.ses, tt.budget)
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestNewGeometric(t *testing.T) {
+	area := geom.Square(400)
+	apPos := []geom.Point{{X: 100, Y: 100}, {X: 300, Y: 100}}
+	userPos := []geom.Point{
+		{X: 110, Y: 100}, // 10m from a1 → 54
+		{X: 100, Y: 200}, // 100m from a1 → 18, ~224m from a2 → out
+		{X: 200, Y: 100}, // 100m from both → 18/18
+		{X: 300, Y: 140}, // 40m from a2 → 48
+	}
+	sessions := []Session{{Rate: 1}}
+	n, err := NewGeometric(area, apPos, userPos, []int{0, 0, 0, 0}, sessions, radio.Table1(), DefaultBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		a, u int
+		want radio.Mbps
+	}{
+		{0, 0, 54}, {0, 1, 18}, {0, 2, 18}, {0, 3, 0}, // u3 is ~204m from a1: out of range
+		{1, 0, 6}, {1, 1, 0}, {1, 2, 18}, {1, 3, 48},
+	}
+	for _, tt := range tests {
+		if got := n.LinkRate(tt.a, tt.u); got != tt.want {
+			t.Errorf("LinkRate(%d,%d) = %v, want %v", tt.a, tt.u, got, tt.want)
+		}
+	}
+	if n.APs[0].Budget != DefaultBudget {
+		t.Errorf("AP budget = %v, want %v", n.APs[0].Budget, DefaultBudget)
+	}
+}
+
+func TestNewGeometricErrors(t *testing.T) {
+	if _, err := NewGeometric(geom.Square(10), nil, nil, nil, []Session{{Rate: 1}}, nil, 0.9); err == nil {
+		t.Error("nil rate table should error")
+	}
+	if _, err := NewGeometric(geom.Square(10), nil, make([]geom.Point, 2), []int{0}, []Session{{Rate: 1}}, radio.Table1(), 0.9); err == nil {
+		t.Error("mismatched user/session lengths should error")
+	}
+}
+
+func TestCompareLoadVectors(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		want int
+	}{
+		{"equal", []float64{0.5, 0.2}, []float64{0.5, 0.2}, 0},
+		{"first smaller", []float64{0.4, 0.9}, []float64{0.5, 0.0}, -1},
+		{"first larger", []float64{0.6, 0.0}, []float64{0.5, 0.9}, 1},
+		{"tie then smaller", []float64{0.5, 0.1}, []float64{0.5, 0.2}, -1},
+		{"within epsilon", []float64{0.5 + 1e-15}, []float64{0.5}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := CompareLoadVectors(tt.a, tt.b); got != tt.want {
+				t.Errorf("CompareLoadVectors(%v,%v) = %d, want %d", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCompareLoadVectorsIsTotalPreorder(t *testing.T) {
+	// Property: the footnote-5 comparison is antisymmetric and
+	// transitive over random sorted vectors.
+	gen := func(rng *rand.Rand) []float64 {
+		v := make([]float64, 4)
+		for i := range v {
+			v[i] = math.Round(rng.Float64()*4) / 4 // coarse grid → many ties
+		}
+		sortDesc(v)
+		return v
+	}
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 300; trial++ {
+		a, b, c := gen(rng), gen(rng), gen(rng)
+		if CompareLoadVectors(a, b) != -CompareLoadVectors(b, a) {
+			t.Fatalf("antisymmetry violated: %v vs %v", a, b)
+		}
+		if CompareLoadVectors(a, a) != 0 {
+			t.Fatalf("reflexivity violated: %v", a)
+		}
+		if CompareLoadVectors(a, b) <= 0 && CompareLoadVectors(b, c) <= 0 && CompareLoadVectors(a, c) > 0 {
+			t.Fatalf("transitivity violated: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestAssocBasics(t *testing.T) {
+	a := NewAssoc(3)
+	if a.SatisfiedCount() != 0 {
+		t.Error("new assoc should have no satisfied users")
+	}
+	a.Associate(1, 7)
+	if a.APOf(1) != 7 || a.APOf(0) != Unassociated {
+		t.Error("Associate/APOf mismatch")
+	}
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone should equal original")
+	}
+	b.Associate(0, 2)
+	if a.Equal(b) || a.APOf(0) != Unassociated {
+		t.Error("clone must be independent")
+	}
+	if a.Equal(NewAssoc(2)) {
+		t.Error("different sizes should not be equal")
+	}
+}
+
+func TestAssocJSONRoundTrip(t *testing.T) {
+	a := NewAssoc(4)
+	a.Associate(0, 2)
+	a.Associate(3, 0)
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[2,-1,-1,0]" {
+		t.Errorf("encoded = %s", data)
+	}
+	var b Assoc
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(&b) {
+		t.Error("round trip changed the association")
+	}
+	if err := json.Unmarshal([]byte("[-5]"), &b); err == nil {
+		t.Error("invalid AP index should be rejected")
+	}
+	if err := json.Unmarshal([]byte(`"x"`), &b); err == nil {
+		t.Error("non-array should be rejected")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	n := figure1(t, 1, 1)
+	a := NewAssoc(5)
+	a.Associate(0, 1) // u1 cannot reach a2
+	if err := n.Validate(a, false); err == nil {
+		t.Error("out-of-range association not detected")
+	}
+	a.Associate(0, 5)
+	if err := n.Validate(a, false); err == nil {
+		t.Error("unknown AP not detected")
+	}
+	if err := n.Validate(NewAssoc(3), false); err == nil {
+		t.Error("size mismatch not detected")
+	}
+	ok := NewAssoc(5)
+	ok.Associate(0, 0)
+	if err := n.Validate(ok, true); err != nil {
+		t.Errorf("valid association rejected: %v", err)
+	}
+}
+
+func TestFullyAssociated(t *testing.T) {
+	n := figure1(t, 1, 1)
+	a := NewAssoc(5)
+	if n.FullyAssociated(a) {
+		t.Error("empty association cannot be full")
+	}
+	for u := 0; u < 5; u++ {
+		a.Associate(u, n.NeighborAPs(u)[0])
+	}
+	if !n.FullyAssociated(a) {
+		t.Error("all users associated but FullyAssociated is false")
+	}
+}
+
+func TestUncoverableUserIgnoredByFullyAssociated(t *testing.T) {
+	// A user out of everyone's range must not make full association
+	// impossible.
+	rates := [][]radio.Mbps{{6, 0}}
+	n, err := NewFromRates(rates, []int{0, 0}, []Session{{Rate: 1}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Coverable(1) {
+		t.Error("user 1 should be uncoverable")
+	}
+	a := NewAssoc(2)
+	a.Associate(0, 0)
+	if !n.FullyAssociated(a) {
+		t.Error("uncoverable user should not block full association")
+	}
+}
+
+func TestAirtimeLoadModel(t *testing.T) {
+	n := figure1(t, 1, 1)
+	n.Load = AirtimeLoad{Model: radio.Default80211a(), PayloadBytes: 1472}
+	a := NewAssoc(5)
+	for u := 0; u < 5; u++ {
+		a.Associate(u, 0)
+	}
+	ratio := 1.0/3.0 + 1.0/4.0
+	got := n.APLoad(a, 0)
+	if got <= ratio {
+		t.Errorf("airtime load %v should exceed ratio-model load %v", got, ratio)
+	}
+	if got > 2*ratio {
+		t.Errorf("airtime load %v implausibly high vs ratio %v", got, ratio)
+	}
+}
