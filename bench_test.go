@@ -7,6 +7,7 @@ package wlanmcast_test
 // full-fidelity sweeps.
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -32,7 +33,7 @@ func benchCfg() experiments.Config {
 
 func BenchmarkFig9a(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig9a(benchCfg()); err != nil {
+		if _, err := experiments.Fig9a(context.Background(), benchCfg()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -40,7 +41,7 @@ func BenchmarkFig9a(b *testing.B) {
 
 func BenchmarkFig9b(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig9b(benchCfg()); err != nil {
+		if _, err := experiments.Fig9b(context.Background(), benchCfg()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -48,7 +49,7 @@ func BenchmarkFig9b(b *testing.B) {
 
 func BenchmarkFig9c(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig9c(benchCfg()); err != nil {
+		if _, err := experiments.Fig9c(context.Background(), benchCfg()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -56,7 +57,7 @@ func BenchmarkFig9c(b *testing.B) {
 
 func BenchmarkFig10a(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig10a(benchCfg()); err != nil {
+		if _, err := experiments.Fig10a(context.Background(), benchCfg()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -64,7 +65,7 @@ func BenchmarkFig10a(b *testing.B) {
 
 func BenchmarkFig10b(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig10b(benchCfg()); err != nil {
+		if _, err := experiments.Fig10b(context.Background(), benchCfg()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -72,7 +73,7 @@ func BenchmarkFig10b(b *testing.B) {
 
 func BenchmarkFig10c(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig10c(benchCfg()); err != nil {
+		if _, err := experiments.Fig10c(context.Background(), benchCfg()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -80,7 +81,7 @@ func BenchmarkFig10c(b *testing.B) {
 
 func BenchmarkFig11(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig11(benchCfg()); err != nil {
+		if _, err := experiments.Fig11(context.Background(), benchCfg()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -88,7 +89,7 @@ func BenchmarkFig11(b *testing.B) {
 
 func BenchmarkFig12a(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig12a(benchCfg()); err != nil {
+		if _, err := experiments.Fig12a(context.Background(), benchCfg()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -96,7 +97,7 @@ func BenchmarkFig12a(b *testing.B) {
 
 func BenchmarkFig12b(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig12b(benchCfg()); err != nil {
+		if _, err := experiments.Fig12b(context.Background(), benchCfg()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -104,11 +105,32 @@ func BenchmarkFig12b(b *testing.B) {
 
 func BenchmarkFig12c(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig12c(benchCfg()); err != nil {
+		if _, err := experiments.Fig12c(context.Background(), benchCfg()); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+// --- runner benches: sequential vs parallel sweep ---
+// The pair measures the internal/runner worker pool on a fig9-class
+// sweep. On a multi-core machine BenchmarkSweepParallel4 should run
+// close to min(4, GOMAXPROCS)x faster than BenchmarkSweepSequential;
+// on a single core they tie (see EXPERIMENTS.md).
+
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	cfg := experiments.Config{Seeds: 8, SizeFactor: 0.25, Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9a(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 1) }
+
+func BenchmarkSweepParallel4(b *testing.B) { benchSweep(b, 4) }
 
 // BenchmarkRateLookup covers Table 1: the rate-vs-distance lookup on
 // the paper's 802.11a table.

@@ -5,89 +5,167 @@
 //
 // Usage:
 //
-//	assocd -objective bla [-locks] [-jitter 200ms] [-aps N] [-users N]
+//	assocd -objective bla [-locks] [-jitter 200ms] [-aps N] [-users N] [-runs N] [-parallel W]
+//
+// With -runs N > 1 the simulation repeats over N consecutive seeds
+// (seed, seed+1, ...) fanned out over the shared experiment runner
+// (-parallel workers, 0 = all CPUs), and a convergence/signaling
+// summary over the batch is reported; Ctrl-C cancels the batch.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"wlanmcast/internal/core"
 	"wlanmcast/internal/netsim"
+	"wlanmcast/internal/runner"
 	"wlanmcast/internal/scenario"
 	"wlanmcast/internal/wlan"
 )
 
 func main() {
-	os.Exit(run())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	fs := flag.NewFlagSet("assocd", flag.ExitOnError)
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("assocd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	objective := fs.String("objective", "mla", "objective: mnu, bla, mla")
 	scenarioPath := fs.String("scenario", "", "scenario JSON; empty generates one")
 	aps := fs.Int("aps", 100, "APs for generated scenarios")
 	users := fs.Int("users", 200, "users for generated scenarios")
 	sessions := fs.Int("sessions", 5, "multicast sessions")
-	seed := fs.Int64("seed", 1, "scenario + protocol seed")
+	seed := fs.Int64("seed", 1, "scenario + protocol seed (first of the batch with -runs)")
 	jitter := fs.Duration("jitter", 200*time.Millisecond, "decision jitter (0 = simultaneous decisions)")
 	interval := fs.Duration("interval", time.Second, "query interval")
 	maxTime := fs.Duration("max-time", 120*time.Second, "virtual time limit")
 	locks := fs.Bool("locks", false, "enable the lock-coordination extension (paper §8)")
-	fs.Parse(os.Args[1:])
+	runs := fs.Int("runs", 1, "number of consecutive seeds to simulate")
+	parallel := fs.Int("parallel", 0, "concurrent runs with -runs (0 = all CPUs)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	obj, err := objectiveByName(*objective)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "assocd: %v\n", err)
+		fmt.Fprintf(stderr, "assocd: %v\n", err)
 		return 2
 	}
-	n, err := loadNetwork(*scenarioPath, scenario.Params{
-		NumAPs:      *aps,
-		NumUsers:    *users,
-		NumSessions: *sessions,
-		Seed:        *seed,
+	if *runs < 1 {
+		fmt.Fprintf(stderr, "assocd: -runs must be >= 1\n")
+		return 2
+	}
+
+	simulate := func(ctx context.Context, s int64) (*netsim.Result, *wlan.Network, error) {
+		n, err := loadNetwork(*scenarioPath, scenario.Params{
+			NumAPs:      *aps,
+			NumUsers:    *users,
+			NumSessions: *sessions,
+			Seed:        s,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		res, err := netsim.Run(netsim.Options{
+			Network:       n,
+			Objective:     obj,
+			EnforceBudget: obj == core.ObjMNU,
+			QueryInterval: *interval,
+			Jitter:        *jitter,
+			UseLocks:      *locks,
+			MaxTime:       *maxTime,
+			Seed:          s,
+		})
+		return res, n, err
+	}
+
+	if *runs == 1 {
+		res, n, err := simulate(ctx, *seed)
+		if err != nil {
+			fmt.Fprintf(stderr, "assocd: %v\n", err)
+			return 1
+		}
+		reportSingle(stdout, n, res, obj, *jitter, *locks, *maxTime)
+		return 0
+	}
+
+	type outcome struct {
+		res *netsim.Result
+		n   *wlan.Network
+	}
+	outs, err := runner.Map(ctx, runner.Options{
+		Workers: *parallel,
+		OnProgress: func(ev runner.Event) {
+			fmt.Fprintf(stderr, "# %d/%d runs done (%.1f runs/s)\n", ev.DoneTasks, ev.Tasks, ev.TasksPerSec)
+		},
+	}, 1, *runs, func(ctx context.Context, _, i int) (outcome, error) {
+		res, n, err := simulate(ctx, *seed+int64(i))
+		return outcome{res, n}, err
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "assocd: %v\n", err)
+		fmt.Fprintf(stderr, "assocd: %v\n", err)
 		return 1
 	}
 
-	res, err := netsim.Run(netsim.Options{
-		Network:       n,
-		Objective:     obj,
-		EnforceBudget: obj == core.ObjMNU,
-		QueryInterval: *interval,
-		Jitter:        *jitter,
-		UseLocks:      *locks,
-		MaxTime:       *maxTime,
-		Seed:          *seed,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "assocd: %v\n", err)
-		return 1
+	batch := outs[0]
+	var (
+		converged int
+		msgs      int
+		moves     int
+		totalLoad float64
+		maxLoad   float64
+	)
+	for _, o := range batch {
+		if o.res.Converged {
+			converged++
+		}
+		msgs += o.res.Stats.Messages()
+		moves += o.res.Stats.Moves
+		totalLoad += o.n.TotalLoad(o.res.Assoc)
+		if l := o.n.MaxLoad(o.res.Assoc); l > maxLoad {
+			maxLoad = l
+		}
 	}
+	nRuns := float64(len(batch))
+	fmt.Fprintf(stdout, "batch: %d runs, seeds %d..%d\n", len(batch), *seed, *seed+int64(len(batch))-1)
+	fmt.Fprintf(stdout, "objective %s, jitter %v, locks %v\n", obj, *jitter, *locks)
+	fmt.Fprintf(stdout, "converged %d/%d\n", converged, len(batch))
+	fmt.Fprintf(stdout, "mean signaling %.1f msgs/run, mean moves %.1f/run\n", float64(msgs)/nRuns, float64(moves)/nRuns)
+	fmt.Fprintf(stdout, "mean total load %.4f, worst max load %.4f\n", totalLoad/nRuns, maxLoad)
+	return 0
+}
 
-	fmt.Printf("network: %d APs, %d users, %d sessions\n", n.NumAPs(), n.NumUsers(), n.NumSessions())
-	fmt.Printf("objective %s, jitter %v, locks %v\n", obj, *jitter, *locks)
+func reportSingle(w io.Writer, n *wlan.Network, res *netsim.Result, obj core.Objective, jitter time.Duration, locks bool, maxTime time.Duration) {
+	fmt.Fprintf(w, "network: %d APs, %d users, %d sessions\n", n.NumAPs(), n.NumUsers(), n.NumSessions())
+	fmt.Fprintf(w, "objective %s, jitter %v, locks %v\n", obj, jitter, locks)
 	if res.Converged {
-		fmt.Printf("converged at %v (last move)\n", res.ConvergedAt.Round(time.Millisecond))
+		fmt.Fprintf(w, "converged at %v (last move)\n", res.ConvergedAt.Round(time.Millisecond))
 	} else {
-		fmt.Printf("NOT converged within %v\n", *maxTime)
+		fmt.Fprintf(w, "NOT converged within %v\n", maxTime)
 	}
-	fmt.Printf("satisfied %d/%d  total load %.4f  max load %.4f\n",
+	fmt.Fprintf(w, "satisfied %d/%d  total load %.4f  max load %.4f\n",
 		res.Assoc.SatisfiedCount(), n.NumUsers(), n.TotalLoad(res.Assoc), n.MaxLoad(res.Assoc))
 	st := res.Stats
-	fmt.Printf("signaling: %d msgs (%d probe req, %d probe resp, %d assoc, %d disassoc",
+	fmt.Fprintf(w, "signaling: %d msgs (%d probe req, %d probe resp, %d assoc, %d disassoc",
 		st.Messages(), st.ProbeRequests, st.ProbeResponses, st.Associations, st.Disassociations)
 	if st.LockRequests > 0 {
-		fmt.Printf(", %d lock req, %d grants, %d denials, %d releases",
+		fmt.Fprintf(w, ", %d lock req, %d grants, %d denials, %d releases",
 			st.LockRequests, st.LockGrants, st.LockDenials, st.LockReleases)
 	}
-	fmt.Printf(")\n")
-	fmt.Printf("decisions %d, moves %d\n", st.Decisions, st.Moves)
-	return 0
+	fmt.Fprintf(w, ")\n")
+	fmt.Fprintf(w, "decisions %d, moves %d\n", st.Decisions, st.Moves)
 }
 
 func objectiveByName(name string) (core.Objective, error) {

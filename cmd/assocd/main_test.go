@@ -1,10 +1,54 @@
 package main
 
 import (
+	"context"
+	"strings"
 	"testing"
 
 	"wlanmcast/internal/core"
 )
+
+func TestRunSingle(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(context.Background(),
+		[]string{"-objective", "bla", "-aps", "10", "-users", "20", "-max-time", "30s"},
+		&out, &errOut)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "network: 10 APs, 20 users") {
+		t.Errorf("missing network line in:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "signaling:") {
+		t.Errorf("missing signaling line in:\n%s", out.String())
+	}
+}
+
+func TestRunBatch(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(context.Background(),
+		[]string{"-objective", "bla", "-aps", "10", "-users", "20", "-max-time", "30s",
+			"-runs", "3", "-parallel", "2"},
+		&out, &errOut)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"batch: 3 runs, seeds 1..3", "converged", "mean signaling"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("batch output missing %q in:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(context.Background(), []string{"-objective", "nope"}, &out, &errOut); code != 2 {
+		t.Errorf("bad objective exited %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"-runs", "0"}, &out, &errOut); code != 2 {
+		t.Errorf("-runs 0 exited %d, want 2", code)
+	}
+}
 
 func TestObjectiveByName(t *testing.T) {
 	tests := []struct {

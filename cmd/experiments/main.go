@@ -2,91 +2,145 @@
 //
 // Usage:
 //
-//	experiments [-seeds N] [-size F] [-ilp-nodes N] [-csv] [-quiet] [id ...]
+//	experiments [-seeds N] [-size F] [-ilp-nodes N] [-parallel N] [-timeout D] [-csv] [-quiet] [id|group ...]
 //
-// With no ids, every experiment runs in order. Each figure prints as
-// an aligned text table (or CSV with -csv) of avg [min, max] over the
-// seeded scenarios, matching the paper's error-bar plots.
+// With no arguments, every paper figure runs in order. Arguments may
+// be individual experiment ids (see -list) or group aliases:
+//
+//	paper  the ten paper figures fig9a..fig12c (the default)
+//	ext    the extension experiments (ext-basicrate, ext-power, ...)
+//	dyn    the packet-level/mobility/interference experiments
+//	all    paper + ext + dyn
+//
+// Seed evaluations fan out over -parallel workers (0 = all CPUs) via
+// internal/runner; results are identical for every worker count.
+// -timeout bounds the whole run, and Ctrl-C cancels it cleanly — in
+// both cases the run stops after the in-flight seed evaluations
+// finish. Each figure prints as an aligned text table (or CSV with
+// -csv) of avg ±stddev [min, max] over the seeded scenarios, matching
+// the paper's error-bar plots.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"wlanmcast/internal/experiments"
 )
 
 func main() {
-	os.Exit(run())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	seeds := fs.Int("seeds", 40, "random scenarios per data point (paper: 40)")
 	size := fs.Float64("size", 1.0, "scale factor on AP/user counts")
 	ilpNodes := fs.Int("ilp-nodes", 200000, "branch-and-bound node cap for fig12 optimal curves")
+	parallel := fs.Int("parallel", 0, "concurrent seed evaluations (0 = all CPUs, 1 = sequential)")
+	timeout := fs.Duration("timeout", 0, "cancel the whole run after this long (0 = no limit)")
 	csv := fs.Bool("csv", false, "emit CSV instead of text tables")
 	quiet := fs.Bool("quiet", false, "suppress progress lines")
 	list := fs.Bool("list", false, "list experiment ids and exit")
-	fs.Parse(os.Args[1:])
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		for _, e := range experiments.All() {
-			fmt.Printf("%-16s %s\n", e.ID, e.Title)
-		}
-		for _, e := range experiments.Extensions() {
-			fmt.Printf("%-16s %s\n", e.ID, e.Title)
-		}
-		for _, e := range experiments.Dynamics() {
-			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		for _, e := range allExperiments() {
+			fmt.Fprintf(stdout, "%-16s %s\n", e.ID, e.Title)
 		}
 		return 0
+	}
+
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	cfg := experiments.Config{
 		Seeds:       *seeds,
 		SizeFactor:  *size,
 		ILPMaxNodes: *ilpNodes,
+		Workers:     *parallel,
 	}
 	if !*quiet {
 		cfg.Progress = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+			fmt.Fprintf(stderr, "# "+format+"\n", args...)
 		}
 	}
 
-	ids := fs.Args()
-	var todo []experiments.Experiment
-	if len(ids) == 0 {
-		todo = experiments.All()
-	} else {
-		for _, id := range ids {
-			e, ok := experiments.GetAny(strings.ToLower(id))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
-				return 2
-			}
-			todo = append(todo, e)
-		}
+	todo, err := resolveIDs(fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "experiments: %v\n", err)
+		return 2
 	}
 
 	for _, e := range todo {
 		start := time.Now()
-		fig, err := e.Run(cfg)
+		fig, err := e.Run(ctx, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			fmt.Fprintf(stderr, "experiments: %s: %v\n", e.ID, err)
 			return 1
 		}
 		if *csv {
-			fmt.Print(fig.CSV())
+			fmt.Fprint(stdout, fig.CSV())
 		} else {
-			fmt.Println(fig.Table())
+			fmt.Fprintln(stdout, fig.Table())
 		}
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "# %s finished in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(stderr, "# %s finished in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
 	}
 	return 0
+}
+
+// allExperiments returns paper figures, extensions and dynamics in
+// presentation order.
+func allExperiments() []experiments.Experiment {
+	var out []experiments.Experiment
+	out = append(out, experiments.All()...)
+	out = append(out, experiments.Extensions()...)
+	out = append(out, experiments.Dynamics()...)
+	return out
+}
+
+// resolveIDs expands experiment ids and group aliases (paper, ext,
+// dyn, all) into the run list; no arguments selects the paper
+// figures.
+func resolveIDs(ids []string) ([]experiments.Experiment, error) {
+	if len(ids) == 0 {
+		return experiments.All(), nil
+	}
+	var todo []experiments.Experiment
+	for _, id := range ids {
+		switch strings.ToLower(id) {
+		case "paper":
+			todo = append(todo, experiments.All()...)
+		case "ext":
+			todo = append(todo, experiments.Extensions()...)
+		case "dyn":
+			todo = append(todo, experiments.Dynamics()...)
+		case "all":
+			todo = append(todo, allExperiments()...)
+		default:
+			e, ok := experiments.GetAny(strings.ToLower(id))
+			if !ok {
+				return nil, fmt.Errorf("unknown experiment or group %q (use -list, or paper/ext/dyn/all)", id)
+			}
+			todo = append(todo, e)
+		}
+	}
+	return todo, nil
 }

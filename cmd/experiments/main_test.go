@@ -1,0 +1,104 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestResolveIDsGroups(t *testing.T) {
+	tests := []struct {
+		args []string
+		want int
+	}{
+		{nil, 10},                       // default: paper figures
+		{[]string{"paper"}, 10},         // explicit alias
+		{[]string{"ext"}, 4},            // extensions
+		{[]string{"dyn"}, 6},            // dynamics
+		{[]string{"all"}, 20},           // everything
+		{[]string{"fig9a", "ext"}, 5},   // id + group mix
+		{[]string{"PAPER"}, 10},         // case-insensitive
+		{[]string{"fig9a", "fig9a"}, 2}, // repeats allowed
+		{[]string{"ext-mobility"}, 1},   // dynamics id resolves
+	}
+	for _, tt := range tests {
+		got, err := resolveIDs(tt.args)
+		if err != nil {
+			t.Errorf("resolveIDs(%v): %v", tt.args, err)
+			continue
+		}
+		if len(got) != tt.want {
+			t.Errorf("resolveIDs(%v) = %d experiments, want %d", tt.args, len(got), tt.want)
+		}
+	}
+}
+
+func TestResolveIDsUnknown(t *testing.T) {
+	if _, err := resolveIDs([]string{"bogus"}); err == nil {
+		t.Error("unknown id should error")
+	}
+	if _, err := resolveIDs([]string{"fig9a", "nope"}); err == nil {
+		t.Error("unknown id after a valid one should error")
+	}
+}
+
+func TestRunTinyExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(context.Background(),
+		[]string{"-seeds", "1", "-size", "0.1", "-parallel", "2", "-quiet", "-csv", "fig9a"},
+		&out, &errOut)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "users,") {
+		t.Errorf("CSV output missing header: %q", out.String()[:min(60, len(out.String()))])
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(context.Background(), []string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run -list exited %d", code)
+	}
+	for _, id := range []string{"fig9a", "ext-power", "ext-mobility"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list output missing %s", id)
+		}
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errOut strings.Builder
+	code := run(ctx, []string{"-seeds", "2", "-size", "0.1", "-quiet", "fig9a"}, &out, &errOut)
+	if code == 0 {
+		t.Error("cancelled context should fail the run")
+	}
+	if !strings.Contains(errOut.String(), "context canceled") {
+		t.Errorf("stderr = %q, want context cancellation", errOut.String())
+	}
+}
+
+func TestRunTimeoutFlag(t *testing.T) {
+	// A 1ns budget must cancel the sweep almost immediately.
+	var out, errOut strings.Builder
+	start := time.Now()
+	code := run(context.Background(),
+		[]string{"-seeds", "40", "-size", "0.3", "-timeout", "1ns", "-quiet", "fig9a"},
+		&out, &errOut)
+	if code == 0 {
+		t.Error("timed-out run should fail")
+	}
+	if el := time.Since(start); el > 30*time.Second {
+		t.Errorf("timeout took %v to take effect", el)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(context.Background(), []string{"bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown id exited %d, want 2", code)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"wlanmcast/internal/radio"
 	"wlanmcast/internal/wlan"
@@ -95,9 +96,25 @@ func AssignPowers(n *wlan.Network, assoc *wlan.Assoc, table *radio.RateTable, le
 		}
 	}
 
+	// Iterate transmissions in (AP, session) order: the volume sums are
+	// float accumulations, so a fixed order keeps plans bit-identical
+	// across runs (map order would reshuffle the additions), which the
+	// experiment runner's determinism guarantee relies on.
+	keys := make([]key, 0, len(maxDist))
+	for k := range maxDist {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ap != keys[j].ap {
+			return keys[i].ap < keys[j].ap
+		}
+		return keys[i].session < keys[j].session
+	})
+
 	plan := &PowerPlan{}
 	fullRange := table.Range()
-	for k, d := range maxDist {
+	for _, k := range keys {
+		d := maxDist[k]
 		// Baseline: full power, rate from the plain table.
 		baseRate, ok := table.RateFor(d)
 		if !ok {

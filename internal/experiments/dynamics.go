@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -33,142 +34,124 @@ func Dynamics() []Experiment {
 // every user each epoch, so its wireless signaling grows with the
 // horizon, while the distributed protocol converges and goes quiet.
 // x sweeps the horizon in minutes; y is wireless frames per user.
-func ExtSignaling(cfg Config) (*metrics.Figure, error) {
+func ExtSignaling(ctx context.Context, cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.normalize()
 	fig := &metrics.Figure{ID: "ext-signaling", Title: "Signaling frames per user vs horizon", XLabel: "horizon (min)", YLabel: "frames/user"}
 	fig.X = []float64{1, 2, 5, 10, 20}
-	for _, x := range fig.X {
-		var centralized, distributed []float64
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			p := scenario.PaperDefaults()
-			p.NumAPs = cfg.scale(50)
-			p.NumUsers = cfg.scale(100)
-			p.Seed = int64(seed)
-			n, err := scenario.GenerateNetwork(p)
-			if err != nil {
-				return nil, err
-			}
-			horizon := time.Duration(x) * time.Minute
-			cent, err := netsim.RunCentralized(netsim.CentralizedOptions{
-				Network:   n,
-				Algorithm: &core.CentralizedBLA{},
-				Epoch:     10 * time.Second,
-				MaxTime:   horizon,
-				Seed:      int64(seed),
-			})
-			if err != nil {
-				return nil, err
-			}
-			dist, err := netsim.Run(netsim.Options{
-				Network:   n,
-				Objective: core.ObjBLA,
-				Jitter:    300 * time.Millisecond,
-				Seed:      int64(seed),
-				MaxTime:   horizon,
-			})
-			if err != nil {
-				return nil, err
-			}
-			users := float64(n.NumUsers())
-			centralized = append(centralized, float64(cent.Stats.Messages())/users)
-			distributed = append(distributed, float64(dist.Stats.Messages())/users)
+	return runSeeds(ctx, cfg, fig, func(ctx context.Context, point, seed int) ([]Value, error) {
+		p := scenario.PaperDefaults()
+		p.NumAPs = cfg.scale(50)
+		p.NumUsers = cfg.scale(100)
+		p.Seed = int64(seed)
+		n, err := scenario.GenerateNetwork(p)
+		if err != nil {
+			return nil, err
 		}
-		fig.AddPoint("centralized-controller", metrics.Collect(centralized))
-		fig.AddPoint("distributed-protocol", metrics.Collect(distributed))
-		cfg.logf("ext-signaling: horizon=%vmin done", x)
-	}
-	return fig, fig.Validate()
+		horizon := time.Duration(fig.X[point]) * time.Minute
+		cent, err := netsim.RunCentralized(netsim.CentralizedOptions{
+			Network:   n,
+			Algorithm: &core.CentralizedBLA{},
+			Epoch:     10 * time.Second,
+			MaxTime:   horizon,
+			Seed:      int64(seed),
+		})
+		if err != nil {
+			return nil, err
+		}
+		dist, err := netsim.Run(netsim.Options{
+			Network:   n,
+			Objective: core.ObjBLA,
+			Jitter:    300 * time.Millisecond,
+			Seed:      int64(seed),
+			MaxTime:   horizon,
+		})
+		if err != nil {
+			return nil, err
+		}
+		users := float64(n.NumUsers())
+		return []Value{
+			{"centralized-controller", float64(cent.Stats.Messages()) / users},
+			{"distributed-protocol", float64(dist.Stats.Messages()) / users},
+		}, nil
+	})
 }
 
 // ExtDual measures the dual-association framework of [16] (adopted in
 // §3.1): users pick independent unicast and multicast APs. x sweeps
 // the per-user unicast demand; y is the total combined AP load for
 // dual vs single association on top of MLA multicast control.
-func ExtDual(cfg Config) (*metrics.Figure, error) {
+func ExtDual(ctx context.Context, cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.normalize()
 	fig := &metrics.Figure{ID: "ext-dual", Title: "Dual vs single association", XLabel: "unicast demand (Mbps/user)", YLabel: "total combined load"}
 	fig.X = []float64{0.5, 1, 2, 4}
-	for _, x := range fig.X {
-		var dualTotals, singleTotals, splits []float64
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			p := scenario.PaperDefaults()
-			p.NumAPs = cfg.scale(100)
-			p.NumUsers = cfg.scale(200)
-			p.Seed = int64(seed)
-			n, err := scenario.GenerateNetwork(p)
-			if err != nil {
-				return nil, err
-			}
-			demand := make([]float64, n.NumUsers())
-			for u := range demand {
-				demand[u] = x
-			}
-			dual, err := core.DualAssociate(n, &core.CentralizedMLA{}, demand)
-			if err != nil {
-				return nil, err
-			}
-			single, err := core.SingleAssociate(n, &core.CentralizedMLA{}, demand)
-			if err != nil {
-				return nil, err
-			}
-			dualTotals = append(dualTotals, dual.TotalCombined())
-			singleTotals = append(singleTotals, single.TotalCombined())
-			splits = append(splits, float64(dual.SplitUsers))
+	return runSeeds(ctx, cfg, fig, func(ctx context.Context, point, seed int) ([]Value, error) {
+		p := scenario.PaperDefaults()
+		p.NumAPs = cfg.scale(100)
+		p.NumUsers = cfg.scale(200)
+		p.Seed = int64(seed)
+		n, err := scenario.GenerateNetwork(p)
+		if err != nil {
+			return nil, err
 		}
-		fig.AddPoint("dual", metrics.Collect(dualTotals))
-		fig.AddPoint("single", metrics.Collect(singleTotals))
-		fig.AddPoint("split-users", metrics.Collect(splits))
-		cfg.logf("ext-dual: demand=%v done", x)
-	}
-	return fig, fig.Validate()
+		demand := make([]float64, n.NumUsers())
+		for u := range demand {
+			demand[u] = fig.X[point]
+		}
+		dual, err := core.DualAssociate(n, &core.CentralizedMLA{}, demand)
+		if err != nil {
+			return nil, err
+		}
+		single, err := core.SingleAssociate(n, &core.CentralizedMLA{}, demand)
+		if err != nil {
+			return nil, err
+		}
+		return []Value{
+			{"dual", dual.TotalCombined()},
+			{"single", single.TotalCombined()},
+			{"split-users", float64(dual.SplitUsers)},
+		}, nil
+	})
 }
 
 // ExtInterference measures the paper's footnote-7 claim — BLA/MLA
 // implicitly optimize interference — across channel budgets: the max
 // effective (co-channel) busy time per association policy as the
 // number of non-overlapping channels varies.
-func ExtInterference(cfg Config) (*metrics.Figure, error) {
+func ExtInterference(ctx context.Context, cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.normalize()
 	fig := &metrics.Figure{ID: "ext-interference", Title: "Max effective busy time vs channels", XLabel: "channels", YLabel: "max busy fraction"}
 	fig.X = []float64{1, 3, 6, 12}
-	algs := []core.Algorithm{&core.SSA{}, &core.CentralizedMLA{}, &core.CentralizedBLA{}}
-	for _, x := range fig.X {
-		perAlg := make(map[string][]float64)
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			p := scenario.PaperDefaults()
-			p.NumAPs = cfg.scale(100)
-			p.NumUsers = cfg.scale(200)
-			p.Seed = int64(seed)
-			n, err := scenario.GenerateNetwork(p)
+	return runSeeds(ctx, cfg, fig, func(ctx context.Context, point, seed int) ([]Value, error) {
+		p := scenario.PaperDefaults()
+		p.NumAPs = cfg.scale(100)
+		p.NumUsers = cfg.scale(200)
+		p.Seed = int64(seed)
+		n, err := scenario.GenerateNetwork(p)
+		if err != nil {
+			return nil, err
+		}
+		pts := make([]geom.Point, n.NumAPs())
+		for i := range pts {
+			pts[i] = n.APs[i].Pos
+		}
+		ca, err := radio.AssignChannels(pts, 200, int(fig.X[point]))
+		if err != nil {
+			return nil, err
+		}
+		var out []Value
+		for _, alg := range []core.Algorithm{&core.SSA{}, &core.CentralizedMLA{}, &core.CentralizedBLA{}} {
+			assoc, err := alg.Run(n)
 			if err != nil {
 				return nil, err
 			}
-			pts := make([]geom.Point, n.NumAPs())
-			for i := range pts {
-				pts[i] = n.APs[i].Pos
-			}
-			ca, err := radio.AssignChannels(pts, 200, int(x))
+			busy, err := core.EffectiveBusyTime(n, assoc, ca.Channels, 200)
 			if err != nil {
 				return nil, err
 			}
-			for _, alg := range algs {
-				assoc, err := alg.Run(n)
-				if err != nil {
-					return nil, err
-				}
-				busy, err := core.EffectiveBusyTime(n, assoc, ca.Channels, 200)
-				if err != nil {
-					return nil, err
-				}
-				perAlg[alg.Name()] = append(perAlg[alg.Name()], core.MaxBusyTime(busy))
-			}
+			out = append(out, Value{alg.Name(), core.MaxBusyTime(busy)})
 		}
-		for _, alg := range algs {
-			fig.AddPoint(alg.Name(), metrics.Collect(perAlg[alg.Name()]))
-		}
-		cfg.logf("ext-interference: %v channels done", x)
-	}
-	return fig, fig.Validate()
+		return out, nil
+	})
 }
 
 // ExtMACValidate runs the MLA association through the packet-level
@@ -176,98 +159,85 @@ func ExtInterference(cfg Config) (*metrics.Figure, error) {
 // against the two analytic load models. The paper's evaluation rests
 // on the analytic abstraction; this experiment is the evidence it
 // corresponds to packets on the air.
-func ExtMACValidate(cfg Config) (*metrics.Figure, error) {
+func ExtMACValidate(ctx context.Context, cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.normalize()
 	fig := &metrics.Figure{ID: "ext-macvalidate", Title: "Measured vs analytic load", XLabel: "users", YLabel: "total load"}
 	fig.X = []float64{50, 100, 150, 200}
-	for _, x := range fig.X {
-		var ratio, airtime, measured []float64
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			p := scenario.PaperDefaults()
-			p.NumAPs = cfg.scale(100)
-			p.NumUsers = cfg.scale(int(x))
-			p.Seed = int64(seed)
-			n, err := scenario.GenerateNetwork(p)
-			if err != nil {
-				return nil, err
-			}
-			assoc, err := (&core.CentralizedMLA{}).Run(n)
-			if err != nil {
-				return nil, err
-			}
-			ratio = append(ratio, n.TotalLoad(assoc))
-			nAir, err := scenario.GenerateNetwork(p)
-			if err != nil {
-				return nil, err
-			}
-			nAir.Load = wlan.AirtimeLoad{Model: radio.Default80211a(), PayloadBytes: 1472}
-			airtime = append(airtime, nAir.TotalLoad(assoc))
-			res, err := mac.Run(mac.Config{
-				Network:  n,
-				Assoc:    assoc,
-				Duration: 3 * time.Second,
-				Seed:     int64(seed),
-			})
-			if err != nil {
-				return nil, err
-			}
-			measured = append(measured, res.TotalMeasuredLoad())
+	return runSeeds(ctx, cfg, fig, func(ctx context.Context, point, seed int) ([]Value, error) {
+		p := scenario.PaperDefaults()
+		p.NumAPs = cfg.scale(100)
+		p.NumUsers = cfg.scale(int(fig.X[point]))
+		p.Seed = int64(seed)
+		n, err := scenario.GenerateNetwork(p)
+		if err != nil {
+			return nil, err
 		}
-		fig.AddPoint("analytic-ratio", metrics.Collect(ratio))
-		fig.AddPoint("analytic-airtime", metrics.Collect(airtime))
-		fig.AddPoint("measured-packet-level", metrics.Collect(measured))
-		cfg.logf("ext-macvalidate: x=%v done", x)
-	}
-	return fig, fig.Validate()
+		assoc, err := (&core.CentralizedMLA{}).Run(n)
+		if err != nil {
+			return nil, err
+		}
+		nAir, err := scenario.GenerateNetwork(p)
+		if err != nil {
+			return nil, err
+		}
+		nAir.Load = wlan.AirtimeLoad{Model: radio.Default80211a(), PayloadBytes: 1472}
+		res, err := mac.Run(mac.Config{
+			Network:  n,
+			Assoc:    assoc,
+			Duration: 3 * time.Second,
+			Seed:     int64(seed),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return []Value{
+			{"analytic-ratio", n.TotalLoad(assoc)},
+			{"analytic-airtime", nAir.TotalLoad(assoc)},
+			{"measured-packet-level", res.TotalMeasuredLoad()},
+		}, nil
+	})
 }
 
 // ExtCoexistence measures, packet by packet, the unicast goodput each
 // association policy leaves behind under saturated unicast demand —
 // the paper's §1 motivation quantified.
-func ExtCoexistence(cfg Config) (*metrics.Figure, error) {
+func ExtCoexistence(ctx context.Context, cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.normalize()
 	fig := &metrics.Figure{ID: "ext-coexistence", Title: "Total unicast goodput under saturation", XLabel: "users", YLabel: "goodput (Mbps)"}
 	fig.X = []float64{50, 100, 150, 200}
-	algs := []core.Algorithm{&core.SSA{}, &core.CentralizedMLA{}, &core.CentralizedBLA{}}
-	for _, x := range fig.X {
-		perAlg := make(map[string][]float64)
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			p := scenario.PaperDefaults()
-			p.NumAPs = cfg.scale(50)
-			p.NumUsers = cfg.scale(int(x))
-			p.Seed = int64(seed)
-			n, err := scenario.GenerateNetwork(p)
+	return runSeeds(ctx, cfg, fig, func(ctx context.Context, point, seed int) ([]Value, error) {
+		p := scenario.PaperDefaults()
+		p.NumAPs = cfg.scale(50)
+		p.NumUsers = cfg.scale(int(fig.X[point]))
+		p.Seed = int64(seed)
+		n, err := scenario.GenerateNetwork(p)
+		if err != nil {
+			return nil, err
+		}
+		var out []Value
+		for _, alg := range []core.Algorithm{&core.SSA{}, &core.CentralizedMLA{}, &core.CentralizedBLA{}} {
+			assoc, err := alg.Run(n)
 			if err != nil {
 				return nil, err
 			}
-			for _, alg := range algs {
-				assoc, err := alg.Run(n)
-				if err != nil {
-					return nil, err
-				}
-				res, err := mac.Run(mac.Config{
-					Network:          n,
-					Assoc:            assoc,
-					Duration:         2 * time.Second,
-					UnicastSaturated: true,
-					Seed:             int64(seed),
-				})
-				if err != nil {
-					return nil, err
-				}
-				total := 0.0
-				for ap := 0; ap < n.NumAPs(); ap++ {
-					total += res.UnicastGoodput(ap, 1472)
-				}
-				perAlg[alg.Name()] = append(perAlg[alg.Name()], total)
+			res, err := mac.Run(mac.Config{
+				Network:          n,
+				Assoc:            assoc,
+				Duration:         2 * time.Second,
+				UnicastSaturated: true,
+				Seed:             int64(seed),
+			})
+			if err != nil {
+				return nil, err
 			}
+			total := 0.0
+			for ap := 0; ap < n.NumAPs(); ap++ {
+				total += res.UnicastGoodput(ap, 1472)
+			}
+			out = append(out, Value{alg.Name(), total})
 		}
-		for _, alg := range algs {
-			fig.AddPoint(alg.Name(), metrics.Collect(perAlg[alg.Name()]))
-		}
-		cfg.logf("ext-coexistence: x=%v done", x)
-	}
-	return fig, fig.Validate()
+		return out, nil
+	})
 }
 
 // ExtMobility walks users with the random-waypoint model and
@@ -275,7 +245,7 @@ func ExtCoexistence(cfg Config) (*metrics.Figure, error) {
 // handoffs per user per hour as the pause length varies. Long pauses
 // (the paper's quasi-static regime) should make association control
 // cheap to maintain.
-func ExtMobility(cfg Config) (*metrics.Figure, error) {
+func ExtMobility(ctx context.Context, cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.normalize()
 	fig := &metrics.Figure{ID: "ext-mobility", Title: "Handoffs under mobility", XLabel: "mean pause (min)", YLabel: "handoffs/user/hour"}
 	fig.X = []float64{2, 5, 10, 20, 40}
@@ -284,65 +254,63 @@ func ExtMobility(cfg Config) (*metrics.Figure, error) {
 		tick    = time.Minute
 	)
 	area := geom.Rect{Width: 1200, Height: 1000}
-	for _, x := range fig.X {
-		var handoffs, loads []float64
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			rng := rand.New(rand.NewSource(int64(seed)))
-			nAPs := cfg.scale(100)
-			nUsers := cfg.scale(150)
-			apPos := geom.UniformPoints(rng, nAPs, area)
-			mean := time.Duration(x) * time.Minute
-			walkers, err := mobility.NewWalkers(rng, nUsers, mobility.Config{
-				Area:     area,
-				MinPause: mean / 2,
-				MaxPause: 3 * mean / 2,
-			}, horizon)
+	return runSeeds(ctx, cfg, fig, func(ctx context.Context, point, seed int) ([]Value, error) {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		nAPs := cfg.scale(100)
+		nUsers := cfg.scale(150)
+		apPos := geom.UniformPoints(rng, nAPs, area)
+		mean := time.Duration(fig.X[point]) * time.Minute
+		walkers, err := mobility.NewWalkers(rng, nUsers, mobility.Config{
+			Area:     area,
+			MinPause: mean / 2,
+			MaxPause: 3 * mean / 2,
+		}, horizon)
+		if err != nil {
+			return nil, err
+		}
+		sessions := make([]wlan.Session, 4)
+		for s := range sessions {
+			sessions[s] = wlan.Session{Rate: 1}
+		}
+		userSession := make([]int, nUsers)
+		for u := range userSession {
+			userSession[u] = rng.Intn(len(sessions))
+		}
+		var (
+			prev     *wlan.Assoc
+			moves    int
+			loadSum  float64
+			loadTick int
+		)
+		for t := time.Duration(0); t < horizon; t += tick {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			n, err := wlan.NewGeometric(area, apPos, mobility.Sample(walkers, t), userSession, sessions, radio.Table1(), wlan.DefaultBudget)
 			if err != nil {
 				return nil, err
 			}
-			sessions := make([]wlan.Session, 4)
-			for s := range sessions {
-				sessions[s] = wlan.Session{Rate: 1}
+			d := &core.Distributed{Objective: core.ObjMLA, Start: repairAssoc(n, prev)}
+			res, err := d.RunDetailed(n)
+			if err != nil {
+				return nil, err
 			}
-			userSession := make([]int, nUsers)
-			for u := range userSession {
-				userSession[u] = rng.Intn(len(sessions))
-			}
-			var (
-				prev     *wlan.Assoc
-				moves    int
-				loadSum  float64
-				loadTick int
-			)
-			for t := time.Duration(0); t < horizon; t += tick {
-				n, err := wlan.NewGeometric(area, apPos, mobility.Sample(walkers, t), userSession, sessions, radio.Table1(), wlan.DefaultBudget)
-				if err != nil {
-					return nil, err
-				}
-				d := &core.Distributed{Objective: core.ObjMLA, Start: repairAssoc(n, prev)}
-				res, err := d.RunDetailed(n)
-				if err != nil {
-					return nil, err
-				}
-				if prev != nil {
-					for u := 0; u < nUsers; u++ {
-						if res.Assoc.APOf(u) != prev.APOf(u) {
-							moves++
-						}
+			if prev != nil {
+				for u := 0; u < nUsers; u++ {
+					if res.Assoc.APOf(u) != prev.APOf(u) {
+						moves++
 					}
 				}
-				loadSum += n.TotalLoad(res.Assoc)
-				loadTick++
-				prev = res.Assoc
 			}
-			handoffs = append(handoffs, float64(moves)/float64(nUsers)) // per hour
-			loads = append(loads, loadSum/float64(loadTick))
+			loadSum += n.TotalLoad(res.Assoc)
+			loadTick++
+			prev = res.Assoc
 		}
-		fig.AddPoint("handoffs", metrics.Collect(handoffs))
-		fig.AddPoint("avg-total-load", metrics.Collect(loads))
-		cfg.logf("ext-mobility: pause=%vmin done", x)
-	}
-	return fig, fig.Validate()
+		return []Value{
+			{"handoffs", float64(moves) / float64(nUsers)}, // per hour
+			{"avg-total-load", loadSum / float64(loadTick)},
+		}, nil
+	})
 }
 
 // repairAssoc keeps only the still-valid parts of a previous

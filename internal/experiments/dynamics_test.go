@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 )
 
@@ -21,7 +22,7 @@ func TestDynamicsRegistered(t *testing.T) {
 }
 
 func TestExtMACValidateSmoke(t *testing.T) {
-	fig, err := ExtMACValidate(Config{Seeds: 1, SizeFactor: 0.2})
+	fig, err := ExtMACValidate(context.Background(), Config{Seeds: 1, SizeFactor: 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestExtMACValidateSmoke(t *testing.T) {
 }
 
 func TestExtCoexistenceSmoke(t *testing.T) {
-	fig, err := ExtCoexistence(Config{Seeds: 1, SizeFactor: 0.2})
+	fig, err := ExtCoexistence(context.Background(), Config{Seeds: 1, SizeFactor: 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestExtCoexistenceSmoke(t *testing.T) {
 }
 
 func TestExtMobilitySmoke(t *testing.T) {
-	fig, err := ExtMobility(Config{Seeds: 1, SizeFactor: 0.15})
+	fig, err := ExtMobility(context.Background(), Config{Seeds: 1, SizeFactor: 0.15})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestRepairAssoc(t *testing.T) {
 }
 
 func TestExtInterferenceSmoke(t *testing.T) {
-	fig, err := ExtInterference(Config{Seeds: 2, SizeFactor: 0.2})
+	fig, err := ExtInterference(context.Background(), Config{Seeds: 2, SizeFactor: 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestExtInterferenceSmoke(t *testing.T) {
 }
 
 func TestExtDualSmoke(t *testing.T) {
-	fig, err := ExtDual(Config{Seeds: 2, SizeFactor: 0.2})
+	fig, err := ExtDual(context.Background(), Config{Seeds: 2, SizeFactor: 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestExtDualSmoke(t *testing.T) {
 }
 
 func TestExtSignalingSmoke(t *testing.T) {
-	fig, err := ExtSignaling(Config{Seeds: 1, SizeFactor: 0.15})
+	fig, err := ExtSignaling(context.Background(), Config{Seeds: 1, SizeFactor: 0.15})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,14 +4,22 @@
 // the SSA baseline, and reports avg/min/max series exactly as the
 // paper's error-bar plots do. See DESIGN.md for the experiment index
 // and EXPERIMENTS.md for measured-vs-paper results.
+//
+// Every sweep routes through internal/runner: the seed evaluations of
+// all data points fan out over a bounded worker pool (Config.Workers)
+// and are collected deterministically by (point, seed) index, so the
+// produced figures are byte-identical for every worker count.
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"wlanmcast/internal/core"
 	"wlanmcast/internal/geom"
 	"wlanmcast/internal/metrics"
+	"wlanmcast/internal/runner"
 	"wlanmcast/internal/scenario"
 	"wlanmcast/internal/wlan"
 )
@@ -30,8 +38,15 @@ type Config struct {
 	// the incumbent (a valid association, possibly suboptimal) is
 	// still reported.
 	ILPMaxNodes int
+	// Workers bounds the worker pool that evaluates seeds in
+	// parallel: <= 0 selects GOMAXPROCS, 1 forces the classic
+	// sequential order. The figures are identical for every value;
+	// only wall-clock time changes.
+	Workers int
 	// Progress, when non-nil, receives one line per completed data
-	// point.
+	// point. Delivery is serialized even when Workers > 1 — the
+	// callback is never invoked concurrently, so it needs no locking
+	// of its own.
 	Progress func(format string, args ...any)
 }
 
@@ -65,8 +80,9 @@ type Experiment struct {
 	ID string
 	// Title is the figure caption.
 	Title string
-	// Run executes the sweep.
-	Run func(cfg Config) (*metrics.Figure, error)
+	// Run executes the sweep. Cancelling ctx (deadline, Ctrl-C)
+	// aborts the sweep after the in-flight seed evaluations finish.
+	Run func(ctx context.Context, cfg Config) (*metrics.Figure, error)
 }
 
 // All returns every registered experiment in presentation order.
@@ -95,9 +111,62 @@ func Get(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// Value is one labeled measurement produced by a single seed
+// evaluation; runSeeds regroups values into per-label series.
+type Value struct {
+	Label string
+	V     float64
+}
+
+// runSeeds is the sweep engine under every experiment: it fans one
+// evaluation per (x point, seed) pair out over the shared runner,
+// then regroups the labeled values point-major, seed-major, labels in
+// first-seen order — a deterministic layout that does not depend on
+// completion order — and fills fig with one Stat per label per x.
+// fig.X must be set and cfg normalized before calling.
+func runSeeds(ctx context.Context, cfg Config, fig *metrics.Figure, fn func(ctx context.Context, point, seed int) ([]Value, error)) (*metrics.Figure, error) {
+	res, err := runner.Map(ctx, runner.Options{
+		Workers: cfg.Workers,
+		OnProgress: func(ev runner.Event) {
+			cfg.logf("%s: x=%v done (%d seeds) [%d/%d points, %.1f evals/s, %v elapsed]",
+				fig.ID, fig.X[ev.Point], cfg.Seeds, ev.DonePoints, ev.Points,
+				ev.TasksPerSec, ev.Elapsed.Round(time.Millisecond))
+		},
+	}, len(fig.X), cfg.Seeds, func(ctx context.Context, point, seed int) ([]Value, error) {
+		vals, err := fn(ctx, point, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s at x=%v seed=%d: %w", fig.ID, fig.X[point], seed, err)
+		}
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p := range fig.X {
+		perLabel := make(map[string][]float64)
+		var order []string
+		for s := 0; s < cfg.Seeds; s++ {
+			for _, v := range res[p][s] {
+				if _, seen := perLabel[v.Label]; !seen {
+					order = append(order, v.Label)
+				}
+				perLabel[v.Label] = append(perLabel[v.Label], v.V)
+			}
+		}
+		for _, label := range order {
+			fig.AddPoint(label, metrics.Collect(perLabel[label]))
+		}
+	}
+	if err := fig.Validate(); err != nil {
+		return nil, err
+	}
+	return fig, nil
+}
+
 // sweep runs the generic experiment loop: for every x value and seed,
 // build the scenario and evaluate every algorithm, collecting metric.
 func sweep(
+	ctx context.Context,
 	cfg Config,
 	fig *metrics.Figure,
 	xs []float64,
@@ -107,34 +176,21 @@ func sweep(
 ) (*metrics.Figure, error) {
 	cfg = cfg.normalize()
 	fig.X = xs
-	for _, x := range xs {
-		perAlg := make(map[string][]float64)
-		var order []string
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			n, err := scenario.GenerateNetwork(params(x, int64(seed)))
+	return runSeeds(ctx, cfg, fig, func(ctx context.Context, point, seed int) ([]Value, error) {
+		n, err := scenario.GenerateNetwork(params(xs[point], int64(seed)))
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Value, 0, 4)
+		for _, alg := range algs() {
+			res, err := core.Evaluate(alg, n)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: %s at x=%v seed=%d: %w", fig.ID, x, seed, err)
+				return nil, err
 			}
-			for _, alg := range algs() {
-				res, err := core.Evaluate(alg, n)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: %s at x=%v seed=%d: %w", fig.ID, x, seed, err)
-				}
-				if _, seen := perAlg[alg.Name()]; !seen {
-					order = append(order, alg.Name())
-				}
-				perAlg[alg.Name()] = append(perAlg[alg.Name()], metric(n, res))
-			}
+			out = append(out, Value{alg.Name(), metric(n, res)})
 		}
-		for _, name := range order {
-			fig.AddPoint(name, metrics.Collect(perAlg[name]))
-		}
-		cfg.logf("%s: x=%v done (%d seeds)", fig.ID, x, cfg.Seeds)
-	}
-	if err := fig.Validate(); err != nil {
-		return nil, err
-	}
-	return fig, nil
+		return out, nil
+	})
 }
 
 // --- metric helpers ---

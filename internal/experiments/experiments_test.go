@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"wlanmcast/internal/metrics"
@@ -34,7 +35,7 @@ func TestAllRegistered(t *testing.T) {
 }
 
 func TestFig9aSmoke(t *testing.T) {
-	fig, err := Fig9a(quickCfg())
+	fig, err := Fig9a(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestFig9aSmoke(t *testing.T) {
 }
 
 func TestFig10aSmoke(t *testing.T) {
-	fig, err := Fig10a(quickCfg())
+	fig, err := Fig10a(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestFig10aSmoke(t *testing.T) {
 }
 
 func TestFig11Smoke(t *testing.T) {
-	fig, err := Fig11(quickCfg())
+	fig, err := Fig11(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestFig11Smoke(t *testing.T) {
 
 func TestFig12aSmoke(t *testing.T) {
 	cfg := Config{Seeds: 2, SizeFactor: 0.2, ILPMaxNodes: 20000}
-	fig, err := Fig12a(cfg)
+	fig, err := Fig12a(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestFig12aSmoke(t *testing.T) {
 
 func TestFig12cSmoke(t *testing.T) {
 	cfg := Config{Seeds: 2, SizeFactor: 0.2, ILPMaxNodes: 20000}
-	fig, err := Fig12c(cfg)
+	fig, err := Fig12c(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestEveryExperimentRunsTiny(t *testing.T) {
 	for _, e := range all {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			fig, err := e.Run(cfg)
+			fig, err := e.Run(context.Background(), cfg)
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}

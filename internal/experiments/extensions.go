@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"wlanmcast/internal/core"
@@ -50,173 +51,149 @@ func GetAny(id string) (Experiment, bool) {
 // MLA sweep as Figure 9(a), with stock-802.11 basic-rate-only
 // transmission as extra series. The problems stay NP-hard either way
 // (§3.1); the loads explode without multi-rate.
-func ExtBasicRate(cfg Config) (*metrics.Figure, error) {
+func ExtBasicRate(ctx context.Context, cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.normalize()
 	fig := &metrics.Figure{ID: "ext-basicrate", Title: "Total load: multi-rate vs basic rate", XLabel: "users", YLabel: "total load"}
 	fig.X = userSweep
-	for _, x := range fig.X {
-		perLabel := make(map[string][]float64)
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			for _, basic := range []bool{false, true} {
-				p := scenario.PaperDefaults()
-				p.NumAPs = cfg.scale(200)
-				p.NumUsers = cfg.scale(int(x))
-				p.Seed = int64(seed)
-				p.BasicRateOnly = basic
-				n, err := scenario.GenerateNetwork(p)
+	return runSeeds(ctx, cfg, fig, func(ctx context.Context, point, seed int) ([]Value, error) {
+		var out []Value
+		for _, basic := range []bool{false, true} {
+			p := scenario.PaperDefaults()
+			p.NumAPs = cfg.scale(200)
+			p.NumUsers = cfg.scale(int(fig.X[point]))
+			p.Seed = int64(seed)
+			p.BasicRateOnly = basic
+			n, err := scenario.GenerateNetwork(p)
+			if err != nil {
+				return nil, err
+			}
+			suffix := "/multi-rate"
+			if basic {
+				suffix = "/basic-rate"
+			}
+			for _, alg := range []core.Algorithm{&core.CentralizedMLA{}, &core.SSA{}} {
+				res, err := core.Evaluate(alg, n)
 				if err != nil {
 					return nil, err
 				}
-				suffix := "/multi-rate"
-				if basic {
-					suffix = "/basic-rate"
-				}
-				for _, alg := range []core.Algorithm{&core.CentralizedMLA{}, &core.SSA{}} {
-					res, err := core.Evaluate(alg, n)
-					if err != nil {
-						return nil, err
-					}
-					perLabel[alg.Name()+suffix] = append(perLabel[alg.Name()+suffix], res.TotalLoad)
-				}
+				out = append(out, Value{alg.Name() + suffix, res.TotalLoad})
 			}
 		}
-		for _, label := range []string{"MLA-centralized/multi-rate", "MLA-centralized/basic-rate", "SSA/multi-rate", "SSA/basic-rate"} {
-			fig.AddPoint(label, metrics.Collect(perLabel[label]))
-		}
-		cfg.logf("ext-basicrate: x=%v done", x)
-	}
-	return fig, fig.Validate()
+		return out, nil
+	})
 }
 
 // ExtPower sweeps the number of discrete power levels and reports the
 // interference-volume savings AssignPowers achieves on top of SSA,
 // MLA and BLA associations.
-func ExtPower(cfg Config) (*metrics.Figure, error) {
+func ExtPower(ctx context.Context, cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.normalize()
 	fig := &metrics.Figure{ID: "ext-power", Title: "Interference savings vs power levels", XLabel: "power levels", YLabel: "savings fraction"}
 	fig.X = []float64{1, 2, 3, 4, 6, 8, 12}
-	algs := []core.Algorithm{&core.SSA{}, &core.CentralizedMLA{}, &core.CentralizedBLA{}}
 	const exponent = 3.0
-	for _, x := range fig.X {
-		levels, err := radio.PowerLevels(int(x), 15)
+	return runSeeds(ctx, cfg, fig, func(ctx context.Context, point, seed int) ([]Value, error) {
+		levels, err := radio.PowerLevels(int(fig.X[point]), 15)
 		if err != nil {
 			return nil, err
 		}
-		perAlg := make(map[string][]float64)
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			p := scenario.PaperDefaults()
-			p.NumAPs = cfg.scale(100)
-			p.NumUsers = cfg.scale(200)
-			p.Seed = int64(seed)
-			n, err := scenario.GenerateNetwork(p)
+		p := scenario.PaperDefaults()
+		p.NumAPs = cfg.scale(100)
+		p.NumUsers = cfg.scale(200)
+		p.Seed = int64(seed)
+		n, err := scenario.GenerateNetwork(p)
+		if err != nil {
+			return nil, err
+		}
+		var out []Value
+		for _, alg := range []core.Algorithm{&core.SSA{}, &core.CentralizedMLA{}, &core.CentralizedBLA{}} {
+			res, err := core.Evaluate(alg, n)
 			if err != nil {
 				return nil, err
 			}
-			for _, alg := range algs {
-				res, err := core.Evaluate(alg, n)
-				if err != nil {
-					return nil, err
-				}
-				plan, err := core.AssignPowers(n, res.Assoc, radio.Table1(), levels, exponent)
-				if err != nil {
-					return nil, err
-				}
-				perAlg[alg.Name()] = append(perAlg[alg.Name()], plan.Savings())
+			plan, err := core.AssignPowers(n, res.Assoc, radio.Table1(), levels, exponent)
+			if err != nil {
+				return nil, err
 			}
+			out = append(out, Value{alg.Name(), plan.Savings()})
 		}
-		for _, alg := range algs {
-			fig.AddPoint(alg.Name(), metrics.Collect(perAlg[alg.Name()]))
-		}
-		cfg.logf("ext-power: %v levels done", x)
-	}
-	return fig, fig.Validate()
+		return out, nil
+	})
 }
 
 // ExtAirtime re-runs the Figure 9(a) sweep charging real 802.11a
 // per-frame overhead (AirtimeLoad) next to the paper's ratio model.
-func ExtAirtime(cfg Config) (*metrics.Figure, error) {
+func ExtAirtime(ctx context.Context, cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.normalize()
 	fig := &metrics.Figure{ID: "ext-airtime", Title: "Total load: ratio vs airtime model", XLabel: "users", YLabel: "total load"}
 	fig.X = userSweep
-	for _, x := range fig.X {
-		perLabel := make(map[string][]float64)
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			p := scenario.PaperDefaults()
-			p.NumAPs = cfg.scale(200)
-			p.NumUsers = cfg.scale(int(x))
-			p.Seed = int64(seed)
-			for _, airtime := range []bool{false, true} {
-				n, err := scenario.GenerateNetwork(p)
-				if err != nil {
-					return nil, err
-				}
-				suffix := "/ratio"
-				if airtime {
-					n.Load = wlan.AirtimeLoad{Model: radio.Default80211a(), PayloadBytes: 1472}
-					suffix = "/airtime"
-				}
-				res, err := core.Evaluate(&core.CentralizedMLA{}, n)
-				if err != nil {
-					return nil, err
-				}
-				perLabel["MLA"+suffix] = append(perLabel["MLA"+suffix], res.TotalLoad)
+	return runSeeds(ctx, cfg, fig, func(ctx context.Context, point, seed int) ([]Value, error) {
+		p := scenario.PaperDefaults()
+		p.NumAPs = cfg.scale(200)
+		p.NumUsers = cfg.scale(int(fig.X[point]))
+		p.Seed = int64(seed)
+		var out []Value
+		for _, airtime := range []bool{false, true} {
+			n, err := scenario.GenerateNetwork(p)
+			if err != nil {
+				return nil, err
 			}
+			suffix := "/ratio"
+			if airtime {
+				n.Load = wlan.AirtimeLoad{Model: radio.Default80211a(), PayloadBytes: 1472}
+				suffix = "/airtime"
+			}
+			res, err := core.Evaluate(&core.CentralizedMLA{}, n)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Value{"MLA" + suffix, res.TotalLoad})
 		}
-		for _, label := range []string{"MLA/ratio", "MLA/airtime"} {
-			fig.AddPoint(label, metrics.Collect(perLabel[label]))
-		}
-		cfg.logf("ext-airtime: x=%v done", x)
-	}
-	return fig, fig.Validate()
+		return out, nil
+	})
 }
 
 // ExtConvergence sweeps the decision jitter of the distributed BLA
 // protocol and reports the fraction of runs that converge and the
 // signaling frames per user — the §8 trade-off, with the lock
 // extension as the zero-jitter rescue.
-func ExtConvergence(cfg Config) (*metrics.Figure, error) {
+func ExtConvergence(ctx context.Context, cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.normalize()
 	fig := &metrics.Figure{ID: "ext-convergence", Title: "Convergence vs decision jitter", XLabel: "jitter (ms)", YLabel: "fraction / frames-per-user"}
 	fig.X = []float64{0, 50, 100, 200, 400, 800}
-	for _, x := range fig.X {
-		var conv, convLocks, msgs []float64
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			p := scenario.PaperDefaults()
-			p.NumAPs = cfg.scale(50)
-			p.NumUsers = cfg.scale(100)
-			p.Seed = int64(seed)
-			n, err := scenario.GenerateNetwork(p)
+	return runSeeds(ctx, cfg, fig, func(ctx context.Context, point, seed int) ([]Value, error) {
+		p := scenario.PaperDefaults()
+		p.NumAPs = cfg.scale(50)
+		p.NumUsers = cfg.scale(100)
+		p.Seed = int64(seed)
+		n, err := scenario.GenerateNetwork(p)
+		if err != nil {
+			return nil, err
+		}
+		var out []Value
+		for _, locks := range []bool{false, true} {
+			res, err := netsim.Run(netsim.Options{
+				Network:   n,
+				Objective: core.ObjBLA,
+				Jitter:    time.Duration(fig.X[point]) * time.Millisecond,
+				UseLocks:  locks,
+				Seed:      int64(seed),
+				MaxTime:   2 * time.Minute,
+			})
 			if err != nil {
 				return nil, err
 			}
-			for _, locks := range []bool{false, true} {
-				res, err := netsim.Run(netsim.Options{
-					Network:   n,
-					Objective: core.ObjBLA,
-					Jitter:    time.Duration(x) * time.Millisecond,
-					UseLocks:  locks,
-					Seed:      int64(seed),
-					MaxTime:   2 * time.Minute,
-				})
-				if err != nil {
-					return nil, err
-				}
-				val := 0.0
-				if res.Converged {
-					val = 1
-				}
-				if locks {
-					convLocks = append(convLocks, val)
-				} else {
-					conv = append(conv, val)
-					msgs = append(msgs, float64(res.Stats.Messages())/float64(n.NumUsers()))
-				}
+			val := 0.0
+			if res.Converged {
+				val = 1
+			}
+			if locks {
+				out = append(out, Value{"converged-with-locks", val})
+			} else {
+				out = append(out,
+					Value{"converged", val},
+					Value{"frames-per-user", float64(res.Stats.Messages()) / float64(n.NumUsers())})
 			}
 		}
-		fig.AddPoint("converged", metrics.Collect(conv))
-		fig.AddPoint("converged-with-locks", metrics.Collect(convLocks))
-		fig.AddPoint("frames-per-user", metrics.Collect(msgs))
-		cfg.logf("ext-convergence: jitter=%vms done", x)
-	}
-	return fig, fig.Validate()
+		return out, nil
+	})
 }

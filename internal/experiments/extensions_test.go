@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 )
 
@@ -27,7 +28,7 @@ func TestExtensionsRegistered(t *testing.T) {
 }
 
 func TestExtBasicRateSmoke(t *testing.T) {
-	fig, err := ExtBasicRate(quickCfg())
+	fig, err := ExtBasicRate(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestExtBasicRateSmoke(t *testing.T) {
 }
 
 func TestExtPowerSmoke(t *testing.T) {
-	fig, err := ExtPower(quickCfg())
+	fig, err := ExtPower(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestExtPowerSmoke(t *testing.T) {
 }
 
 func TestExtAirtimeSmoke(t *testing.T) {
-	fig, err := ExtAirtime(quickCfg())
+	fig, err := ExtAirtime(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestExtAirtimeSmoke(t *testing.T) {
 
 func TestExtConvergenceSmoke(t *testing.T) {
 	cfg := Config{Seeds: 2, SizeFactor: 0.1}
-	fig, err := ExtConvergence(cfg)
+	fig, err := ExtConvergence(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"wlanmcast/internal/core"
 	"wlanmcast/internal/metrics"
 	"wlanmcast/internal/radio"
@@ -19,10 +21,10 @@ var (
 
 // Fig9a reproduces Figure 9(a): total AP load vs number of users with
 // 200 APs and 5 sessions.
-func Fig9a(cfg Config) (*metrics.Figure, error) {
+func Fig9a(ctx context.Context, cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.normalize()
 	fig := &metrics.Figure{ID: "fig9a", Title: "Total AP load vs users", XLabel: "users", YLabel: "total load"}
-	return sweep(cfg, fig, userSweep, func(x float64, seed int64) scenario.Params {
+	return sweep(ctx, cfg, fig, userSweep, func(x float64, seed int64) scenario.Params {
 		p := scenario.PaperDefaults()
 		p.NumAPs = cfg.scale(200)
 		p.NumUsers = cfg.scale(int(x))
@@ -33,10 +35,10 @@ func Fig9a(cfg Config) (*metrics.Figure, error) {
 
 // Fig9b reproduces Figure 9(b): total AP load vs number of APs with
 // 100 users.
-func Fig9b(cfg Config) (*metrics.Figure, error) {
+func Fig9b(ctx context.Context, cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.normalize()
 	fig := &metrics.Figure{ID: "fig9b", Title: "Total AP load vs APs", XLabel: "APs", YLabel: "total load"}
-	return sweep(cfg, fig, apSweep, func(x float64, seed int64) scenario.Params {
+	return sweep(ctx, cfg, fig, apSweep, func(x float64, seed int64) scenario.Params {
 		p := scenario.PaperDefaults()
 		p.NumAPs = cfg.scale(int(x))
 		p.NumUsers = cfg.scale(100)
@@ -47,10 +49,10 @@ func Fig9b(cfg Config) (*metrics.Figure, error) {
 
 // Fig9c reproduces Figure 9(c): total AP load vs number of sessions
 // with 200 APs and 200 users.
-func Fig9c(cfg Config) (*metrics.Figure, error) {
+func Fig9c(ctx context.Context, cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.normalize()
 	fig := &metrics.Figure{ID: "fig9c", Title: "Total AP load vs sessions", XLabel: "sessions", YLabel: "total load"}
-	return sweep(cfg, fig, sessionSweep, func(x float64, seed int64) scenario.Params {
+	return sweep(ctx, cfg, fig, sessionSweep, func(x float64, seed int64) scenario.Params {
 		p := scenario.PaperDefaults()
 		p.NumAPs = cfg.scale(200)
 		p.NumUsers = cfg.scale(200)
@@ -61,10 +63,10 @@ func Fig9c(cfg Config) (*metrics.Figure, error) {
 }
 
 // Fig10a reproduces Figure 10(a): max AP load vs number of users.
-func Fig10a(cfg Config) (*metrics.Figure, error) {
+func Fig10a(ctx context.Context, cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.normalize()
 	fig := &metrics.Figure{ID: "fig10a", Title: "Max AP load vs users", XLabel: "users", YLabel: "max load"}
-	return sweep(cfg, fig, userSweep, func(x float64, seed int64) scenario.Params {
+	return sweep(ctx, cfg, fig, userSweep, func(x float64, seed int64) scenario.Params {
 		p := scenario.PaperDefaults()
 		p.NumAPs = cfg.scale(200)
 		p.NumUsers = cfg.scale(int(x))
@@ -74,10 +76,10 @@ func Fig10a(cfg Config) (*metrics.Figure, error) {
 }
 
 // Fig10b reproduces Figure 10(b): max AP load vs number of APs.
-func Fig10b(cfg Config) (*metrics.Figure, error) {
+func Fig10b(ctx context.Context, cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.normalize()
 	fig := &metrics.Figure{ID: "fig10b", Title: "Max AP load vs APs", XLabel: "APs", YLabel: "max load"}
-	return sweep(cfg, fig, apSweep, func(x float64, seed int64) scenario.Params {
+	return sweep(ctx, cfg, fig, apSweep, func(x float64, seed int64) scenario.Params {
 		p := scenario.PaperDefaults()
 		p.NumAPs = cfg.scale(int(x))
 		p.NumUsers = cfg.scale(100)
@@ -87,10 +89,10 @@ func Fig10b(cfg Config) (*metrics.Figure, error) {
 }
 
 // Fig10c reproduces Figure 10(c): max AP load vs number of sessions.
-func Fig10c(cfg Config) (*metrics.Figure, error) {
+func Fig10c(ctx context.Context, cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.normalize()
 	fig := &metrics.Figure{ID: "fig10c", Title: "Max AP load vs sessions", XLabel: "sessions", YLabel: "max load"}
-	return sweep(cfg, fig, sessionSweep, func(x float64, seed int64) scenario.Params {
+	return sweep(ctx, cfg, fig, sessionSweep, func(x float64, seed int64) scenario.Params {
 		p := scenario.PaperDefaults()
 		p.NumAPs = cfg.scale(200)
 		p.NumUsers = cfg.scale(200)
@@ -102,10 +104,10 @@ func Fig10c(cfg Config) (*metrics.Figure, error) {
 
 // Fig11 reproduces Figure 11: satisfied users vs the per-AP multicast
 // load budget, with 400 users, 100 APs and 18 sessions.
-func Fig11(cfg Config) (*metrics.Figure, error) {
+func Fig11(ctx context.Context, cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.normalize()
 	fig := &metrics.Figure{ID: "fig11", Title: "Satisfied users vs load budget", XLabel: "budget", YLabel: "satisfied users"}
-	return sweep(cfg, fig, budgetSweep, func(x float64, seed int64) scenario.Params {
+	return sweep(ctx, cfg, fig, budgetSweep, func(x float64, seed int64) scenario.Params {
 		p := scenario.PaperDefaults()
 		p.NumAPs = cfg.scale(100)
 		p.NumUsers = cfg.scale(400)
@@ -133,26 +135,26 @@ func fig12Params(cfg Config, users float64, seed int64, budget float64) scenario
 
 // Fig12a reproduces Figure 12(a): total AP load vs users including
 // the ILP optimum.
-func Fig12a(cfg Config) (*metrics.Figure, error) {
+func Fig12a(ctx context.Context, cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.normalize()
 	fig := &metrics.Figure{ID: "fig12a", Title: "Total AP load vs users (vs optimal)", XLabel: "users", YLabel: "total load"}
 	algs := func() []core.Algorithm {
 		return append(mlaAlgs(), &core.OptimalMLA{MaxNodes: cfg.ILPMaxNodes})
 	}
-	return sweep(cfg, fig, fig12Users, func(x float64, seed int64) scenario.Params {
+	return sweep(ctx, cfg, fig, fig12Users, func(x float64, seed int64) scenario.Params {
 		return fig12Params(cfg, x, seed, 0)
 	}, algs, totalLoad)
 }
 
 // Fig12b reproduces Figure 12(b): max AP load vs users including the
 // ILP optimum.
-func Fig12b(cfg Config) (*metrics.Figure, error) {
+func Fig12b(ctx context.Context, cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.normalize()
 	fig := &metrics.Figure{ID: "fig12b", Title: "Max AP load vs users (vs optimal)", XLabel: "users", YLabel: "max load"}
 	algs := func() []core.Algorithm {
 		return append(blaAlgs(), &core.OptimalBLA{MaxNodes: cfg.ILPMaxNodes})
 	}
-	return sweep(cfg, fig, fig12Users, func(x float64, seed int64) scenario.Params {
+	return sweep(ctx, cfg, fig, fig12Users, func(x float64, seed int64) scenario.Params {
 		return fig12Params(cfg, x, seed, 0)
 	}, algs, maxLoad)
 }
@@ -163,13 +165,13 @@ func Fig12b(cfg Config) (*metrics.Figure, error) {
 // 0.5 Mbps stream at the 12 Mbps PHY rate (0.5/12 = 0.0417), which
 // reproduces the near-full-coverability regime its Figure 12(c)
 // reports (see DESIGN.md on unstated parameters).
-func Fig12c(cfg Config) (*metrics.Figure, error) {
+func Fig12c(ctx context.Context, cfg Config) (*metrics.Figure, error) {
 	cfg = cfg.normalize()
 	fig := &metrics.Figure{ID: "fig12c", Title: "Unsatisfied users vs users (vs optimal)", XLabel: "users", YLabel: "unsatisfied users"}
 	algs := func() []core.Algorithm {
 		return append(mnuAlgs(), &core.OptimalMNU{MaxNodes: cfg.ILPMaxNodes})
 	}
-	return sweep(cfg, fig, fig12Users, func(x float64, seed int64) scenario.Params {
+	return sweep(ctx, cfg, fig, fig12Users, func(x float64, seed int64) scenario.Params {
 		p := fig12Params(cfg, x, seed, 0.042)
 		p.SessionRate = 0.5
 		return p

@@ -94,26 +94,26 @@ func (f *Figure) Validate() error {
 }
 
 // Table renders the figure as an aligned text table of averages with
-// [min, max] ranges — the same information the paper's error-bar
-// plots carry.
+// ±stddev spreads and [min, max] ranges — the same information the
+// paper's error-bar plots carry.
 func (f *Figure) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
 	fmt.Fprintf(&b, "%-12s", f.XLabel)
 	for _, s := range f.Series {
-		fmt.Fprintf(&b, " | %-28s", s.Label)
+		fmt.Fprintf(&b, " | %-36s", s.Label)
 	}
 	b.WriteByte('\n')
-	b.WriteString(strings.Repeat("-", 12+len(f.Series)*31))
+	b.WriteString(strings.Repeat("-", 12+len(f.Series)*39))
 	b.WriteByte('\n')
 	for i, x := range f.X {
 		fmt.Fprintf(&b, "%-12g", x)
 		for _, s := range f.Series {
 			if i < len(s.Stats) {
 				st := s.Stats[i]
-				fmt.Fprintf(&b, " | %8.4f [%7.4f,%8.4f]", st.Avg, st.Min, st.Max)
+				fmt.Fprintf(&b, " | %8.4f ±%-7.4f [%7.4f,%8.4f]", st.Avg, st.StdDev, st.Min, st.Max)
 			} else {
-				fmt.Fprintf(&b, " | %-28s", "-")
+				fmt.Fprintf(&b, " | %-36s", "-")
 			}
 		}
 		b.WriteByte('\n')
@@ -121,13 +121,13 @@ func (f *Figure) Table() string {
 	return b.String()
 }
 
-// CSV renders the figure as comma-separated values with avg/min/max
-// columns per series.
+// CSV renders the figure as comma-separated values with
+// avg/min/max/stddev columns per series.
 func (f *Figure) CSV() string {
 	var b strings.Builder
 	b.WriteString(csvEscape(f.XLabel))
 	for _, s := range f.Series {
-		for _, suffix := range []string{"avg", "min", "max"} {
+		for _, suffix := range []string{"avg", "min", "max", "stddev"} {
 			fmt.Fprintf(&b, ",%s", csvEscape(s.Label+"_"+suffix))
 		}
 	}
@@ -137,9 +137,9 @@ func (f *Figure) CSV() string {
 		for _, s := range f.Series {
 			if i < len(s.Stats) {
 				st := s.Stats[i]
-				fmt.Fprintf(&b, ",%g,%g,%g", st.Avg, st.Min, st.Max)
+				fmt.Fprintf(&b, ",%g,%g,%g,%g", st.Avg, st.Min, st.Max, st.StdDev)
 			} else {
-				b.WriteString(",,,")
+				b.WriteString(",,,,")
 			}
 		}
 		b.WriteByte('\n')

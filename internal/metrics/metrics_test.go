@@ -52,10 +52,10 @@ func TestCollectProperties(t *testing.T) {
 
 func buildFigure() *Figure {
 	f := &Figure{ID: "fig9a", Title: "Total load vs users", XLabel: "users", YLabel: "total load", X: []float64{100, 200}}
-	f.AddPoint("SSA", Stat{Avg: 10, Min: 9, Max: 11, N: 3})
-	f.AddPoint("SSA", Stat{Avg: 20, Min: 18, Max: 22, N: 3})
-	f.AddPoint("MLA", Stat{Avg: 7, Min: 6, Max: 8, N: 3})
-	f.AddPoint("MLA", Stat{Avg: 14, Min: 13, Max: 15, N: 3})
+	f.AddPoint("SSA", Stat{Avg: 10, Min: 9, Max: 11, StdDev: 1, N: 3})
+	f.AddPoint("SSA", Stat{Avg: 20, Min: 18, Max: 22, StdDev: 2, N: 3})
+	f.AddPoint("MLA", Stat{Avg: 7, Min: 6, Max: 8, StdDev: 0.5, N: 3})
+	f.AddPoint("MLA", Stat{Avg: 14, Min: 13, Max: 15, StdDev: 0.75, N: 3})
 	return f
 }
 
@@ -80,6 +80,27 @@ func TestFigureTable(t *testing.T) {
 			t.Errorf("table missing %q:\n%s", want, tbl)
 		}
 	}
+	// The ±stddev spread is part of every cell (pinned format).
+	for _, want := range []string{"±1.0000", "±2.0000", "±0.5000", "±0.7500"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing stddev %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestFigureTablePinnedCell(t *testing.T) {
+	// One full row, exact: avg ±stddev [min, max] per series.
+	tbl := buildFigure().Table()
+	want := "100          |  10.0000 ±1.0000  [ 9.0000, 11.0000] |   7.0000 ±0.5000  [ 6.0000,  8.0000]"
+	var found bool
+	for _, line := range strings.Split(tbl, "\n") {
+		if line == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pinned row %q not found in:\n%s", want, tbl)
+	}
 }
 
 func TestFigureCSV(t *testing.T) {
@@ -88,11 +109,25 @@ func TestFigureCSV(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("csv has %d lines, want 3:\n%s", len(lines), csv)
 	}
-	if lines[0] != "users,SSA_avg,SSA_min,SSA_max,MLA_avg,MLA_min,MLA_max" {
+	if lines[0] != "users,SSA_avg,SSA_min,SSA_max,SSA_stddev,MLA_avg,MLA_min,MLA_max,MLA_stddev" {
 		t.Errorf("header = %q", lines[0])
 	}
-	if !strings.HasPrefix(lines[1], "100,10,9,11,") {
+	if lines[1] != "100,10,9,11,1,7,6,8,0.5" {
 		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "200,20,18,22,2,14,13,15,0.75" {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestCSVMissingCells(t *testing.T) {
+	// A series missing a point still emits four empty cells so the
+	// column grid stays aligned.
+	f := &Figure{XLabel: "x", X: []float64{1, 2}}
+	f.AddPoint("a", Stat{Avg: 1, Min: 1, Max: 1})
+	lines := strings.Split(strings.TrimSpace(f.CSV()), "\n")
+	if lines[2] != "2,,,," {
+		t.Errorf("missing-cell row = %q, want %q", lines[2], "2,,,,")
 	}
 }
 
@@ -100,7 +135,7 @@ func TestCSVEscaping(t *testing.T) {
 	f := &Figure{XLabel: `x,with"comma`, X: []float64{1}}
 	f.AddPoint("a,b", Stat{})
 	csv := f.CSV()
-	if !strings.Contains(csv, `"x,with""comma"`) || !strings.Contains(csv, `"a,b_avg"`) {
+	if !strings.Contains(csv, `"x,with""comma"`) || !strings.Contains(csv, `"a,b_avg"`) || !strings.Contains(csv, `"a,b_stddev"`) {
 		t.Errorf("escaping wrong: %q", csv)
 	}
 }

@@ -1,0 +1,171 @@
+// Package runner is the shared sweep engine under every experiment:
+// a bounded, context-aware worker pool that fans a points x seeds
+// grid of independent evaluations out over goroutines and collects
+// the results deterministically by (point, seed) index, regardless
+// of completion order.
+//
+// The paper's evaluation (§7) averages every data point over 40
+// seeded scenarios; those seed evaluations are embarrassingly
+// parallel because all scenario and protocol randomness is drawn
+// from per-seed rand.New(rand.NewSource(seed)) instances. Map
+// exploits that: Workers=1 reproduces the classic sequential loop,
+// Workers=N produces byte-identical figures N times faster.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Event describes one completed sweep point. Events are delivered to
+// Options.OnProgress in completion order (which under parallelism is
+// not necessarily point order).
+type Event struct {
+	// Point is the index (into the points dimension) whose seeds all
+	// just finished.
+	Point int
+	// DonePoints and Points count completed and total points.
+	DonePoints, Points int
+	// DoneTasks and Tasks count completed and total (point, seed)
+	// evaluations.
+	DoneTasks, Tasks int
+	// Elapsed is wall-clock time since Map started.
+	Elapsed time.Duration
+	// TasksPerSec is the cumulative seed-evaluation completion rate.
+	TasksPerSec float64
+}
+
+// Options tunes a Map call. The zero value runs with GOMAXPROCS
+// workers and no progress reporting.
+type Options struct {
+	// Workers bounds the goroutine pool; <= 0 selects GOMAXPROCS.
+	// Workers=1 is exactly the sequential loop: tasks run one at a
+	// time in (point, seed) order.
+	Workers int
+	// OnProgress, when non-nil, receives one Event per completed
+	// point. Delivery is serialized — OnProgress is never invoked
+	// concurrently — so callbacks need no locking of their own.
+	OnProgress func(Event)
+}
+
+// Map runs fn for every (point, seed) pair on a bounded worker pool
+// and returns the results indexed as out[point][seed], an order
+// independent of scheduling. The first fn error cancels all
+// in-flight and pending work and is returned; cancellation of ctx
+// (deadline, signal) likewise stops the sweep and returns ctx's
+// error. fn receives a context that is done as soon as the sweep is
+// abandoned, so long-running evaluations may check it.
+func Map[T any](ctx context.Context, opts Options, points, seeds int, fn func(ctx context.Context, point, seed int) (T, error)) ([][]T, error) {
+	if points < 0 || seeds < 0 {
+		return nil, fmt.Errorf("runner: negative grid %dx%d", points, seeds)
+	}
+	out := make([][]T, points)
+	for p := range out {
+		out[p] = make([]T, seeds)
+	}
+	tasks := points * seeds
+	if tasks == 0 {
+		return out, ctx.Err()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > tasks {
+		workers = tasks
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		start = time.Now()
+		// mu guards the counters below, firstErr, and serializes
+		// OnProgress delivery.
+		mu        sync.Mutex
+		remaining = make([]int, points)
+		done      int
+		donePts   int
+		firstErr  error
+	)
+	for p := range remaining {
+		remaining[p] = seeds
+	}
+
+	feed := make(chan [2]int)
+	go func() {
+		defer close(feed)
+		for p := 0; p < points; p++ {
+			for s := 0; s < seeds; s++ {
+				select {
+				case feed <- [2]int{p, s}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for t := range feed {
+				if ctx.Err() != nil {
+					return
+				}
+				p, s := t[0], t[1]
+				v, err := fn(ctx, p, s)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				out[p][s] = v
+				mu.Lock()
+				done++
+				remaining[p]--
+				if remaining[p] == 0 {
+					donePts++
+					if opts.OnProgress != nil {
+						ev := Event{
+							Point:      p,
+							DonePoints: donePts,
+							Points:     points,
+							DoneTasks:  done,
+							Tasks:      tasks,
+							Elapsed:    time.Since(start),
+						}
+						if secs := ev.Elapsed.Seconds(); secs > 0 {
+							ev.TasksPerSec = float64(done) / secs
+						}
+						opts.OnProgress(ev)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	err, completed := firstErr, done
+	mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if completed != tasks {
+		// No fn error but the grid did not finish: the parent context
+		// was cancelled (signal or deadline).
+		return nil, ctx.Err()
+	}
+	return out, nil
+}

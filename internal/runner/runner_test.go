@@ -1,0 +1,241 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// grid returns the deterministic value a task should produce.
+func grid(p, s int) int { return 100*p + s }
+
+func TestMapCollectsByIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			out, err := Map(context.Background(), Options{Workers: workers}, 5, 7,
+				func(ctx context.Context, p, s int) (int, error) {
+					return grid(p, s), nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != 5 {
+				t.Fatalf("points = %d, want 5", len(out))
+			}
+			for p := range out {
+				for s := range out[p] {
+					if out[p][s] != grid(p, s) {
+						t.Fatalf("out[%d][%d] = %d, want %d", p, s, out[p][s], grid(p, s))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) [][]int {
+		out, err := Map(context.Background(), Options{Workers: workers}, 4, 9,
+			func(ctx context.Context, p, s int) (int, error) {
+				// Stagger completion so parallel runs finish out of
+				// submission order.
+				time.Sleep(time.Duration((p*9+s)%3) * time.Millisecond)
+				return grid(p, s), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq, par := run(1), run(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("Workers=1 and Workers=8 disagree:\n%v\n%v", seq, par)
+	}
+}
+
+func TestMapFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	_, err := Map(context.Background(), Options{Workers: 2}, 10, 10,
+		func(ctx context.Context, p, s int) (int, error) {
+			ran.Add(1)
+			if p == 1 && s == 3 {
+				return 0, boom
+			}
+			return 0, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := ran.Load(); n >= 100 {
+		t.Errorf("error did not cancel the sweep: %d/100 tasks ran", n)
+	}
+}
+
+func TestMapSequentialErrorStopsImmediately(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int
+	_, err := Map(context.Background(), Options{Workers: 1}, 3, 3,
+		func(ctx context.Context, p, s int) (int, error) {
+			ran++
+			if p == 0 && s == 1 {
+				return 0, boom
+			}
+			return 0, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if ran != 2 {
+		t.Errorf("ran %d tasks before the sequential error, want 2", ran)
+	}
+}
+
+func TestMapContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	done := make(chan struct{})
+	var err error
+	go func() {
+		defer close(done)
+		_, err = Map(ctx, Options{Workers: 2}, 100, 100,
+			func(ctx context.Context, p, s int) (int, error) {
+				once.Do(func() { close(started) })
+				select {
+				case <-ctx.Done():
+					return 0, ctx.Err()
+				case <-time.After(50 * time.Millisecond):
+					return 0, nil
+				}
+			})
+	}()
+	<-started
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Map did not return after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := Map(ctx, Options{Workers: 2}, 50, 50,
+		func(ctx context.Context, p, s int) (int, error) {
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(20 * time.Millisecond):
+				return 0, nil
+			}
+		})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestMapProgressSerializedAndComplete(t *testing.T) {
+	var (
+		mu       sync.Mutex
+		inside   atomic.Int64
+		events   []Event
+		overlaps int
+	)
+	_, err := Map(context.Background(), Options{
+		Workers: 8,
+		OnProgress: func(ev Event) {
+			if inside.Add(1) != 1 {
+				overlaps++
+			}
+			// Dawdle to widen any race window.
+			time.Sleep(100 * time.Microsecond)
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+			inside.Add(-1)
+		},
+	}, 6, 4, func(ctx context.Context, p, s int) (int, error) {
+		return grid(p, s), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overlaps != 0 {
+		t.Errorf("OnProgress ran concurrently %d times; guaranteed serialized", overlaps)
+	}
+	if len(events) != 6 {
+		t.Fatalf("got %d progress events, want one per point (6)", len(events))
+	}
+	seen := make(map[int]bool)
+	for i, ev := range events {
+		if seen[ev.Point] {
+			t.Errorf("point %d reported twice", ev.Point)
+		}
+		seen[ev.Point] = true
+		if ev.Points != 6 || ev.Tasks != 24 {
+			t.Errorf("event %d totals = %d points/%d tasks, want 6/24", i, ev.Points, ev.Tasks)
+		}
+		if ev.DonePoints != i+1 {
+			t.Errorf("event %d DonePoints = %d, want %d", i, ev.DonePoints, i+1)
+		}
+		// DonePoints complete points account for 4 seeds each.
+		if ev.DoneTasks < ev.DonePoints*4 {
+			t.Errorf("event %d DoneTasks = %d below %d complete points x 4 seeds", i, ev.DoneTasks, ev.DonePoints)
+		}
+	}
+	last := events[len(events)-1]
+	if last.DoneTasks != 24 || last.DonePoints != 6 {
+		t.Errorf("final event = %+v, want all 24 tasks and 6 points done", last)
+	}
+}
+
+func TestMapEmptyGrid(t *testing.T) {
+	out, err := Map(context.Background(), Options{}, 0, 5,
+		func(ctx context.Context, p, s int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty grid: out=%v err=%v", out, err)
+	}
+	out, err = Map(context.Background(), Options{}, 3, 0,
+		func(ctx context.Context, p, s int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 3 {
+		t.Errorf("zero seeds: out=%v err=%v", out, err)
+	}
+	if _, err := Map(context.Background(), Options{}, -1, 2,
+		func(ctx context.Context, p, s int) (int, error) { return 0, nil }); err == nil {
+		t.Error("negative grid should error")
+	}
+}
+
+func TestMapWorkerCountRespected(t *testing.T) {
+	var cur, peak atomic.Int64
+	_, err := Map(context.Background(), Options{Workers: 3}, 4, 10,
+		func(ctx context.Context, p, s int) (int, error) {
+			n := cur.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return 0, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Errorf("observed %d concurrent tasks, worker bound is 3", p)
+	}
+}

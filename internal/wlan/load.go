@@ -135,20 +135,29 @@ func (a *Assoc) Equal(b *Assoc) bool {
 // at the slowest of those users' rates (so everyone can decode), and
 // the loads add up (Definition 1).
 func (n *Network) APLoad(a *Assoc, ap int) float64 {
-	minRate := make(map[int]radio.Mbps)
+	// Track the slowest associated user per session in index order:
+	// summing in a fixed order keeps the float result bit-identical
+	// across runs (map iteration order would reshuffle the additions),
+	// which the parallel experiment runner's determinism guarantee
+	// relies on.
+	minRate := make([]radio.Mbps, len(n.Sessions))
+	served := make([]bool, len(n.Sessions))
 	for _, u := range n.coverage[ap] {
 		if a.apOf[u] != ap {
 			continue
 		}
 		r, _ := n.TxRate(ap, u)
 		s := n.Users[u].Session
-		if cur, ok := minRate[s]; !ok || r < cur {
+		if !served[s] || r < minRate[s] {
+			served[s] = true
 			minRate[s] = r
 		}
 	}
 	load := 0.0
 	for s, r := range minRate {
-		load += n.SessionLoad(s, r)
+		if served[s] {
+			load += n.SessionLoad(s, r)
+		}
 	}
 	return load
 }

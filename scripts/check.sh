@@ -1,0 +1,25 @@
+#!/bin/sh
+# check.sh — the repo's CI gate, runnable locally.
+#
+#   ./scripts/check.sh
+#
+# Runs, in order:
+#   1. go vet over every package
+#   2. the full test suite
+#   3. the race detector over the concurrency-sensitive packages
+#      (internal/runner and internal/experiments, which fan seed
+#      evaluations over a goroutine pool)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (runner + experiments)"
+go test -race ./internal/runner ./internal/experiments
+
+echo "ok: all checks passed"
