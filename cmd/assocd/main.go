@@ -11,6 +11,13 @@
 // (seed, seed+1, ...) fanned out over the shared experiment runner
 // (-parallel workers, 0 = all CPUs), and a convergence/signaling
 // summary over the batch is reported; Ctrl-C cancels the batch.
+//
+// With -serve the command instead runs as a long-lived association
+// daemon: an HTTP JSON API (see serve.go) over the online incremental
+// engine in internal/engine. Ctrl-C / SIGTERM shuts it down
+// gracefully.
+//
+//	assocd -serve [-addr 127.0.0.1:8700]
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,8 +59,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	locks := fs.Bool("locks", false, "enable the lock-coordination extension (paper §8)")
 	runs := fs.Int("runs", 1, "number of consecutive seeds to simulate")
 	parallel := fs.Int("parallel", 0, "concurrent runs with -runs (0 = all CPUs)")
+	serve := fs.Bool("serve", false, "run as a long-lived association daemon (HTTP JSON API)")
+	addr := fs.String("addr", "127.0.0.1:8700", "listen address with -serve")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *serve {
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			fmt.Fprintf(stderr, "assocd: %v\n", err)
+			return 1
+		}
+		if err := serveOn(ctx, ln, stderr); err != nil {
+			fmt.Fprintf(stderr, "assocd: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	obj, err := objectiveByName(*objective)

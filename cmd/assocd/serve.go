@@ -1,0 +1,475 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"wlanmcast/internal/core"
+	"wlanmcast/internal/engine"
+	"wlanmcast/internal/scenario"
+	"wlanmcast/internal/wlan"
+)
+
+// server is the assocd -serve HTTP daemon: one online association
+// engine behind a JSON API. All engine access is serialized by mu —
+// the engine itself is single-threaded; the HTTP layer is the
+// concurrency boundary.
+//
+// Endpoints:
+//
+//	POST /v1/scenario  load or generate a scenario, build the engine
+//	POST /v1/events    apply churn events (one object or an array)
+//	POST /v1/trace     generate + apply a seeded Poisson churn trace
+//	GET  /v1/assoc     association snapshot
+//	PUT  /v1/assoc     force-install an association (validated)
+//	GET  /v1/loads     per-AP load vector, total, max
+//	GET  /metrics      Prometheus-style text exposition
+//	GET  /healthz      liveness
+type server struct {
+	mu      sync.Mutex
+	eng     *engine.Engine
+	started time.Time
+	mux     *http.ServeMux
+}
+
+func newServer() *server {
+	s := &server{started: time.Now(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/scenario", s.handleScenario)
+	s.mux.HandleFunc("/v1/events", s.handleEvents)
+	s.mux.HandleFunc("/v1/trace", s.handleTrace)
+	s.mux.HandleFunc("/v1/assoc", s.handleAssoc)
+	s.mux.HandleFunc("/v1/loads", s.handleLoads)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// serveOn runs the daemon on ln until ctx is cancelled, then shuts
+// down gracefully (in-flight requests get up to 5s to finish).
+func serveOn(ctx context.Context, ln net.Listener, stderr io.Writer) error {
+	srv := &http.Server{Handler: newServer()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Fprintf(stderr, "assocd: serving on http://%s\n", ln.Addr())
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return err
+		}
+		<-errc // http.ErrServerClosed
+		return nil
+	case err := <-errc:
+		return err
+	}
+}
+
+// --- request/response types ---
+
+// scenarioRequest configures the engine. Either spec (a full scenario
+// document, as produced by cmd/scenariogen) or the generator fields
+// are given; spec wins when present.
+type scenarioRequest struct {
+	Spec *scenario.Spec `json:"spec,omitempty"`
+
+	APs      int   `json:"aps,omitempty"`
+	Users    int   `json:"users,omitempty"`
+	Sessions int   `json:"sessions,omitempty"`
+	Seed     int64 `json:"seed,omitempty"`
+
+	Objective     string  `json:"objective,omitempty"` // mnu | bla | mla (default mla)
+	EnforceBudget bool    `json:"enforce_budget,omitempty"`
+	Hysteresis    float64 `json:"hysteresis,omitempty"`
+	Mode          string  `json:"mode,omitempty"` // incremental | full (default incremental)
+	ActiveUsers   int     `json:"active_users,omitempty"`
+}
+
+type statusResponse struct {
+	APs         int     `json:"aps"`
+	Users       int     `json:"users"`
+	ActiveUsers int     `json:"active_users"`
+	Satisfied   int     `json:"satisfied"`
+	TotalLoad   float64 `json:"total_load"`
+	MaxLoad     float64 `json:"max_load"`
+}
+
+type traceRequest struct {
+	Seed   int64 `json:"seed"`
+	Events int   `json:"events"`
+
+	JoinRate   float64 `json:"join_rate,omitempty"`
+	LeaveRate  float64 `json:"leave_rate,omitempty"`
+	MoveRate   float64 `json:"move_rate,omitempty"`
+	DemandRate float64 `json:"demand_rate,omitempty"`
+}
+
+type eventsResponse struct {
+	Applied     int     `json:"applied"`
+	Redecisions int     `json:"redecisions"`
+	Moves       int     `json:"moves"`
+	TotalLoad   float64 `json:"total_load"`
+	MaxLoad     float64 `json:"max_load"`
+}
+
+// --- handlers ---
+
+func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req scenarioRequest
+	if err := decodeBody(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	var (
+		n   *wlan.Network
+		err error
+	)
+	if req.Spec != nil {
+		n, err = req.Spec.Network()
+	} else {
+		n, err = scenario.GenerateNetwork(scenario.Params{
+			NumAPs:      req.APs,
+			NumUsers:    req.Users,
+			NumSessions: req.Sessions,
+			Seed:        req.Seed,
+		})
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "build network: %v", err)
+		return
+	}
+	obj := core.ObjMLA
+	if req.Objective != "" {
+		if obj, err = objectiveByName(req.Objective); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	mode := engine.ModeIncremental
+	switch req.Mode {
+	case "", "incremental":
+	case "full", "full-recompute":
+		mode = engine.ModeFullRecompute
+	default:
+		httpError(w, http.StatusBadRequest, "unknown mode %q", req.Mode)
+		return
+	}
+	eng, err := engine.New(n, engine.Config{
+		Objective:     obj,
+		EnforceBudget: req.EnforceBudget,
+		Hysteresis:    req.Hysteresis,
+		Mode:          mode,
+		ActiveUsers:   req.ActiveUsers,
+	})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "build engine: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.eng = eng
+	s.mu.Unlock()
+	writeJSON(w, s.status(eng))
+}
+
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	// Accept a single event object or an array of events.
+	var events []engine.Event
+	if err := json.Unmarshal(body, &events); err != nil {
+		var one engine.Event
+		if err2 := json.Unmarshal(body, &one); err2 != nil {
+			httpError(w, http.StatusBadRequest, "decode events: %v", err)
+			return
+		}
+		events = []engine.Event{one}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng == nil {
+		httpError(w, http.StatusConflict, "no scenario loaded; POST /v1/scenario first")
+		return
+	}
+	resp := eventsResponse{}
+	for i, ev := range events {
+		res, err := s.eng.Apply(ev)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "event %d: %v (%d applied)", i, err, resp.Applied)
+			return
+		}
+		resp.Applied++
+		resp.Redecisions += res.Redecisions
+		resp.Moves += res.Moves
+	}
+	resp.TotalLoad = s.eng.TotalLoad()
+	resp.MaxLoad = s.eng.MaxLoad()
+	writeJSON(w, resp)
+}
+
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req traceRequest
+	if err := decodeBody(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng == nil {
+		httpError(w, http.StatusConflict, "no scenario loaded; POST /v1/scenario first")
+		return
+	}
+	n := s.eng.Network()
+	trace, err := engine.GenTrace(engine.TraceParams{
+		Seed:          req.Seed,
+		Events:        req.Events,
+		Area:          n.Area,
+		Users:         n.NumUsers(),
+		InitialActive: s.eng.ActiveUsers(),
+		Sessions:      n.NumSessions(),
+		JoinRate:      req.JoinRate,
+		LeaveRate:     req.LeaveRate,
+		MoveRate:      req.MoveRate,
+		DemandRate:    req.DemandRate,
+	})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "generate trace: %v", err)
+		return
+	}
+	// GenTrace models the active set as slots [0, InitialActive), but
+	// after earlier churn the engine's active slots are arbitrary ids.
+	// Remap: trace slot k → the k-th currently-active (or free) slot.
+	if err := s.remapTrace(trace); err != nil {
+		httpError(w, http.StatusBadRequest, "remap trace: %v", err)
+		return
+	}
+	resp := eventsResponse{}
+	for i, ev := range trace {
+		res, err := s.eng.Apply(ev)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "trace event %d: %v (%d applied)", i, err, resp.Applied)
+			return
+		}
+		resp.Applied++
+		resp.Redecisions += res.Redecisions
+		resp.Moves += res.Moves
+	}
+	resp.TotalLoad = s.eng.TotalLoad()
+	resp.MaxLoad = s.eng.MaxLoad()
+	writeJSON(w, resp)
+}
+
+// remapTrace rewrites trace user ids (which index GenTrace's
+// idealized slot layout: active slots first) onto the engine's actual
+// active/free slots, preserving the trace's join/leave structure.
+func (s *server) remapTrace(trace []engine.Event) error {
+	n := s.eng.Network()
+	slot := make([]int, 0, n.NumUsers()) // slot[k] = engine user for trace slot k
+	var free []int
+	for u := 0; u < n.NumUsers(); u++ {
+		if s.eng.Active(u) {
+			slot = append(slot, u)
+		} else {
+			free = append(free, u)
+		}
+	}
+	for i := range trace {
+		k := trace[i].User
+		if k < 0 || k >= n.NumUsers() {
+			return fmt.Errorf("trace user %d out of range", k)
+		}
+		if k < len(slot) {
+			trace[i].User = slot[k]
+			continue
+		}
+		// A join of a never-seen trace slot: take the next free
+		// engine slot and bind the trace slot to it.
+		if len(free) == 0 {
+			return fmt.Errorf("trace joins more users than the engine has free slots")
+		}
+		if k != len(slot) {
+			return fmt.Errorf("trace slot %d appears before slots %d..%d", k, len(slot), k-1)
+		}
+		u := free[len(free)-1]
+		free = free[:len(free)-1]
+		slot = append(slot, u)
+		trace[i].User = u
+	}
+	return nil
+}
+
+func (s *server) handleAssoc(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.eng == nil {
+			httpError(w, http.StatusConflict, "no scenario loaded; POST /v1/scenario first")
+			return
+		}
+		writeJSON(w, struct {
+			Assoc       *wlan.Assoc `json:"assoc"`
+			ActiveUsers int         `json:"active_users"`
+			Satisfied   int         `json:"satisfied"`
+		}{s.eng.Snapshot(), s.eng.ActiveUsers(), s.eng.Snapshot().SatisfiedCount()})
+	case http.MethodPut:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "read body: %v", err)
+			return
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.eng == nil {
+			httpError(w, http.StatusConflict, "no scenario loaded; POST /v1/scenario first")
+			return
+		}
+		n := s.eng.Network()
+		a, err := wlan.DecodeAssoc(body, n.NumAPs(), n.NumUsers())
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := s.eng.SetAssoc(a); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, s.status(s.eng))
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or PUT required")
+	}
+}
+
+func (s *server) handleLoads(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng == nil {
+		httpError(w, http.StatusConflict, "no scenario loaded; POST /v1/scenario first")
+		return
+	}
+	writeJSON(w, struct {
+		Loads []float64 `json:"loads"`
+		Total float64   `json:"total"`
+		Max   float64   `json:"max"`
+	}{s.eng.APLoads(), s.eng.TotalLoad(), s.eng.MaxLoad()})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP assocd_uptime_seconds Time since the daemon started.\n")
+	fmt.Fprintf(w, "# TYPE assocd_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "assocd_uptime_seconds %g\n", time.Since(s.started).Seconds())
+	if s.eng == nil {
+		return
+	}
+	st := s.eng.Stats()
+	fmt.Fprintf(w, "# HELP assocd_events_total Churn events applied, by kind.\n")
+	fmt.Fprintf(w, "# TYPE assocd_events_total counter\n")
+	fmt.Fprintf(w, "assocd_events_total{kind=\"join\"} %d\n", st.Joins)
+	fmt.Fprintf(w, "assocd_events_total{kind=\"leave\"} %d\n", st.Leaves)
+	fmt.Fprintf(w, "assocd_events_total{kind=\"move\"} %d\n", st.UserMoves)
+	fmt.Fprintf(w, "assocd_events_total{kind=\"demand\"} %d\n", st.DemandChanges)
+	fmt.Fprintf(w, "# HELP assocd_events_rejected_total Events that failed validation.\n")
+	fmt.Fprintf(w, "# TYPE assocd_events_rejected_total counter\n")
+	fmt.Fprintf(w, "assocd_events_rejected_total %d\n", st.Rejected)
+	fmt.Fprintf(w, "# HELP assocd_redecisions_total User decisions re-evaluated during repair.\n")
+	fmt.Fprintf(w, "# TYPE assocd_redecisions_total counter\n")
+	fmt.Fprintf(w, "assocd_redecisions_total %d\n", st.Redecisions)
+	fmt.Fprintf(w, "# HELP assocd_handoffs_total Association changes.\n")
+	fmt.Fprintf(w, "# TYPE assocd_handoffs_total counter\n")
+	fmt.Fprintf(w, "assocd_handoffs_total %d\n", st.Handoffs)
+	fmt.Fprintf(w, "# HELP assocd_repairs_truncated_total Events whose repair hit the re-decision cap.\n")
+	fmt.Fprintf(w, "# TYPE assocd_repairs_truncated_total counter\n")
+	fmt.Fprintf(w, "assocd_repairs_truncated_total %d\n", st.Truncated)
+	fmt.Fprintf(w, "# HELP assocd_event_latency_seconds Wall-clock time to apply one event.\n")
+	fmt.Fprintf(w, "# TYPE assocd_event_latency_seconds histogram\n")
+	h := st.Latency
+	for i, b := range h.Bounds {
+		var c uint64
+		if i < len(h.Counts) {
+			c = h.Counts[i]
+		}
+		fmt.Fprintf(w, "assocd_event_latency_seconds_bucket{le=\"%g\"} %d\n", b, c)
+	}
+	fmt.Fprintf(w, "assocd_event_latency_seconds_bucket{le=\"+Inf\"} %d\n", h.Count)
+	fmt.Fprintf(w, "assocd_event_latency_seconds_sum %g\n", h.Sum)
+	fmt.Fprintf(w, "assocd_event_latency_seconds_count %d\n", h.Count)
+	fmt.Fprintf(w, "# HELP assocd_active_users Currently active user slots.\n")
+	fmt.Fprintf(w, "# TYPE assocd_active_users gauge\n")
+	fmt.Fprintf(w, "assocd_active_users %d\n", s.eng.ActiveUsers())
+	fmt.Fprintf(w, "# HELP assocd_ap_load_total Sum of AP multicast loads.\n")
+	fmt.Fprintf(w, "# TYPE assocd_ap_load_total gauge\n")
+	fmt.Fprintf(w, "assocd_ap_load_total %g\n", s.eng.TotalLoad())
+	fmt.Fprintf(w, "# HELP assocd_ap_load_max Maximum AP multicast load.\n")
+	fmt.Fprintf(w, "# TYPE assocd_ap_load_max gauge\n")
+	fmt.Fprintf(w, "assocd_ap_load_max %g\n", s.eng.MaxLoad())
+}
+
+// status must be called with mu held (or on a fresh engine).
+func (s *server) status(eng *engine.Engine) statusResponse {
+	snap := eng.Snapshot()
+	return statusResponse{
+		APs:         eng.Network().NumAPs(),
+		Users:       eng.Network().NumUsers(),
+		ActiveUsers: eng.ActiveUsers(),
+		Satisfied:   snap.SatisfiedCount(),
+		TotalLoad:   eng.TotalLoad(),
+		MaxLoad:     eng.MaxLoad(),
+	}
+}
+
+// --- plumbing ---
+
+const maxBody = 32 << 20 // scenarios with thousands of users fit easily
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing useful left to do.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,374 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// doJSON issues a request with a JSON body and decodes the JSON reply.
+func doJSON(t *testing.T, method, url string, body, out any) (int, string) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decode %s %s response %q: %v", method, url, raw, err)
+		}
+	}
+	return resp.StatusCode, string(raw)
+}
+
+func loadScenario(t *testing.T, ts *httptest.Server) statusResponse {
+	t.Helper()
+	var st statusResponse
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/scenario", scenarioRequest{
+		APs: 20, Users: 50, Sessions: 3, Seed: 7, ActiveUsers: 30,
+	}, &st)
+	if code != http.StatusOK {
+		t.Fatalf("POST /v1/scenario = %d: %s", code, raw)
+	}
+	return st
+}
+
+func TestServeScenarioAndStatus(t *testing.T) {
+	ts := testServer(t)
+	st := loadScenario(t, ts)
+	if st.APs != 20 || st.Users != 50 || st.ActiveUsers != 30 {
+		t.Errorf("status = %+v, want 20 APs / 50 users / 30 active", st)
+	}
+	if st.TotalLoad <= 0 || st.MaxLoad <= 0 {
+		t.Errorf("expected positive loads, got %+v", st)
+	}
+}
+
+func TestServeEventsAndLoads(t *testing.T) {
+	ts := testServer(t)
+	loadScenario(t, ts)
+
+	// Single event object: activate a free slot.
+	var ev eventsResponse
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/events", map[string]any{
+		"kind": "join", "user": 30, "session": 1,
+		"pos": map[string]float64{"x": 100, "y": 100},
+	}, &ev)
+	if code != http.StatusOK {
+		t.Fatalf("POST /v1/events = %d: %s", code, raw)
+	}
+	if ev.Applied != 1 {
+		t.Errorf("applied %d events, want 1", ev.Applied)
+	}
+
+	// Array form: move then leave the same user.
+	code, raw = doJSON(t, "POST", ts.URL+"/v1/events", []map[string]any{
+		{"kind": "move", "user": 30, "pos": map[string]float64{"x": 600, "y": 500}},
+		{"kind": "leave", "user": 30},
+	}, &ev)
+	if code != http.StatusOK {
+		t.Fatalf("POST /v1/events (array) = %d: %s", code, raw)
+	}
+	if ev.Applied != 2 {
+		t.Errorf("applied %d events, want 2", ev.Applied)
+	}
+
+	var loads struct {
+		Loads []float64 `json:"loads"`
+		Total float64   `json:"total"`
+		Max   float64   `json:"max"`
+	}
+	code, raw = doJSON(t, "GET", ts.URL+"/v1/loads", nil, &loads)
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/loads = %d: %s", code, raw)
+	}
+	if len(loads.Loads) != 20 {
+		t.Errorf("got %d AP loads, want 20", len(loads.Loads))
+	}
+	sum := 0.0
+	for _, l := range loads.Loads {
+		sum += l
+	}
+	if diff := sum - loads.Total; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("loads sum %.6f != reported total %.6f", sum, loads.Total)
+	}
+}
+
+func TestServeEventRejected(t *testing.T) {
+	ts := testServer(t)
+	loadScenario(t, ts)
+	// User 10 is already active; joining it again must fail with 400.
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/events", map[string]any{
+		"kind": "join", "user": 10, "session": 0,
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("duplicate join = %d, want 400: %s", code, raw)
+	}
+	if !strings.Contains(raw, "already active") {
+		t.Errorf("error %q does not mention the cause", raw)
+	}
+}
+
+func TestServeTrace(t *testing.T) {
+	ts := testServer(t)
+	loadScenario(t, ts)
+	var ev eventsResponse
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/trace", traceRequest{Seed: 3, Events: 60}, &ev)
+	if code != http.StatusOK {
+		t.Fatalf("POST /v1/trace = %d: %s", code, raw)
+	}
+	if ev.Applied != 60 {
+		t.Errorf("applied %d trace events, want 60", ev.Applied)
+	}
+	if ev.Redecisions == 0 {
+		t.Error("trace caused no re-decisions")
+	}
+	// A second trace must apply cleanly on the churned active set —
+	// this exercises the slot remapping.
+	code, raw = doJSON(t, "POST", ts.URL+"/v1/trace", traceRequest{Seed: 4, Events: 60}, &ev)
+	if code != http.StatusOK {
+		t.Fatalf("second POST /v1/trace = %d: %s", code, raw)
+	}
+	if ev.Applied != 60 {
+		t.Errorf("second trace applied %d events, want 60", ev.Applied)
+	}
+}
+
+func TestServeAssocRoundTrip(t *testing.T) {
+	ts := testServer(t)
+	loadScenario(t, ts)
+	var got struct {
+		Assoc       json.RawMessage `json:"assoc"`
+		ActiveUsers int             `json:"active_users"`
+		Satisfied   int             `json:"satisfied"`
+	}
+	code, raw := doJSON(t, "GET", ts.URL+"/v1/assoc", nil, &got)
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/assoc = %d: %s", code, raw)
+	}
+	if got.ActiveUsers != 30 {
+		t.Errorf("active_users = %d, want 30", got.ActiveUsers)
+	}
+	// PUT the snapshot straight back: a no-op install must succeed.
+	req, err := http.NewRequest("PUT", ts.URL+"/v1/assoc", bytes.NewReader(got.Assoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT /v1/assoc = %d: %s", resp.StatusCode, body)
+	}
+
+	// A malformed association (AP id out of range) must be rejected.
+	bad := make([]int, 50)
+	bad[0] = 99
+	b, _ := json.Marshal(bad)
+	req, _ = http.NewRequest("PUT", ts.URL+"/v1/assoc", bytes.NewReader(b))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("PUT bad assoc = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServeMetrics(t *testing.T) {
+	ts := testServer(t)
+	loadScenario(t, ts)
+	var ev eventsResponse
+	if code, raw := doJSON(t, "POST", ts.URL+"/v1/trace", traceRequest{Seed: 5, Events: 40}, &ev); code != http.StatusOK {
+		t.Fatalf("POST /v1/trace = %d: %s", code, raw)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`assocd_events_total{kind="join"}`,
+		`assocd_events_total{kind="leave"}`,
+		"assocd_redecisions_total",
+		"assocd_handoffs_total",
+		`assocd_event_latency_seconds_bucket{le="+Inf"} 40`,
+		"assocd_event_latency_seconds_count 40",
+		"assocd_active_users",
+		"assocd_ap_load_max",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestServeRequiresScenario(t *testing.T) {
+	ts := testServer(t)
+	for _, c := range []struct{ method, path string }{
+		{"POST", "/v1/events"},
+		{"POST", "/v1/trace"},
+		{"GET", "/v1/assoc"},
+		{"GET", "/v1/loads"},
+	} {
+		code, raw := doJSON(t, c.method, ts.URL+c.path, map[string]any{}, nil)
+		if code != http.StatusConflict {
+			t.Errorf("%s %s with no scenario = %d, want 409: %s", c.method, c.path, code, raw)
+		}
+	}
+	// /metrics and /healthz work without a scenario.
+	for _, path := range []string{"/metrics", "/healthz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestServeBadRequests(t *testing.T) {
+	ts := testServer(t)
+	if code, raw := doJSON(t, "POST", ts.URL+"/v1/scenario", map[string]any{"objective": "nope"}, nil); code != http.StatusBadRequest {
+		t.Errorf("bad objective = %d, want 400: %s", code, raw)
+	}
+	if code, raw := doJSON(t, "POST", ts.URL+"/v1/scenario", map[string]any{"mode": "quantum"}, nil); code != http.StatusBadRequest {
+		t.Errorf("bad mode = %d, want 400: %s", code, raw)
+	}
+	if code, raw := doJSON(t, "GET", ts.URL+"/v1/scenario", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/scenario = %d, want 405: %s", code, raw)
+	}
+	if code, raw := doJSON(t, "DELETE", ts.URL+"/v1/assoc", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE /v1/assoc = %d, want 405: %s", code, raw)
+	}
+}
+
+// TestServeGracefulShutdown runs the real serveOn loop on an
+// ephemeral port, checks it answers, cancels the context (what
+// SIGINT/SIGTERM do via signal.NotifyContext in main) and verifies a
+// clean exit.
+func TestServeGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveOn(ctx, ln, io.Discard) }()
+
+	url := fmt.Sprintf("http://%s/healthz", ln.Addr())
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveOn returned %v after cancel, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveOn did not shut down within 5s")
+	}
+}
+
+// TestServeFlagIntegration drives the whole binary path: run() with
+// -serve on an ephemeral port, then a signal-style context cancel.
+func TestServeFlagIntegration(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // run() re-listens on the now-free address
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan int, 1)
+	go func() {
+		var errBuf bytes.Buffer
+		code := run(ctx, []string{"-serve", "-addr", addr}, io.Discard, &errBuf)
+		if code != 0 {
+			t.Logf("run stderr: %s", errBuf.String())
+		}
+		done <- code
+	}()
+
+	url := "http://" + addr + "/healthz"
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run returned %d after cancel, want 0", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not exit within 5s")
+	}
+}

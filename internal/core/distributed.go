@@ -57,6 +57,12 @@ type Distributed struct {
 	// Start optionally seeds the run with an existing association
 	// (users then re-evaluate it); nil starts everyone unassociated.
 	Start *wlan.Assoc
+	// Hysteresis, when positive, raises the improvement a move must
+	// achieve before it is taken: a user only leaves its AP when the
+	// objective improves by more than this threshold (instead of the
+	// float-noise epsilon). The online engine uses it to damp
+	// Figure-4-style oscillation under churn; batch runs leave it 0.
+	Hysteresis float64
 }
 
 var _ Algorithm = (*Distributed)(nil)
@@ -238,8 +244,17 @@ func (d *Distributed) chooseMinTotal(n *wlan.Network, tr *wlan.Tracker, u int) (
 	if cur == wlan.Unassociated {
 		return best, true
 	}
-	// Moving must strictly reduce the total load (Lemma 1's potential).
-	return best, bestDelta < -loadEps
+	// Moving must strictly reduce the total load (Lemma 1's potential)
+	// by more than the hysteresis threshold.
+	return best, bestDelta < -d.moveEps()
+}
+
+// moveEps is the improvement a move must exceed to be taken.
+func (d *Distributed) moveEps() float64 {
+	if d.Hysteresis > loadEps {
+		return d.Hysteresis
+	}
+	return loadEps
 }
 
 // chooseBLA implements the §5.2 rule: the user computes, for each
@@ -305,8 +320,9 @@ func (d *Distributed) chooseBLA(n *wlan.Network, tr *wlan.Tracker, u int) (int, 
 	if best == cur {
 		return best, false
 	}
-	// Moving must strictly reduce the sorted vector (Lemma 2).
-	return best, wlan.CompareLoadVectors(bestVec, vectorIf(cur)) < 0
+	// Moving must strictly reduce the sorted vector (Lemma 2), beyond
+	// the hysteresis threshold when one is configured.
+	return best, wlan.CompareLoadVectorsEps(bestVec, vectorIf(cur), d.moveEps()) < 0
 }
 
 // betterTie breaks ties toward the stronger signal, then the current

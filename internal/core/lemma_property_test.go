@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"wlanmcast/internal/scenario"
+	"wlanmcast/internal/wlan"
+)
+
+// TestLemmaConvergenceProperty is a property test for Lemmas 1 and 2:
+// on randomized instances, the sequential distributed process
+// converges for every objective because each accepted move strictly
+// decreases a potential — the total neighborhood load for MNU/MLA
+// (Lemma 1), the sorted load vector for BLA (Lemma 2). The test
+// replays the sequential process decision by decision (the same loop
+// RunDetailed runs) and asserts:
+//
+//  1. every accepted move strictly decreases the potential,
+//  2. no user ever flips straight back to the AP it just left
+//     (the Figure-4 oscillation shape),
+//  3. the process converges well within the round bound, and
+//  4. the final state is a fixed point: a fresh pass moves nobody.
+func TestLemmaConvergenceProperty(t *testing.T) {
+	objectives := []struct {
+		obj    Objective
+		budget bool
+	}{
+		{ObjMNU, true},
+		{ObjBLA, false},
+		{ObjMLA, false},
+	}
+	for _, tc := range objectives {
+		for seed := int64(0); seed < 8; seed++ {
+			t.Run(fmt.Sprintf("%s/seed=%d", tc.obj, seed), func(t *testing.T) {
+				p := scenario.PaperDefaults()
+				p.NumAPs = 15
+				p.NumUsers = 40
+				p.NumSessions = 3
+				p.Seed = seed
+				n, err := scenario.GenerateNetwork(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d := &Distributed{Objective: tc.obj, EnforceBudget: tc.budget}
+				tr, err := wlan.NewTracker(n, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				lastLeft := make([]int, n.NumUsers()) // AP each user most recently left
+				for u := range lastLeft {
+					lastLeft[u] = wlan.Unassociated
+				}
+				converged := false
+				rounds := 0
+				for rounds = 0; rounds < DefaultMaxRounds; rounds++ {
+					changed := 0
+					for u := 0; u < n.NumUsers(); u++ {
+						cur := tr.APOf(u)
+						target, improves := d.Choose(n, tr, u)
+						if target == wlan.Unassociated || target == cur {
+							continue
+						}
+						if cur != wlan.Unassociated && !improves {
+							continue
+						}
+						voluntary := cur != wlan.Unassociated
+
+						var beforeTotal float64
+						var beforeVec []float64
+						if voluntary {
+							beforeTotal = tr.TotalLoad()
+							beforeVec = n.LoadVector(tr.Assoc())
+						}
+						if err := tr.Move(u, target); err != nil {
+							t.Fatal(err)
+						}
+						changed++
+						if voluntary {
+							// (1) strict potential decrease.
+							switch tc.obj {
+							case ObjBLA:
+								after := n.LoadVector(tr.Assoc())
+								if wlan.CompareLoadVectors(after, beforeVec) >= 0 {
+									t.Fatalf("round %d: user %d moved %d→%d without lexicographic improvement", rounds, u, cur, target)
+								}
+							default:
+								if after := tr.TotalLoad(); after >= beforeTotal-1e-12 {
+									t.Fatalf("round %d: user %d moved %d→%d, total load %.9f → %.9f (no strict decrease)",
+										rounds, u, cur, target, beforeTotal, after)
+								}
+							}
+							// (2) no immediate flip-back.
+							if target == lastLeft[u] {
+								t.Fatalf("round %d: user %d flipped back to AP %d it just left", rounds, u, target)
+							}
+							lastLeft[u] = cur
+						}
+					}
+					if changed == 0 {
+						converged = true
+						break
+					}
+				}
+				if !converged {
+					t.Fatalf("no convergence within %d rounds", DefaultMaxRounds)
+				}
+				// (4) fixed point: a fresh run seeded with the final
+				// association makes zero moves.
+				d2 := &Distributed{Objective: tc.obj, EnforceBudget: tc.budget, Start: tr.Assoc()}
+				res, err := d2.RunDetailed(n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Moves != 0 {
+					t.Errorf("final association is not a fixed point: %d further moves", res.Moves)
+				}
+			})
+		}
+	}
+}

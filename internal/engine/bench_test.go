@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"testing"
+
+	"wlanmcast/internal/core"
+	"wlanmcast/internal/scenario"
+)
+
+// The benchmark pair measures the engine's reason to exist: applying
+// the same churn trace with incremental repair vs rerunning the batch
+// sequential process after every event. Each iteration replays a full
+// trace on a fresh network, so ns/op is the cost of benchEvents
+// events end to end; the derived ns/event is the headline number.
+
+const (
+	benchAPs    = 50
+	benchUsers  = 150
+	benchActive = 100
+	benchEvents = 200
+)
+
+func benchTrace(b *testing.B) (scenario.Params, []Event) {
+	b.Helper()
+	p := scenario.PaperDefaults()
+	p.NumAPs = benchAPs
+	p.NumUsers = benchUsers
+	p.NumSessions = 4
+	p.Seed = 1
+	trace, err := GenTrace(TraceParams{
+		Seed:          1,
+		Events:        benchEvents,
+		Area:          p.Area,
+		Users:         benchUsers,
+		InitialActive: benchActive,
+		Sessions:      4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, trace
+}
+
+func benchEngine(b *testing.B, mode Mode) {
+	p, trace := benchTrace(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		n, err := scenario.GenerateNetwork(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := New(n, Config{Objective: core.ObjMLA, Mode: mode, ActiveUsers: benchActive})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, _, err := e.ApplyTrace(trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*benchEvents), "ns/event")
+}
+
+func BenchmarkEngineIncremental(b *testing.B)   { benchEngine(b, ModeIncremental) }
+func BenchmarkEngineFullRecompute(b *testing.B) { benchEngine(b, ModeFullRecompute) }

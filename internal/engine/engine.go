@@ -1,0 +1,542 @@
+// Package engine is the online association engine: it keeps one
+// wlan.Network + wlan.Tracker pair alive across a stream of churn
+// events — users joining, leaving, moving, changing demand — and
+// repairs the association incrementally after each event instead of
+// recomputing from scratch.
+//
+// The paper's distributed rules (§5, Lemmas 1–2) are online by
+// nature: each user re-decides locally as its neighborhood changes.
+// The engine exploits exactly that. An event touches one user; the
+// only other users whose decisions can change are those sharing an AP
+// whose load moved. The engine keeps a worklist of such affected
+// users and re-decides them (lowest user id first, for determinism)
+// with core.Distributed.Choose until no one wants to move. A
+// hysteresis threshold (Config.Hysteresis) requires every voluntary
+// move to improve the objective by more than a fixed margin, which
+// damps the Figure-4-style oscillation that pure greedy re-decision
+// exhibits under churn.
+//
+// Invariants the repair loop maintains (see DESIGN.md "Online
+// engine"):
+//
+//  1. The tracker mirrors the association exactly: every mutation of
+//     a user's rates or session happens only while that user is
+//     disassociated.
+//  2. After Apply returns, no active user can improve its objective
+//     by more than the hysteresis threshold (a hysteresis-stable
+//     equilibrium).
+//  3. Applying the same event sequence to the same starting network
+//     yields byte-identical association snapshots at every step, for
+//     any Config.Mode.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"wlanmcast/internal/core"
+	"wlanmcast/internal/wlan"
+)
+
+// Mode selects how the engine restores equilibrium after an event.
+type Mode int
+
+const (
+	// ModeIncremental re-decides only the affected users (the hot
+	// path; the default).
+	ModeIncremental Mode = iota
+	// ModeFullRecompute reruns the whole sequential distributed
+	// process from scratch after every event — the batch baseline the
+	// ext-churn experiment and BenchmarkEngineFullRecompute compare
+	// against.
+	ModeFullRecompute
+)
+
+// DefaultHysteresis is the move-improvement threshold used when
+// Config.Hysteresis is zero.
+const DefaultHysteresis = 0.01
+
+// Config tunes an Engine.
+type Config struct {
+	// Objective picks the local re-decision rule (default ObjMLA).
+	Objective core.Objective
+	// EnforceBudget refuses joins that would exceed an AP's budget.
+	EnforceBudget bool
+	// Hysteresis is the minimum objective improvement for a voluntary
+	// move (0 = DefaultHysteresis, negative = none beyond float
+	// noise).
+	Hysteresis float64
+	// MaxRedecisions caps re-decisions per event as a safety net; the
+	// strict-improvement rule already guarantees termination
+	// (0 = 100 + 20·users).
+	MaxRedecisions int
+	// Mode selects incremental repair or the full-recompute baseline.
+	Mode Mode
+	// ActiveUsers, when positive, marks only the first ActiveUsers
+	// slots of the network as initially present; the rest are
+	// detached and available for UserJoin events. 0 = all users
+	// active.
+	ActiveUsers int
+	// Now supplies timestamps for the latency metrics (nil =
+	// time.Now). Decisions never depend on it.
+	Now func() time.Time
+}
+
+// Engine is a long-lived association engine. It is not safe for
+// concurrent use; the assocd server serializes access.
+type Engine struct {
+	n    *wlan.Network
+	cfg  Config
+	rule *core.Distributed
+	tr   *wlan.Tracker
+
+	active  []bool
+	nActive int
+
+	// worklist is the pending re-decision min-heap; inList dedups.
+	worklist intHeap
+	inList   []bool
+
+	stats Stats
+	now   func() time.Time
+}
+
+// New builds an engine over n, detaches the inactive slots, and seeds
+// the association with one full sequential distributed run (the
+// "load scenario" step). The engine takes ownership of n: the caller
+// must not run other algorithms or trackers over it afterwards.
+func New(n *wlan.Network, cfg Config) (*Engine, error) {
+	if cfg.Objective == 0 {
+		cfg.Objective = core.ObjMLA
+	}
+	switch cfg.Objective {
+	case core.ObjMNU, core.ObjBLA, core.ObjMLA:
+	default:
+		return nil, fmt.Errorf("engine: invalid objective %d", int(cfg.Objective))
+	}
+	if n.BasicRateOnly {
+		return nil, fmt.Errorf("engine: basic-rate-only networks are not supported (mutations can change the basic rate under a live tracker)")
+	}
+	if cfg.Hysteresis == 0 {
+		cfg.Hysteresis = DefaultHysteresis
+	} else if cfg.Hysteresis < 0 {
+		cfg.Hysteresis = 0
+	}
+	if cfg.MaxRedecisions <= 0 {
+		cfg.MaxRedecisions = 100 + 20*n.NumUsers()
+	}
+	if cfg.ActiveUsers < 0 || cfg.ActiveUsers > n.NumUsers() {
+		return nil, fmt.Errorf("engine: ActiveUsers %d out of range for %d user slots", cfg.ActiveUsers, n.NumUsers())
+	}
+	e := &Engine{
+		n:   n,
+		cfg: cfg,
+		rule: &core.Distributed{
+			Objective:     cfg.Objective,
+			EnforceBudget: cfg.EnforceBudget,
+			Hysteresis:    cfg.Hysteresis,
+		},
+		active: make([]bool, n.NumUsers()),
+		inList: make([]bool, n.NumUsers()),
+		now:    cfg.Now,
+	}
+	if e.now == nil {
+		e.now = time.Now
+	}
+	nActive := n.NumUsers()
+	if cfg.ActiveUsers > 0 {
+		nActive = cfg.ActiveUsers
+	}
+	for u := 0; u < n.NumUsers(); u++ {
+		if u < nActive {
+			e.active[u] = true
+			continue
+		}
+		if err := n.DetachUser(u); err != nil {
+			return nil, err
+		}
+	}
+	e.nActive = nActive
+	assoc, err := e.fullRun()
+	if err != nil {
+		return nil, err
+	}
+	e.tr, err = wlan.NewTracker(n, assoc)
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// fullRun executes the sequential distributed process from scratch
+// over the current network state.
+func (e *Engine) fullRun() (*wlan.Assoc, error) {
+	d := *e.rule
+	d.Start = nil
+	res, err := d.RunDetailed(e.n)
+	if err != nil {
+		return nil, err
+	}
+	return res.Assoc, nil
+}
+
+// ApplyResult reports what one event cost.
+type ApplyResult struct {
+	// Event is the applied event.
+	Event Event `json:"event"`
+	// Redecisions is how many user decisions were re-evaluated.
+	Redecisions int `json:"redecisions"`
+	// Moves is how many association changes resulted (including the
+	// subject user's own attach/detach).
+	Moves int `json:"moves"`
+	// Truncated reports that the repair hit MaxRedecisions.
+	Truncated bool `json:"truncated,omitempty"`
+	// Elapsed is the wall-clock cost of the event.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Apply validates and applies one churn event, then repairs the
+// association back to a hysteresis-stable equilibrium. A validation
+// error leaves the engine unchanged (and counts in Stats.Rejected).
+func (e *Engine) Apply(ev Event) (ApplyResult, error) {
+	start := e.now()
+	res := ApplyResult{Event: ev}
+	if err := e.applyPrimary(ev, &res); err != nil {
+		e.stats.Rejected++
+		return res, err
+	}
+	if e.cfg.Mode == ModeFullRecompute {
+		if err := e.fullRepair(&res); err != nil {
+			return res, err
+		}
+	} else if err := e.repair(&res); err != nil {
+		return res, err
+	}
+	res.Elapsed = e.now().Sub(start)
+	e.stats.record(ev.Kind, res)
+	return res, nil
+}
+
+// ApplyTrace applies events in order, stopping at the first error,
+// and returns the aggregate re-decision and move counts.
+func (e *Engine) ApplyTrace(events []Event) (redecisions, moves int, err error) {
+	for i, ev := range events {
+		r, err := e.Apply(ev)
+		if err != nil {
+			return redecisions, moves, fmt.Errorf("engine: event %d (%s user %d): %w", i, ev.Kind, ev.User, err)
+		}
+		redecisions += r.Redecisions
+		moves += r.Moves
+	}
+	return redecisions, moves, nil
+}
+
+// applyPrimary performs the event's own mutation, marking the subject
+// user and any AP whose load changed for re-decision. Every rate or
+// session mutation happens with the subject user disassociated
+// (invariant 1).
+func (e *Engine) applyPrimary(ev Event, res *ApplyResult) error {
+	u := ev.User
+	if u < 0 || u >= e.n.NumUsers() {
+		return fmt.Errorf("engine: unknown user %d", u)
+	}
+	switch ev.Kind {
+	case UserJoin:
+		if e.active[u] {
+			return fmt.Errorf("engine: join: user %d is already active", u)
+		}
+		if ev.Session < 0 || ev.Session >= e.n.NumSessions() {
+			return fmt.Errorf("engine: join: unknown session %d", ev.Session)
+		}
+		if err := e.n.SetUserSession(u, ev.Session); err != nil {
+			return err
+		}
+		if err := e.n.MoveUser(u, ev.Pos); err != nil {
+			return err
+		}
+		e.active[u] = true
+		e.nActive++
+		e.markUser(u)
+
+	case UserLeave:
+		if !e.active[u] {
+			return fmt.Errorf("engine: leave: user %d is not active", u)
+		}
+		if ap := e.tr.APOf(u); ap != wlan.Unassociated {
+			before := e.tr.APLoad(ap)
+			if err := e.tr.Disassociate(u); err != nil {
+				return err
+			}
+			res.Moves++
+			e.markAPIfChanged(ap, before)
+		}
+		if err := e.n.DetachUser(u); err != nil {
+			return err
+		}
+		e.active[u] = false
+		e.nActive--
+
+	case UserMove:
+		if !e.active[u] {
+			return fmt.Errorf("engine: move: user %d is not active", u)
+		}
+		if err := e.rehome(u, res, func() error { return e.n.MoveUser(u, ev.Pos) }); err != nil {
+			return err
+		}
+
+	case DemandChange:
+		if !e.active[u] {
+			return fmt.Errorf("engine: demand: user %d is not active", u)
+		}
+		if ev.Session < 0 || ev.Session >= e.n.NumSessions() {
+			return fmt.Errorf("engine: demand: unknown session %d", ev.Session)
+		}
+		if err := e.rehome(u, res, func() error { return e.n.SetUserSession(u, ev.Session) }); err != nil {
+			return err
+		}
+
+	default:
+		return fmt.Errorf("engine: unknown event kind %q", ev.Kind)
+	}
+	return nil
+}
+
+// rehome detaches user u from its AP, runs mutate (a rate or session
+// change), and re-attaches u to its previous AP when that is still
+// feasible — the hysteresis rule then keeps it there unless moving is
+// a real improvement, which is what makes churn sticky.
+func (e *Engine) rehome(u int, res *ApplyResult, mutate func() error) error {
+	ap := e.tr.APOf(u)
+	before := 0.0
+	if ap != wlan.Unassociated {
+		before = e.tr.APLoad(ap)
+		if err := e.tr.Disassociate(u); err != nil {
+			return err
+		}
+	}
+	if err := mutate(); err != nil {
+		// Mutations validate before touching state, so the tracker
+		// detach is the only thing to undo.
+		if ap != wlan.Unassociated {
+			if aerr := e.tr.Associate(u, ap); aerr != nil {
+				return fmt.Errorf("%w (and could not restore association: %v)", err, aerr)
+			}
+		}
+		return err
+	}
+	if ap != wlan.Unassociated && e.n.Reachable(ap, u) && e.fitsBudget(u, ap) {
+		if err := e.tr.Associate(u, ap); err != nil {
+			return err
+		}
+	} else if ap != wlan.Unassociated {
+		res.Moves++ // forced detach counts as a change
+	}
+	if ap != wlan.Unassociated {
+		e.markAPIfChanged(ap, before)
+	}
+	e.markUser(u)
+	return nil
+}
+
+// fitsBudget reports whether u joining ap respects the budget, when
+// budget enforcement is on.
+func (e *Engine) fitsBudget(u, ap int) bool {
+	if !e.cfg.EnforceBudget {
+		return true
+	}
+	l, ok := e.tr.LoadIfJoin(u, ap)
+	return ok && l <= e.n.APs[ap].Budget+budgetEps
+}
+
+const budgetEps = 1e-9
+
+// repair drains the worklist: pop the lowest-id affected user, let it
+// re-decide with the distributed rule, and when it moves, mark every
+// user covered by the two APs whose loads changed. Strict improvement
+// beyond the hysteresis threshold bounds the loop (each accepted move
+// decreases the objective potential by more than the threshold);
+// MaxRedecisions is a safety net.
+func (e *Engine) repair(res *ApplyResult) error {
+	for e.worklist.Len() > 0 {
+		if res.Redecisions >= e.cfg.MaxRedecisions {
+			res.Truncated = true
+			e.drainWorklist()
+			break
+		}
+		u := e.worklist.pop()
+		e.inList[u] = false
+		if !e.active[u] {
+			continue
+		}
+		res.Redecisions++
+		cur := e.tr.APOf(u)
+		target, improves := e.rule.Choose(e.n, e.tr, u)
+		if target == wlan.Unassociated || target == cur {
+			continue
+		}
+		if cur != wlan.Unassociated && !improves {
+			continue
+		}
+		var beforeCur float64
+		if cur != wlan.Unassociated {
+			beforeCur = e.tr.APLoad(cur)
+		}
+		beforeTarget := e.tr.APLoad(target)
+		if err := e.tr.Move(u, target); err != nil {
+			return err
+		}
+		res.Moves++
+		if cur != wlan.Unassociated {
+			e.markAPIfChanged(cur, beforeCur)
+		}
+		e.markAPIfChanged(target, beforeTarget)
+	}
+	return nil
+}
+
+// fullRepair is the ModeFullRecompute path: rebuild the association
+// from scratch with the batch sequential process.
+func (e *Engine) fullRepair(res *ApplyResult) error {
+	e.drainWorklist()
+	d := *e.rule
+	d.Start = nil
+	detail, err := d.RunDetailed(e.n)
+	if err != nil {
+		return err
+	}
+	e.tr, err = wlan.NewTracker(e.n, detail.Assoc)
+	if err != nil {
+		return err
+	}
+	res.Redecisions += detail.Rounds * e.nActive
+	res.Moves += detail.Moves
+	return nil
+}
+
+// markUser queues u for re-decision.
+func (e *Engine) markUser(u int) {
+	if e.inList[u] || !e.active[u] {
+		return
+	}
+	e.inList[u] = true
+	e.worklist.push(u)
+}
+
+// markAPIfChanged queues every user covered by ap when ap's load
+// moved from before — those are exactly the users whose neighborhood
+// view changed.
+func (e *Engine) markAPIfChanged(ap int, before float64) {
+	if diff := e.tr.APLoad(ap) - before; diff < 1e-15 && diff > -1e-15 {
+		return
+	}
+	for _, v := range e.n.Coverage(ap) {
+		e.markUser(v)
+	}
+}
+
+func (e *Engine) drainWorklist() {
+	for e.worklist.Len() > 0 {
+		e.inList[e.worklist.pop()] = false
+	}
+}
+
+// Snapshot returns a copy of the current association. Identical
+// (network, config, event sequence) inputs yield byte-identical
+// JSON-marshalled snapshots at every point in the stream.
+func (e *Engine) Snapshot() *wlan.Assoc { return e.tr.Assoc() }
+
+// Network returns the engine's network. Callers must treat it as
+// read-only.
+func (e *Engine) Network() *wlan.Network { return e.n }
+
+// ActiveUsers returns how many user slots are currently active.
+func (e *Engine) ActiveUsers() int { return e.nActive }
+
+// Active reports whether user slot u is active.
+func (e *Engine) Active(u int) bool { return e.active[u] }
+
+// TotalLoad returns the current total multicast load.
+func (e *Engine) TotalLoad() float64 { return e.tr.TotalLoad() }
+
+// MaxLoad returns the current maximum AP load.
+func (e *Engine) MaxLoad() float64 { return e.tr.MaxLoad() }
+
+// APLoads returns a copy of the per-AP load vector.
+func (e *Engine) APLoads() []float64 {
+	out := make([]float64, e.n.NumAPs())
+	for ap := range out {
+		out[ap] = e.tr.APLoad(ap)
+	}
+	return out
+}
+
+// SetAssoc force-installs an externally supplied association (the
+// assocd PUT /v1/assoc path). It must be valid for the network; the
+// engine does not repair it — follow with events or judge it as-is.
+func (e *Engine) SetAssoc(a *wlan.Assoc) error {
+	if err := e.n.Validate(a, e.cfg.EnforceBudget); err != nil {
+		return err
+	}
+	for u := 0; u < a.NumUsers(); u++ {
+		if a.APOf(u) != wlan.Unassociated && !e.active[u] {
+			return fmt.Errorf("engine: association assigns inactive user %d", u)
+		}
+	}
+	tr, err := wlan.NewTracker(e.n, a)
+	if err != nil {
+		return err
+	}
+	e.tr = tr
+	return nil
+}
+
+// Stats returns a copy of the engine's counters.
+func (e *Engine) Stats() Stats { return e.stats.clone() }
+
+// Hysteresis returns the effective move-improvement threshold.
+func (e *Engine) Hysteresis() float64 { return e.cfg.Hysteresis }
+
+// intHeap is a plain int min-heap (container/heap without the
+// interface boxing — this sits on the per-event hot path).
+type intHeap []int
+
+func (h intHeap) Len() int { return len(h) }
+
+func (h *intHeap) push(v int) {
+	*h = append(*h, v)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent] <= (*h)[i] {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *intHeap) pop() int {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(s) && s[l] < s[small] {
+			small = l
+		}
+		if r < len(s) && s[r] < s[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
+}

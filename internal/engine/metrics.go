@@ -1,0 +1,95 @@
+package engine
+
+// Stats are the engine's cumulative counters, exposed on the assocd
+// /metrics endpoint. All fields are totals since engine creation.
+type Stats struct {
+	// Joins..DemandChanges count successfully applied events by kind.
+	Joins, Leaves, UserMoves, DemandChanges uint64
+	// Rejected counts events that failed validation.
+	Rejected uint64
+	// Redecisions counts user decisions re-evaluated during repair.
+	Redecisions uint64
+	// Handoffs counts association changes.
+	Handoffs uint64
+	// Truncated counts events whose repair hit MaxRedecisions.
+	Truncated uint64
+	// Latency is the per-event wall-clock histogram.
+	Latency Histogram
+}
+
+// EventsTotal is the number of successfully applied events.
+func (s *Stats) EventsTotal() uint64 {
+	return s.Joins + s.Leaves + s.UserMoves + s.DemandChanges
+}
+
+func (s *Stats) record(kind EventKind, res ApplyResult) {
+	switch kind {
+	case UserJoin:
+		s.Joins++
+	case UserLeave:
+		s.Leaves++
+	case UserMove:
+		s.UserMoves++
+	case DemandChange:
+		s.DemandChanges++
+	}
+	s.Redecisions += uint64(res.Redecisions)
+	s.Handoffs += uint64(res.Moves)
+	if res.Truncated {
+		s.Truncated++
+	}
+	s.Latency.Observe(res.Elapsed.Seconds())
+}
+
+func (s *Stats) clone() Stats {
+	out := *s
+	out.Latency = s.Latency.clone()
+	return out
+}
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: Counts[i] counts observations ≤ Bounds[i], with one implicit
+// +Inf bucket at the end.
+type Histogram struct {
+	// Bounds are the bucket upper bounds in seconds, ascending. The
+	// zero value gets the default latency buckets on first Observe.
+	Bounds []float64
+	// Counts[i] is the number of observations ≤ Bounds[i];
+	// Counts[len(Bounds)] (the +Inf bucket) equals Count.
+	Counts []uint64
+	// Sum is the running total of observed values.
+	Sum float64
+	// Count is the number of observations.
+	Count uint64
+}
+
+// DefaultLatencyBounds spans 1µs..4s in powers of four — wide enough
+// for a no-op event and a full recompute on a large network alike.
+func DefaultLatencyBounds() []float64 {
+	return []float64{1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 256e-3, 1, 4}
+}
+
+// Observe records v (seconds).
+func (h *Histogram) Observe(v float64) {
+	if h.Bounds == nil {
+		h.Bounds = DefaultLatencyBounds()
+	}
+	if h.Counts == nil {
+		h.Counts = make([]uint64, len(h.Bounds)+1)
+	}
+	for i, b := range h.Bounds {
+		if v <= b {
+			h.Counts[i]++
+		}
+	}
+	h.Counts[len(h.Bounds)]++
+	h.Sum += v
+	h.Count++
+}
+
+func (h Histogram) clone() Histogram {
+	out := h
+	out.Bounds = append([]float64(nil), h.Bounds...)
+	out.Counts = append([]uint64(nil), h.Counts...)
+	return out
+}

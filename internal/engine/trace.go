@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wlanmcast/internal/geom"
+)
+
+// EventKind names a churn event type. The string values are the wire
+// form the assocd server accepts.
+type EventKind string
+
+// Churn event kinds.
+const (
+	// UserJoin activates a free user slot at a position with a session.
+	UserJoin EventKind = "join"
+	// UserLeave deactivates an active user.
+	UserLeave EventKind = "leave"
+	// UserMove relocates an active user.
+	UserMove EventKind = "move"
+	// DemandChange switches an active user to another session.
+	DemandChange EventKind = "demand"
+)
+
+// Event is one churn event. Pos is meaningful for join and move,
+// Session for join and demand. At is the event's offset in seconds
+// from the trace start — informational only; the engine's decisions
+// never depend on it.
+type Event struct {
+	Kind    EventKind  `json:"kind"`
+	User    int        `json:"user"`
+	Pos     geom.Point `json:"pos,omitempty"`
+	Session int        `json:"session,omitempty"`
+	At      float64    `json:"at,omitempty"`
+}
+
+// TraceParams parameterizes the Poisson churn generator. The four
+// rates are event intensities in events/second: JoinRate is global
+// (arrivals into the area), while LeaveRate, MoveRate and DemandRate
+// are per active user. Zero rates fall back to defaults chosen so a
+// population near InitialActive is roughly stationary.
+type TraceParams struct {
+	// Seed makes the trace reproducible.
+	Seed int64
+	// Events is how many events to generate.
+	Events int
+	// Area is where joins and moves place users.
+	Area geom.Rect
+	// Users is the slot universe (must match the engine's network).
+	Users int
+	// InitialActive slots [0, InitialActive) are active before the
+	// trace starts (must match Config.ActiveUsers).
+	InitialActive int
+	// Sessions is how many sessions joins and demand changes pick
+	// from.
+	Sessions int
+
+	JoinRate, LeaveRate, MoveRate, DemandRate float64
+}
+
+func (p *TraceParams) normalize() error {
+	if p.Events < 0 {
+		return fmt.Errorf("engine: trace: negative event count %d", p.Events)
+	}
+	if p.Users <= 0 {
+		return fmt.Errorf("engine: trace: need at least one user slot")
+	}
+	if p.InitialActive < 0 || p.InitialActive > p.Users {
+		return fmt.Errorf("engine: trace: InitialActive %d out of range for %d slots", p.InitialActive, p.Users)
+	}
+	if p.Sessions <= 0 {
+		return fmt.Errorf("engine: trace: need at least one session")
+	}
+	if p.Area.Width <= 0 || p.Area.Height <= 0 {
+		return fmt.Errorf("engine: trace: empty area")
+	}
+	if p.JoinRate < 0 || p.LeaveRate < 0 || p.MoveRate < 0 || p.DemandRate < 0 {
+		return fmt.Errorf("engine: trace: negative rate")
+	}
+	if p.JoinRate == 0 && p.LeaveRate == 0 && p.MoveRate == 0 && p.DemandRate == 0 {
+		// Stationary-ish defaults: joins balance leaves at the initial
+		// population, movement dominates.
+		p.JoinRate = 0.2 * float64(max(p.InitialActive, 1))
+		p.LeaveRate = 0.2
+		p.MoveRate = 0.5
+		p.DemandRate = 0.05
+	}
+	return nil
+}
+
+// GenTrace generates a reproducible Poisson churn trace: event times
+// are exponential with the current total intensity, and the kind of
+// each event is drawn proportionally to its intensity (joins are
+// suppressed when no slot is free, the per-user kinds when no user is
+// active). Identical params yield identical traces.
+func GenTrace(p TraceParams) ([]Event, error) {
+	if err := p.normalize(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	// activeList holds the active slots; free is a LIFO of the rest.
+	activeList := make([]int, p.InitialActive)
+	for i := range activeList {
+		activeList[i] = i
+	}
+	free := make([]int, 0, p.Users-p.InitialActive)
+	for u := p.Users - 1; u >= p.InitialActive; u-- {
+		free = append(free, u)
+	}
+	events := make([]Event, 0, p.Events)
+	t := 0.0
+	for len(events) < p.Events {
+		join := p.JoinRate
+		if len(free) == 0 {
+			join = 0
+		}
+		leave, move, demand := 0.0, 0.0, 0.0
+		if n := float64(len(activeList)); n > 0 {
+			leave = p.LeaveRate * n
+			move = p.MoveRate * n
+			demand = p.DemandRate * n
+		}
+		total := join + leave + move + demand
+		if total <= 0 {
+			return nil, fmt.Errorf("engine: trace: no event possible (%d active, %d free, rates %v/%v/%v/%v)",
+				len(activeList), len(free), p.JoinRate, p.LeaveRate, p.MoveRate, p.DemandRate)
+		}
+		t += rng.ExpFloat64() / total
+		ev := Event{At: t}
+		switch x := rng.Float64() * total; {
+		case x < join:
+			u := free[len(free)-1]
+			free = free[:len(free)-1]
+			activeList = append(activeList, u)
+			ev.Kind = UserJoin
+			ev.User = u
+			ev.Pos = randPoint(rng, p.Area)
+			ev.Session = rng.Intn(p.Sessions)
+		case x < join+leave:
+			i := rng.Intn(len(activeList))
+			u := activeList[i]
+			activeList[i] = activeList[len(activeList)-1]
+			activeList = activeList[:len(activeList)-1]
+			free = append(free, u)
+			ev.Kind = UserLeave
+			ev.User = u
+		case x < join+leave+move:
+			ev.Kind = UserMove
+			ev.User = activeList[rng.Intn(len(activeList))]
+			ev.Pos = randPoint(rng, p.Area)
+		default:
+			ev.Kind = DemandChange
+			ev.User = activeList[rng.Intn(len(activeList))]
+			ev.Session = rng.Intn(p.Sessions)
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+func randPoint(rng *rand.Rand, r geom.Rect) geom.Point {
+	return geom.Point{X: rng.Float64() * r.Width, Y: rng.Float64() * r.Height}
+}

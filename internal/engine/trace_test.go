@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"wlanmcast/internal/geom"
+)
+
+func baseTraceParams() TraceParams {
+	return TraceParams{
+		Seed:          1,
+		Events:        200,
+		Area:          geom.Rect{Width: 1000, Height: 800},
+		Users:         50,
+		InitialActive: 30,
+		Sessions:      4,
+	}
+}
+
+func TestGenTraceDeterministic(t *testing.T) {
+	a, err := GenTrace(baseTraceParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenTrace(baseTraceParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same params produced different traces")
+	}
+	p := baseTraceParams()
+	p.Seed = 2
+	c, err := GenTrace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestGenTraceConsistent replays the trace against a model of the
+// active set: every event must be applicable in order.
+func TestGenTraceConsistent(t *testing.T) {
+	p := baseTraceParams()
+	trace, err := GenTrace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != p.Events {
+		t.Fatalf("got %d events, want %d", len(trace), p.Events)
+	}
+	active := make(map[int]bool)
+	for u := 0; u < p.InitialActive; u++ {
+		active[u] = true
+	}
+	prevAt := 0.0
+	for i, ev := range trace {
+		if ev.User < 0 || ev.User >= p.Users {
+			t.Fatalf("event %d: user %d out of range", i, ev.User)
+		}
+		if ev.At <= prevAt {
+			t.Fatalf("event %d: timestamps not strictly increasing (%.6f after %.6f)", i, ev.At, prevAt)
+		}
+		prevAt = ev.At
+		switch ev.Kind {
+		case UserJoin:
+			if active[ev.User] {
+				t.Fatalf("event %d: join of active user %d", i, ev.User)
+			}
+			if ev.Session < 0 || ev.Session >= p.Sessions {
+				t.Fatalf("event %d: session %d out of range", i, ev.Session)
+			}
+			if !p.Area.Contains(ev.Pos) {
+				t.Fatalf("event %d: join position %v outside area", i, ev.Pos)
+			}
+			active[ev.User] = true
+		case UserLeave:
+			if !active[ev.User] {
+				t.Fatalf("event %d: leave of inactive user %d", i, ev.User)
+			}
+			delete(active, ev.User)
+		case UserMove:
+			if !active[ev.User] {
+				t.Fatalf("event %d: move of inactive user %d", i, ev.User)
+			}
+			if !p.Area.Contains(ev.Pos) {
+				t.Fatalf("event %d: move position %v outside area", i, ev.Pos)
+			}
+		case DemandChange:
+			if !active[ev.User] {
+				t.Fatalf("event %d: demand change of inactive user %d", i, ev.User)
+			}
+			if ev.Session < 0 || ev.Session >= p.Sessions {
+				t.Fatalf("event %d: session %d out of range", i, ev.Session)
+			}
+		default:
+			t.Fatalf("event %d: unknown kind %q", i, ev.Kind)
+		}
+		if len(active) > p.Users {
+			t.Fatalf("event %d: active count %d exceeds universe", i, len(active))
+		}
+	}
+	// All four kinds should appear in a 200-event default-rate trace.
+	kinds := map[EventKind]int{}
+	for _, ev := range trace {
+		kinds[ev.Kind]++
+	}
+	for _, k := range []EventKind{UserJoin, UserLeave, UserMove, DemandChange} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s events in %d-event trace", k, len(trace))
+		}
+	}
+}
+
+func TestGenTraceValidation(t *testing.T) {
+	bad := []func(*TraceParams){
+		func(p *TraceParams) { p.Events = -1 },
+		func(p *TraceParams) { p.Users = 0 },
+		func(p *TraceParams) { p.InitialActive = 99 },
+		func(p *TraceParams) { p.Sessions = 0 },
+		func(p *TraceParams) { p.Area = geom.Rect{} },
+		func(p *TraceParams) { p.JoinRate = -1 },
+	}
+	for i, mutate := range bad {
+		p := baseTraceParams()
+		mutate(&p)
+		if _, err := GenTrace(p); err == nil {
+			t.Errorf("case %d: GenTrace accepted invalid params %+v", i, p)
+		}
+	}
+	// A full universe with only join pressure cannot make progress.
+	p := baseTraceParams()
+	p.InitialActive = p.Users
+	p.JoinRate = 1
+	p.LeaveRate, p.MoveRate, p.DemandRate = 0, 0, 0
+	if _, err := GenTrace(p); err == nil {
+		t.Error("GenTrace generated events when none are possible")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	h.Observe(2e-6)
+	h.Observe(0.5)
+	h.Observe(100) // beyond the last bound → +Inf bucket only
+	if h.Count != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count)
+	}
+	if got := h.Counts[len(h.Bounds)]; got != 3 {
+		t.Fatalf("+Inf bucket = %d, want 3", got)
+	}
+	// 2e-6 lands in every bucket from 4e-6 up; 0.5 from 1 up.
+	if h.Counts[0] != 0 || h.Counts[1] != 1 {
+		t.Fatalf("low buckets = %v", h.Counts[:2])
+	}
+	if h.Sum < 100.5 || h.Sum > 100.6 {
+		t.Fatalf("Sum = %v", h.Sum)
+	}
+}

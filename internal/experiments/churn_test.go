@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+func TestExtChurnSmoke(t *testing.T) {
+	fig, err := ExtChurn(context.Background(), quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := findSeries(t, fig, "incremental/redecisions-per-event")
+	full := findSeries(t, fig, "full-recompute/redecisions-per-event")
+	incLoad := findSeries(t, fig, "incremental/total-load")
+	fullLoad := findSeries(t, fig, "full-recompute/total-load")
+	for i := range fig.X {
+		// The whole point of the engine: incremental repair touches
+		// far fewer decisions per event than a full recompute.
+		if inc.Stats[i].Avg >= full.Stats[i].Avg {
+			t.Errorf("x=%v: incremental re-decisions %.1f not below full recompute %.1f",
+				fig.X[i], inc.Stats[i].Avg, full.Stats[i].Avg)
+		}
+		// ...without giving up quality: total load within 25% of the
+		// from-scratch baseline (typically it matches or beats it).
+		if incLoad.Stats[i].Avg > fullLoad.Stats[i].Avg*1.25 {
+			t.Errorf("x=%v: incremental total load %.3f much worse than full recompute %.3f",
+				fig.X[i], incLoad.Stats[i].Avg, fullLoad.Stats[i].Avg)
+		}
+	}
+}

@@ -26,6 +26,7 @@ func Extensions() []Experiment {
 		{ID: "ext-power", Title: "Interference-volume savings vs number of power levels", Run: ExtPower},
 		{ID: "ext-airtime", Title: "Ratio vs airtime load model (total load vs users)", Run: ExtAirtime},
 		{ID: "ext-convergence", Title: "Distributed convergence and signaling vs decision jitter", Run: ExtConvergence},
+		{ID: "ext-churn", Title: "Online engine: incremental vs full-recompute churn handling", Run: ExtChurn},
 	}
 }
 

@@ -1,0 +1,150 @@
+package wlan
+
+import (
+	"fmt"
+	"sort"
+
+	"wlanmcast/internal/geom"
+	"wlanmcast/internal/radio"
+)
+
+// Dynamic mutation API.
+//
+// A Network is immutable under the batch algorithms, but the online
+// association engine (internal/engine) applies churn — users joining,
+// leaving, moving, switching sessions — to one long-lived instance.
+// The methods below mutate a single user's row of the model and keep
+// every derived index (neighbor sets, coverage lists, rate set, basic
+// rate) consistent, in O(APs + log) per call instead of a full
+// rebuild.
+//
+// Contract: the mutated user must not be associated in any live
+// Tracker while its rates or session change — the tracker's per-AP
+// rate multisets would silently corrupt. Disassociate first, mutate,
+// then re-decide. Mutating a BasicRateOnly network can additionally
+// change the basic rate itself, which invalidates every tracked load;
+// the engine refuses such networks.
+
+// MoveUser relocates user u to pos and rederives its link rates from
+// the rate table the network was built with. It is only available for
+// geometric networks (NewGeometric or a geometric scenario Spec).
+func (n *Network) MoveUser(u int, pos geom.Point) error {
+	if !n.geometric {
+		return fmt.Errorf("wlan: MoveUser on a non-geometric network")
+	}
+	if u < 0 || u >= len(n.Users) {
+		return fmt.Errorf("wlan: MoveUser: unknown user %d", u)
+	}
+	col := make([]radio.Mbps, len(n.APs))
+	for a := range n.APs {
+		if r, ok := n.table.RateFor(n.APs[a].Pos.Dist(pos)); ok {
+			col[a] = r
+		}
+	}
+	n.Users[u].Pos = pos
+	n.setUserRates(u, col)
+	return nil
+}
+
+// DetachUser zeroes user u's link rates, taking it out of range of
+// every AP. The engine uses it to model users that left the network:
+// a detached user has no neighbors, so every algorithm ignores it.
+func (n *Network) DetachUser(u int) error {
+	if u < 0 || u >= len(n.Users) {
+		return fmt.Errorf("wlan: DetachUser: unknown user %d", u)
+	}
+	n.setUserRates(u, nil)
+	return nil
+}
+
+// SetUserSession switches user u to session s.
+func (n *Network) SetUserSession(u, s int) error {
+	if u < 0 || u >= len(n.Users) {
+		return fmt.Errorf("wlan: SetUserSession: unknown user %d", u)
+	}
+	if s < 0 || s >= len(n.Sessions) {
+		return fmt.Errorf("wlan: SetUserSession: unknown session %d", s)
+	}
+	n.Users[u].Session = s
+	return nil
+}
+
+// setUserRates installs col (nil = all zero) as user u's rate column
+// and updates coverage, neighbor, and rate-set indices.
+func (n *Network) setUserRates(u int, col []radio.Mbps) {
+	rateSetDirty := false
+	for a := range n.rates {
+		old := n.rates[a][u]
+		var now radio.Mbps
+		if col != nil {
+			now = col[a]
+		}
+		if old == now {
+			continue
+		}
+		if old > 0 {
+			n.rateCount[old]--
+			if n.rateCount[old] == 0 {
+				delete(n.rateCount, old)
+				rateSetDirty = true
+			}
+		}
+		if now > 0 {
+			if n.rateCount[now] == 0 {
+				rateSetDirty = true
+			}
+			n.rateCount[now]++
+		}
+		switch {
+		case old == 0 && now > 0:
+			n.coverage[a] = insertSorted(n.coverage[a], u)
+		case old > 0 && now == 0:
+			n.coverage[a] = removeSorted(n.coverage[a], u)
+		}
+		n.rates[a][u] = now
+	}
+	nb := n.neighborAPs[u][:0]
+	for a := range n.rates {
+		if n.rates[a][u] > 0 {
+			nb = append(nb, a)
+		}
+	}
+	n.neighborAPs[u] = nb
+	if rateSetDirty {
+		n.rebuildRateSet()
+	}
+}
+
+// rebuildRateSet rederives the ascending distinct-rate list and the
+// basic rate from the live rate multiset.
+func (n *Network) rebuildRateSet() {
+	n.rateSet = n.rateSet[:0]
+	for r := range n.rateCount {
+		n.rateSet = append(n.rateSet, r)
+	}
+	sortRates(n.rateSet)
+	if len(n.rateSet) > 0 {
+		n.basicRate = n.rateSet[0]
+	} else {
+		n.basicRate = 0
+	}
+}
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i == len(s) || s[i] != v {
+		return s
+	}
+	return append(s[:i], s[i+1:]...)
+}

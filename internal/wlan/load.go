@@ -102,19 +102,47 @@ func (a *Assoc) MarshalJSON() ([]byte, error) {
 	return json.Marshal(a.apOf)
 }
 
-// UnmarshalJSON decodes the per-user AP array form.
+// UnmarshalJSON decodes the per-user AP array form. Any id below the
+// Unassociated sentinel (-1) is rejected; a JSON null is rejected
+// rather than silently producing a zero-user association. Range
+// checking against an AP count needs network context — use
+// DecodeAssoc when the association arrives over the wire.
 func (a *Assoc) UnmarshalJSON(data []byte) error {
 	var apOf []int
 	if err := json.Unmarshal(data, &apOf); err != nil {
 		return fmt.Errorf("wlan: decode association: %w", err)
 	}
+	if apOf == nil {
+		return fmt.Errorf("wlan: decode association: null is not an association")
+	}
 	for u, ap := range apOf {
 		if ap < Unassociated {
-			return fmt.Errorf("wlan: user %d has invalid AP %d", u, ap)
+			return fmt.Errorf("wlan: decode association: user %d has negative AP id %d", u, ap)
 		}
 	}
 	a.apOf = apOf
 	return nil
+}
+
+// DecodeAssoc decodes a JSON association and validates it against the
+// given network shape: exactly numUsers entries, every AP id either
+// Unassociated or in [0, numAPs). Untrusted input (the assocd HTTP
+// server) must come through here, not bare UnmarshalJSON, which
+// cannot know the AP count.
+func DecodeAssoc(data []byte, numAPs, numUsers int) (*Assoc, error) {
+	var a Assoc
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, err
+	}
+	if a.NumUsers() != numUsers {
+		return nil, fmt.Errorf("wlan: decode association: %d entries, network has %d users", a.NumUsers(), numUsers)
+	}
+	for u, ap := range a.apOf {
+		if ap >= numAPs {
+			return nil, fmt.Errorf("wlan: decode association: user %d has out-of-range AP %d (network has %d APs)", u, ap, numAPs)
+		}
+	}
+	return &a, nil
 }
 
 // Equal reports whether two associations assign every user identically.
@@ -206,11 +234,23 @@ func sortDesc(v []float64) {
 // smaller (better for BLA), 0 equal, +1 larger. Vectors must have equal
 // length.
 func CompareLoadVectors(a, b []float64) int {
+	return CompareLoadVectorsEps(a, b, loadEps)
+}
+
+// CompareLoadVectorsEps is CompareLoadVectors with an explicit
+// tolerance: positions within eps of each other compare equal. The
+// online engine uses it with its hysteresis threshold so a BLA user
+// only moves when the sorted vector improves by more than the
+// threshold, damping Figure-4-style oscillation under churn.
+func CompareLoadVectorsEps(a, b []float64, eps float64) int {
+	if eps < loadEps {
+		eps = loadEps
+	}
 	for i := range a {
 		switch {
-		case a[i] < b[i]-loadEps:
+		case a[i] < b[i]-eps:
 			return -1
-		case a[i] > b[i]+loadEps:
+		case a[i] > b[i]+eps:
 			return 1
 		}
 	}

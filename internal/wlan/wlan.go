@@ -54,10 +54,15 @@ type User struct {
 	Session int `json:"session"`
 }
 
-// Network is an immutable WLAN instance. Build one with NewGeometric
+// Network is a WLAN instance. Build one with NewGeometric
 // (positions + rate table, as in the paper's simulations) or
 // NewFromRates (an explicit rate matrix, as in the paper's worked
 // examples). Association state lives outside in Assoc values.
+//
+// A Network is immutable under the batch algorithms; the online
+// engine mutates single users through the dynamic API in dynamic.go
+// (MoveUser, DetachUser, SetUserSession), which keeps all derived
+// indices consistent.
 type Network struct {
 	// Area is the deployment area (zero value for explicit-rate nets).
 	Area geom.Rect
@@ -78,11 +83,17 @@ type Network struct {
 	// geometric records whether positions are meaningful (NewGeometric)
 	// or the network came from an explicit rate matrix.
 	geometric bool
+	// table is the rate-vs-distance table geometric networks were
+	// built from; MoveUser rederives link rates with it.
+	table *radio.RateTable
 	// rates[a][u] is the maximum PHY rate from AP a to user u,
 	// 0 when out of range.
 	rates [][]radio.Mbps
 	// rateSet is the ascending list of distinct nonzero rates.
 	rateSet []radio.Mbps
+	// rateCount is the multiset behind rateSet, kept so the dynamic
+	// mutation API can maintain rateSet incrementally.
+	rateCount map[radio.Mbps]int
 	// basicRate is the lowest rate of the rate set.
 	basicRate radio.Mbps
 	// neighborAPs[u] lists the APs in range of user u, ascending.
@@ -119,7 +130,7 @@ func NewGeometric(area geom.Rect, apPos, userPos []geom.Point, userSession []int
 	for u := range users {
 		users[u] = User{ID: u, Pos: userPos[u], Session: userSession[u]}
 	}
-	n := &Network{Area: area, APs: aps, Users: users, Sessions: sessions, Load: RatioLoad{}, geometric: true, rates: rates}
+	n := &Network{Area: area, APs: aps, Users: users, Sessions: sessions, Load: RatioLoad{}, geometric: true, table: table, rates: rates}
 	if err := n.finish(); err != nil {
 		return nil, err
 	}
@@ -184,7 +195,7 @@ func (n *Network) finish() error {
 			return fmt.Errorf("wlan: user %d requests unknown session %d", u, usr.Session)
 		}
 	}
-	seen := make(map[radio.Mbps]bool)
+	n.rateCount = make(map[radio.Mbps]int)
 	n.neighborAPs = make([][]int, len(n.Users))
 	n.coverage = make([][]int, len(n.APs))
 	for a := range n.rates {
@@ -195,17 +206,11 @@ func (n *Network) finish() error {
 			if r > 0 {
 				n.neighborAPs[u] = append(n.neighborAPs[u], a)
 				n.coverage[a] = append(n.coverage[a], u)
-				if !seen[r] {
-					seen[r] = true
-					n.rateSet = append(n.rateSet, r)
-				}
+				n.rateCount[r]++
 			}
 		}
 	}
-	sortRates(n.rateSet)
-	if len(n.rateSet) > 0 {
-		n.basicRate = n.rateSet[0]
-	}
+	n.rebuildRateSet()
 	return nil
 }
 

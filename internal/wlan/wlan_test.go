@@ -323,6 +323,55 @@ func TestAssocJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal([]byte(`"x"`), &b); err == nil {
 		t.Error("non-array should be rejected")
 	}
+	if err := json.Unmarshal([]byte("null"), &b); err == nil {
+		t.Error("null should be rejected")
+	}
+	if err := json.Unmarshal([]byte("[1.5]"), &b); err == nil {
+		t.Error("fractional AP index should be rejected")
+	}
+}
+
+// TestDecodeAssoc pins the wire-hardening contract the assocd server
+// relies on: negative ids (beyond the -1 sentinel), out-of-range AP
+// ids, and user-count mismatches are all rejected.
+func TestDecodeAssoc(t *testing.T) {
+	got, err := DecodeAssoc([]byte("[2,-1,0]"), 3, 3)
+	if err != nil {
+		t.Fatalf("valid association rejected: %v", err)
+	}
+	want := NewAssoc(3)
+	want.Associate(0, 2)
+	want.Associate(2, 0)
+	if !got.Equal(want) {
+		t.Errorf("decoded %v, want %v", got, want)
+	}
+	// Round trip through MarshalJSON.
+	data, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := DecodeAssoc(data, 3, 3)
+	if err != nil || !again.Equal(got) {
+		t.Errorf("round trip failed: %v, %v", again, err)
+	}
+
+	bad := []struct {
+		data           string
+		numAPs, numUsr int
+	}{
+		{"[3,-1,0]", 3, 3},  // AP id == numAPs
+		{"[99,-1,0]", 3, 3}, // far out of range
+		{"[-2,-1,0]", 3, 3}, // negative beyond sentinel
+		{"[0,1]", 3, 3},     // too few users
+		{"[0,1,2,0]", 3, 3}, // too many users
+		{"null", 3, 3},
+		{"{}", 3, 3},
+	}
+	for _, tc := range bad {
+		if _, err := DecodeAssoc([]byte(tc.data), tc.numAPs, tc.numUsr); err == nil {
+			t.Errorf("DecodeAssoc(%s, %d APs, %d users) accepted invalid input", tc.data, tc.numAPs, tc.numUsr)
+		}
+	}
 }
 
 func TestValidate(t *testing.T) {

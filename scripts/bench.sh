@@ -1,0 +1,53 @@
+#!/bin/sh
+# bench.sh — run the online-engine benchmark pair and emit a small
+# machine-readable summary.
+#
+#   ./scripts/bench.sh [output.json]
+#
+# Runs BenchmarkEngineIncremental and BenchmarkEngineFullRecompute
+# (internal/engine/bench_test.go) and writes BENCH_engine.json (or the
+# given path): one record per benchmark with ns/op, ns/event, B/op and
+# allocs/op, plus the incremental-vs-full speedup. The figure-quality
+# comparison of the two modes lives in the ext-churn experiment; this
+# script owns the wall-clock side, which has no place in the
+# byte-deterministic figure pipeline.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_engine.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "== go test -bench Engine ./internal/engine" >&2
+go test -run '^$' -bench 'BenchmarkEngine' -benchmem -count 1 ./internal/engine | tee "$tmp" >&2
+
+awk '
+/^BenchmarkEngine/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     nsop[name] = $i
+        if ($(i+1) == "ns/event")  nsev[name] = $i
+        if ($(i+1) == "B/op")      bop[name] = $i
+        if ($(i+1) == "allocs/op") aop[name] = $i
+    }
+    order[n++] = name
+}
+END {
+    if (n == 0) { print "bench.sh: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"ns_per_event\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            name, nsop[name], nsev[name], bop[name], aop[name], (i < n-1 ? "," : "")
+    }
+    printf "  ]"
+    inc = nsev["BenchmarkEngineIncremental"]
+    full = nsev["BenchmarkEngineFullRecompute"]
+    if (inc > 0 && full > 0)
+        printf ",\n  \"incremental_speedup\": %.2f", full / inc
+    printf "\n}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out" >&2

@@ -8,7 +8,9 @@
 #   2. the full test suite
 #   3. the race detector over the concurrency-sensitive packages
 #      (internal/runner and internal/experiments, which fan seed
-#      evaluations over a goroutine pool)
+#      evaluations over a goroutine pool, plus internal/engine and
+#      cmd/assocd, whose HTTP daemon serves one engine to many
+#      connections)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,7 +21,7 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (runner + experiments)"
-go test -race ./internal/runner ./internal/experiments
+echo "== go test -race (runner + experiments + engine + assocd)"
+go test -race ./internal/runner ./internal/experiments ./internal/engine ./cmd/assocd
 
 echo "ok: all checks passed"
