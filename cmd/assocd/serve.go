@@ -7,11 +7,13 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
 	"wlanmcast/internal/core"
 	"wlanmcast/internal/engine"
+	"wlanmcast/internal/obs"
 	"wlanmcast/internal/scenario"
 	"wlanmcast/internal/wlan"
 )
@@ -19,40 +21,95 @@ import (
 // server is the assocd -serve HTTP daemon: one online association
 // engine behind a JSON API. All engine access is serialized by mu —
 // the engine itself is single-threaded; the HTTP layer is the
-// concurrency boundary.
+// concurrency boundary. Metrics live outside that boundary: the
+// daemon-lifetime series sit in base, each engine carries its own
+// registry of atomic instruments, and /metrics renders both without
+// ever holding mu across an engine call.
 //
 // Endpoints:
 //
-//	POST /v1/scenario  load or generate a scenario, build the engine
-//	POST /v1/events    apply churn events (one object or an array)
-//	POST /v1/trace     generate + apply a seeded Poisson churn trace
-//	GET  /v1/assoc     association snapshot
-//	PUT  /v1/assoc     force-install an association (validated)
-//	GET  /v1/loads     per-AP load vector, total, max
-//	GET  /metrics      Prometheus-style text exposition
-//	GET  /healthz      liveness
+//	POST /v1/scenario      load or generate a scenario, build the engine
+//	POST /v1/events        apply churn events (one object or an array)
+//	POST /v1/trace         generate + apply a seeded Poisson churn trace
+//	GET  /v1/assoc         association snapshot
+//	PUT  /v1/assoc         force-install an association (validated)
+//	GET  /v1/loads         per-AP load vector, total, max
+//	GET  /v1/trace/export  ring-buffered trace events as JSONL
+//	GET  /metrics          Prometheus-style text exposition
+//	GET  /debug/pprof/*    runtime profiles
+//	GET  /healthz          liveness
 type server struct {
 	mu      sync.Mutex
 	eng     *engine.Engine
 	started time.Time
 	mux     *http.ServeMux
+
+	// base holds the daemon-lifetime metrics; each loaded scenario's
+	// engine brings its own registry (engine.Registry()) so counters
+	// restart with the scenario, matching the pre-registry behavior.
+	base *obs.Registry
+	// ring buffers trace events across all scenarios for
+	// /v1/trace/export.
+	ring *obs.Ring
+
+	scenarios   *obs.Counter
+	httpLatency *obs.Histogram
+}
+
+// servedPaths is the label set for assocd_http_requests_total; paths
+// outside it (scanners, typos) collapse into "other" to bound series
+// cardinality.
+var servedPaths = map[string]bool{
+	"/v1/scenario": true, "/v1/events": true, "/v1/trace": true,
+	"/v1/assoc": true, "/v1/loads": true, "/v1/trace/export": true,
+	"/metrics": true, "/healthz": true,
 }
 
 func newServer() *server {
-	s := &server{started: time.Now(), mux: http.NewServeMux()}
+	s := &server{
+		started: time.Now(),
+		mux:     http.NewServeMux(),
+		base:    obs.NewRegistry(),
+		ring:    obs.NewRing(0),
+	}
+	// Uptime registers first so the exposition keeps opening with the
+	// family it has led with since /metrics first shipped.
+	s.base.GaugeFunc("assocd_uptime_seconds", "Time since the daemon started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	s.scenarios = s.base.Counter("assocd_scenarios_loaded_total", "Scenarios loaded over the daemon's lifetime.")
+	s.httpLatency = s.base.Histogram("assocd_http_request_seconds", "Wall-clock time to serve one HTTP request.", nil)
+	s.base.GaugeFunc("assocd_trace_events", "Trace events recorded over the daemon's lifetime.",
+		func() float64 { return float64(s.ring.Total()) })
+	s.base.GaugeFunc("assocd_trace_dropped", "Trace events evicted from the export ring.",
+		func() float64 { return float64(s.ring.Dropped()) })
 	s.mux.HandleFunc("/v1/scenario", s.handleScenario)
 	s.mux.HandleFunc("/v1/events", s.handleEvents)
 	s.mux.HandleFunc("/v1/trace", s.handleTrace)
+	s.mux.HandleFunc("/v1/trace/export", s.handleTraceExport)
 	s.mux.HandleFunc("/v1/assoc", s.handleAssoc)
 	s.mux.HandleFunc("/v1/loads", s.handleLoads)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.mux.ServeHTTP(w, r)
+	path := r.URL.Path
+	if !servedPaths[path] {
+		path = "other"
+	}
+	s.base.Counter("assocd_http_requests_total", "HTTP requests served, by path.", obs.L("path", path)).Inc()
+	s.httpLatency.Observe(time.Since(start).Seconds())
+}
 
 // serveOn runs the daemon on ln until ctx is cancelled, then shuts
 // down gracefully (in-flight requests get up to 5s to finish).
@@ -174,6 +231,8 @@ func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		Hysteresis:    req.Hysteresis,
 		Mode:          mode,
 		ActiveUsers:   req.ActiveUsers,
+		Obs:           obs.NewRegistry(),
+		Trace:         s.ring,
 	})
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "build engine: %v", err)
@@ -182,6 +241,7 @@ func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.eng = eng
 	s.mu.Unlock()
+	s.scenarios.Inc()
 	writeJSON(w, s.status(eng))
 }
 
@@ -382,57 +442,32 @@ func (s *server) handleLoads(w http.ResponseWriter, r *http.Request) {
 	}{s.eng.APLoads(), s.eng.TotalLoad(), s.eng.MaxLoad()})
 }
 
+// handleMetrics renders the daemon registry followed by the current
+// engine's. The engine lock is held only long enough to copy the
+// engine pointer: every instrument is atomic, so a /metrics scrape
+// never waits behind (or delays) an /v1/events apply.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	eng := s.eng
+	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# HELP assocd_uptime_seconds Time since the daemon started.\n")
-	fmt.Fprintf(w, "# TYPE assocd_uptime_seconds gauge\n")
-	fmt.Fprintf(w, "assocd_uptime_seconds %g\n", time.Since(s.started).Seconds())
-	if s.eng == nil {
+	if err := s.base.WriteProm(w); err != nil {
 		return
 	}
-	st := s.eng.Stats()
-	fmt.Fprintf(w, "# HELP assocd_events_total Churn events applied, by kind.\n")
-	fmt.Fprintf(w, "# TYPE assocd_events_total counter\n")
-	fmt.Fprintf(w, "assocd_events_total{kind=\"join\"} %d\n", st.Joins)
-	fmt.Fprintf(w, "assocd_events_total{kind=\"leave\"} %d\n", st.Leaves)
-	fmt.Fprintf(w, "assocd_events_total{kind=\"move\"} %d\n", st.UserMoves)
-	fmt.Fprintf(w, "assocd_events_total{kind=\"demand\"} %d\n", st.DemandChanges)
-	fmt.Fprintf(w, "# HELP assocd_events_rejected_total Events that failed validation.\n")
-	fmt.Fprintf(w, "# TYPE assocd_events_rejected_total counter\n")
-	fmt.Fprintf(w, "assocd_events_rejected_total %d\n", st.Rejected)
-	fmt.Fprintf(w, "# HELP assocd_redecisions_total User decisions re-evaluated during repair.\n")
-	fmt.Fprintf(w, "# TYPE assocd_redecisions_total counter\n")
-	fmt.Fprintf(w, "assocd_redecisions_total %d\n", st.Redecisions)
-	fmt.Fprintf(w, "# HELP assocd_handoffs_total Association changes.\n")
-	fmt.Fprintf(w, "# TYPE assocd_handoffs_total counter\n")
-	fmt.Fprintf(w, "assocd_handoffs_total %d\n", st.Handoffs)
-	fmt.Fprintf(w, "# HELP assocd_repairs_truncated_total Events whose repair hit the re-decision cap.\n")
-	fmt.Fprintf(w, "# TYPE assocd_repairs_truncated_total counter\n")
-	fmt.Fprintf(w, "assocd_repairs_truncated_total %d\n", st.Truncated)
-	fmt.Fprintf(w, "# HELP assocd_event_latency_seconds Wall-clock time to apply one event.\n")
-	fmt.Fprintf(w, "# TYPE assocd_event_latency_seconds histogram\n")
-	h := st.Latency
-	for i, b := range h.Bounds {
-		var c uint64
-		if i < len(h.Counts) {
-			c = h.Counts[i]
-		}
-		fmt.Fprintf(w, "assocd_event_latency_seconds_bucket{le=\"%g\"} %d\n", b, c)
+	if eng != nil {
+		eng.Registry().WriteProm(w)
 	}
-	fmt.Fprintf(w, "assocd_event_latency_seconds_bucket{le=\"+Inf\"} %d\n", h.Count)
-	fmt.Fprintf(w, "assocd_event_latency_seconds_sum %g\n", h.Sum)
-	fmt.Fprintf(w, "assocd_event_latency_seconds_count %d\n", h.Count)
-	fmt.Fprintf(w, "# HELP assocd_active_users Currently active user slots.\n")
-	fmt.Fprintf(w, "# TYPE assocd_active_users gauge\n")
-	fmt.Fprintf(w, "assocd_active_users %d\n", s.eng.ActiveUsers())
-	fmt.Fprintf(w, "# HELP assocd_ap_load_total Sum of AP multicast loads.\n")
-	fmt.Fprintf(w, "# TYPE assocd_ap_load_total gauge\n")
-	fmt.Fprintf(w, "assocd_ap_load_total %g\n", s.eng.TotalLoad())
-	fmt.Fprintf(w, "# HELP assocd_ap_load_max Maximum AP multicast load.\n")
-	fmt.Fprintf(w, "# TYPE assocd_ap_load_max gauge\n")
-	fmt.Fprintf(w, "assocd_ap_load_max %g\n", s.eng.MaxLoad())
+}
+
+// handleTraceExport streams the ring-buffered trace as JSONL. The
+// ring snapshots under its own lock; the engine is never touched.
+func (s *server) handleTraceExport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	s.ring.WriteJSONL(w)
 }
 
 // status must be called with mu held (or on a fresh engine).

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [-seeds N] [-size F] [-ilp-nodes N] [-parallel N] [-timeout D] [-csv] [-quiet] [id|group ...]
+//	experiments [-seeds N] [-size F] [-ilp-nodes N] [-parallel N] [-timeout D] [-csv] [-quiet] [-trace FILE] [-trace-sample N] [id|group ...]
 //
 // With no arguments, every paper figure runs in order. Arguments may
 // be individual experiment ids (see -list) or group aliases:
@@ -19,6 +19,14 @@
 // finish. Each figure prints as an aligned text table (or CSV with
 // -csv) of avg ±stddev [min, max] over the seeded scenarios, matching
 // the paper's error-bar plots.
+//
+// -trace FILE streams one JSONL obs.Event per completed seed
+// evaluation to FILE (type "runner_task", carrying the point/seed
+// indices, the evaluation wall-clock and the queue wait);
+// -trace-sample N keeps roughly 1 in N events for long sweeps.
+// Unless -quiet, a per-experiment timing summary table — built from
+// the same runner metrics the daemon exports — prints to stderr after
+// the run.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"time"
 
 	"wlanmcast/internal/experiments"
+	"wlanmcast/internal/obs"
 )
 
 func main() {
@@ -41,7 +50,7 @@ func main() {
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	seeds := fs.Int("seeds", 40, "random scenarios per data point (paper: 40)")
@@ -50,8 +59,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", 0, "concurrent seed evaluations (0 = all CPUs, 1 = sequential)")
 	timeout := fs.Duration("timeout", 0, "cancel the whole run after this long (0 = no limit)")
 	csv := fs.Bool("csv", false, "emit CSV instead of text tables")
-	quiet := fs.Bool("quiet", false, "suppress progress lines")
+	quiet := fs.Bool("quiet", false, "suppress progress lines and the timing summary")
 	list := fs.Bool("list", false, "list experiment ids and exit")
+	traceOut := fs.String("trace", "", "write one JSONL trace event per seed evaluation to this file")
+	traceSample := fs.Int("trace-sample", 1, "with -trace, keep roughly 1 in N events per type")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -69,16 +80,46 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		defer cancel()
 	}
 
+	// One registry for the whole run: runner.Map re-registers its
+	// instruments idempotently, so holding the instruments here gives
+	// per-experiment deltas without touching the runner again.
+	reg := obs.NewRegistry()
+	rm := newRunMetrics(reg)
 	cfg := experiments.Config{
 		Seeds:       *seeds,
 		SizeFactor:  *size,
 		ILPMaxNodes: *ilpNodes,
 		Workers:     *parallel,
+		Obs:         reg,
 	}
 	if !*quiet {
 		cfg.Progress = func(format string, args ...any) {
 			fmt.Fprintf(stderr, "# "+format+"\n", args...)
 		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "experiments: trace: %v\n", err)
+			return 1
+		}
+		jl := obs.NewJSONL(f)
+		cfg.Trace = jl
+		if *traceSample > 1 {
+			cfg.Trace = obs.NewSampler(*traceSample, jl)
+		}
+		defer func() {
+			ferr := jl.Flush()
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+			if ferr != nil {
+				fmt.Fprintf(stderr, "experiments: trace: %v\n", ferr)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
 	}
 
 	todo, err := resolveIDs(fs.Args())
@@ -87,8 +128,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	var timings []timingRow
 	for _, e := range todo {
 		start := time.Now()
+		before := rm.sample()
 		fig, err := e.Run(ctx, cfg)
 		if err != nil {
 			fmt.Fprintf(stderr, "experiments: %s: %v\n", e.ID, err)
@@ -99,11 +142,76 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		} else {
 			fmt.Fprintln(stdout, fig.Table())
 		}
+		wall := time.Since(start)
+		timings = append(timings, timingRow{id: e.ID, wall: wall, delta: rm.sample().sub(before)})
 		if !*quiet {
-			fmt.Fprintf(stderr, "# %s finished in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(stderr, "# %s finished in %v\n", e.ID, wall.Round(time.Millisecond))
 		}
 	}
+	if !*quiet {
+		printTimings(stderr, timings)
+	}
 	return 0
+}
+
+// runMetrics holds the runner's instruments so per-experiment deltas
+// can be read without a metrics endpoint. Names and help strings
+// match internal/runner exactly — registration is idempotent, so
+// runner.Map returns these same instruments.
+type runMetrics struct {
+	tasks    *obs.Counter
+	taskSecs *obs.Histogram
+	waitSecs *obs.Histogram
+}
+
+func newRunMetrics(reg *obs.Registry) runMetrics {
+	return runMetrics{
+		tasks:    reg.Counter("runner_tasks_total", "Completed sweep (point, seed) evaluations."),
+		taskSecs: reg.Histogram("runner_task_seconds", "Wall-clock time of one sweep evaluation.", nil),
+		waitSecs: reg.Histogram("runner_queue_wait_seconds", "Time a sweep task waited for a free worker.", nil),
+	}
+}
+
+// metricSample is a cumulative reading of the runner instruments.
+type metricSample struct {
+	tasks             uint64
+	taskSec, queueSec float64
+}
+
+func (m runMetrics) sample() metricSample {
+	return metricSample{tasks: m.tasks.Value(), taskSec: m.taskSecs.Sum(), queueSec: m.waitSecs.Sum()}
+}
+
+func (s metricSample) sub(prev metricSample) metricSample {
+	return metricSample{tasks: s.tasks - prev.tasks, taskSec: s.taskSec - prev.taskSec, queueSec: s.queueSec - prev.queueSec}
+}
+
+// timingRow is one experiment's timing summary line.
+type timingRow struct {
+	id    string
+	wall  time.Duration
+	delta metricSample
+}
+
+// printTimings writes the per-experiment timing summary. task-sec is
+// CPU-side evaluation time summed over workers, so task-sec/wall
+// approximates the achieved parallelism; queue-sec is time tasks
+// spent waiting for a free worker.
+func printTimings(w io.Writer, rows []timingRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# timing summary\n")
+	fmt.Fprintf(w, "# %-16s %8s %12s %12s %12s %9s\n", "experiment", "tasks", "task-sec", "queue-sec", "wall", "evals/s")
+	for _, r := range rows {
+		evalsPerSec := 0.0
+		if secs := r.wall.Seconds(); secs > 0 {
+			evalsPerSec = float64(r.delta.tasks) / secs
+		}
+		fmt.Fprintf(w, "# %-16s %8d %12.3f %12.3f %12v %9.1f\n",
+			r.id, r.delta.tasks, r.delta.taskSec, r.delta.queueSec,
+			r.wall.Round(time.Millisecond), evalsPerSec)
+	}
 }
 
 // allExperiments returns paper figures, extensions and dynamics in

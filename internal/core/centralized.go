@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"wlanmcast/internal/obs"
 	"wlanmcast/internal/setcover"
 	"wlanmcast/internal/wlan"
 )
@@ -11,7 +12,13 @@ import (
 // CentralizedMLA is the paper's §6 algorithm: reduce to weighted set
 // cover (Theorem 5) and run the greedy CostSC (Fig 8), an (ln n + 1)-
 // approximation of the minimum total multicast load.
-type CentralizedMLA struct{}
+type CentralizedMLA struct {
+	// Obs, when set, receives algo_runs_total / algo_iterations_total.
+	Obs *obs.Registry
+	// Trace, when active, receives one EvAlgoRun event per run
+	// (N = picked sets, Value = total cost).
+	Trace obs.Recorder
+}
 
 var _ Algorithm = (*CentralizedMLA)(nil)
 
@@ -19,12 +26,13 @@ var _ Algorithm = (*CentralizedMLA)(nil)
 func (*CentralizedMLA) Name() string { return "MLA-centralized" }
 
 // Run implements Algorithm.
-func (*CentralizedMLA) Run(n *wlan.Network) (*wlan.Assoc, error) {
+func (c *CentralizedMLA) Run(n *wlan.Network) (*wlan.Assoc, error) {
 	in, infos := BuildInstance(n, false)
 	res, err := setcover.GreedyCover(in)
 	if err != nil {
 		return nil, err
 	}
+	recordAlgoRun(c.Obs, c.Trace, c.Name(), len(res.Picked), res.TotalCost)
 	return ApplyPicks(n, in, infos, res.Picked), nil
 }
 
@@ -33,7 +41,13 @@ func (*CentralizedMLA) Run(n *wlan.Network) (*wlan.Assoc, error) {
 // and repair with the H1/H2 split — an 8-approximation of the maximum
 // number of servable users (Theorem 2). Per-AP budgets come from the
 // network's AP Budget fields.
-type CentralizedMNU struct{}
+type CentralizedMNU struct {
+	// Obs, when set, receives algo_runs_total / algo_iterations_total.
+	Obs *obs.Registry
+	// Trace, when active, receives one EvAlgoRun event per run
+	// (N = picked sets, Value = users served after the fill pass).
+	Trace obs.Recorder
+}
 
 var _ Algorithm = (*CentralizedMNU)(nil)
 
@@ -41,7 +55,7 @@ var _ Algorithm = (*CentralizedMNU)(nil)
 func (*CentralizedMNU) Name() string { return "MNU-centralized" }
 
 // Run implements Algorithm.
-func (*CentralizedMNU) Run(n *wlan.Network) (*wlan.Assoc, error) {
+func (c *CentralizedMNU) Run(n *wlan.Network) (*wlan.Assoc, error) {
 	in, infos := BuildInstance(n, true)
 	res, err := setcover.GreedyMCG(in)
 	if err != nil {
@@ -51,6 +65,7 @@ func (*CentralizedMNU) Run(n *wlan.Network) (*wlan.Assoc, error) {
 	if err := fillUnderBudgets(n, assoc); err != nil {
 		return nil, err
 	}
+	recordAlgoRun(c.Obs, c.Trace, c.Name(), len(res.Picked), float64(assoc.SatisfiedCount()))
 	return assoc, nil
 }
 
@@ -110,6 +125,13 @@ type CentralizedBLA struct {
 	// polish only ever lowers the sorted load vector; disabling it
 	// reproduces the bare Fig 6 algorithm.
 	NoPolish bool
+	// Obs, when set, receives algo_runs_total / algo_iterations_total
+	// and algo_bla_guesses_total.
+	Obs *obs.Registry
+	// Trace, when active, receives one EvGuess event per B* guess and
+	// one EvAlgoRun per run (N = SCG passes of the winning guess,
+	// Value = its max group cost).
+	Trace obs.Recorder
 }
 
 var _ Algorithm = (*CentralizedBLA)(nil)
@@ -159,6 +181,7 @@ func (b *CentralizedBLA) Run(n *wlan.Network) (*wlan.Assoc, error) {
 		if err != nil {
 			return err
 		}
+		recordGuess(b.Obs, b.Trace, b.Name(), bStar, res.Complete)
 		if !res.Complete {
 			if bStar > failBelow {
 				failBelow = bStar
@@ -194,6 +217,7 @@ func (b *CentralizedBLA) Run(n *wlan.Network) (*wlan.Assoc, error) {
 	if best == nil {
 		return nil, fmt.Errorf("core: BLA found no complete cover in %d guesses over [%v, %v]", guesses, lo, hi)
 	}
+	recordAlgoRun(b.Obs, b.Trace, b.Name(), best.Iterations, best.MaxGroupCost)
 	assoc := ApplyPicks(n, in, infos, best.Picked)
 	if !b.NoPolish {
 		// Local-search polish: sequential rounds of the paper's own
@@ -201,7 +225,7 @@ func (b *CentralizedBLA) Run(n *wlan.Network) (*wlan.Assoc, error) {
 		// strictly reduces the global sorted load vector (Lemma 2),
 		// so the Theorem 4 guarantee is preserved and the result can
 		// only improve.
-		polish := &Distributed{Objective: ObjBLA, Start: assoc}
+		polish := &Distributed{Objective: ObjBLA, Start: assoc, Obs: b.Obs, Trace: b.Trace}
 		polished, err := polish.RunDetailed(n)
 		if err != nil {
 			return nil, err

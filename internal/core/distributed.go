@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"wlanmcast/internal/obs"
 	"wlanmcast/internal/wlan"
 )
 
@@ -63,6 +64,13 @@ type Distributed struct {
 	// float-noise epsilon). The online engine uses it to damp
 	// Figure-4-style oscillation under churn; batch runs leave it 0.
 	Hysteresis float64
+	// Obs, when set, receives algo_convergence_rounds_total and
+	// algo_moves_total (labelled by objective) plus
+	// algo_runs_converged_total.
+	Obs *obs.Registry
+	// Trace, when active, receives one EvRound event per sequential
+	// round (Round = 1-based index, N = moves in the round).
+	Trace obs.Recorder
 }
 
 var _ Algorithm = (*Distributed)(nil)
@@ -110,6 +118,7 @@ func (d *Distributed) RunDetailed(n *wlan.Network) (*DistributedResult, error) {
 	if maxRounds <= 0 {
 		maxRounds = DefaultMaxRounds
 	}
+	ri := newRoundInstruments(d.Obs, d.Trace, d.Name(), d.Objective.String())
 	res := &DistributedResult{}
 	for res.Rounds < maxRounds {
 		res.Rounds++
@@ -124,10 +133,19 @@ func (d *Distributed) RunDetailed(n *wlan.Network) (*DistributedResult, error) {
 			}
 		}
 		res.Moves += changed
+		ri.round(res.Rounds, changed)
 		if changed == 0 {
 			res.Converged = true
 			break
 		}
+	}
+	if d.Obs != nil {
+		converged := "false"
+		if res.Converged {
+			converged = "true"
+		}
+		d.Obs.Counter("algo_runs_converged_total", "Distributed runs, by objective and whether they converged.",
+			obs.L("objective", d.Objective.String()), obs.L("converged", converged)).Inc()
 	}
 	res.Assoc = tr.Assoc()
 	return res, nil

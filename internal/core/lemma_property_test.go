@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"wlanmcast/internal/obs"
 	"wlanmcast/internal/scenario"
 	"wlanmcast/internal/wlan"
 )
@@ -19,8 +20,12 @@ import (
 //  1. every accepted move strictly decreases the potential,
 //  2. no user ever flips straight back to the AP it just left
 //     (the Figure-4 oscillation shape),
-//  3. the process converges well within the round bound, and
-//  4. the final state is a fixed point: a fresh pass moves nobody.
+//  3. the process converges well within the round bound,
+//  4. the final state is a fixed point: a fresh pass moves nobody, and
+//  5. the trace recorder agrees with the test's own accounting: a
+//     fresh instrumented run records exactly one conv_round event per
+//     round, with per-round moves summing to the run's Moves, and the
+//     registry counters match.
 func TestLemmaConvergenceProperty(t *testing.T) {
 	objectives := []struct {
 		obj    Objective
@@ -115,6 +120,39 @@ func TestLemmaConvergenceProperty(t *testing.T) {
 				}
 				if res.Moves != 0 {
 					t.Errorf("final association is not a fixed point: %d further moves", res.Moves)
+				}
+				// (5) the trace recorder and metrics registry agree
+				// with the run's own convergence accounting.
+				ring := obs.NewRing(4 * DefaultMaxRounds)
+				reg := obs.NewRegistry()
+				d3 := &Distributed{Objective: tc.obj, EnforceBudget: tc.budget, Obs: reg, Trace: ring}
+				res3, err := d3.RunDetailed(n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				events := ring.Snapshot()
+				recordedRounds, recordedMoves := 0, 0
+				for _, ev := range events {
+					if ev.Type != obs.EvRound {
+						t.Fatalf("unexpected trace event type %q from a distributed run", ev.Type)
+					}
+					recordedRounds++
+					if ev.Round != recordedRounds {
+						t.Fatalf("conv_round event %d carries round %d", recordedRounds, ev.Round)
+					}
+					recordedMoves += ev.N
+				}
+				if recordedRounds != res3.Rounds {
+					t.Errorf("trace recorded %d conv_round events, run reports %d rounds", recordedRounds, res3.Rounds)
+				}
+				if recordedMoves != res3.Moves {
+					t.Errorf("trace rounds sum to %d moves, run reports %d", recordedMoves, res3.Moves)
+				}
+				if got, _ := reg.Value("algo_convergence_rounds_total", obs.L("objective", tc.obj.String())); got != float64(res3.Rounds) {
+					t.Errorf("algo_convergence_rounds_total = %v, want %d", got, res3.Rounds)
+				}
+				if got, _ := reg.Value("algo_moves_total", obs.L("objective", tc.obj.String())); got != float64(res3.Moves) {
+					t.Errorf("algo_moves_total = %v, want %d", got, res3.Moves)
 				}
 			})
 		}

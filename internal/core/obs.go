@@ -1,0 +1,80 @@
+package core
+
+import (
+	"wlanmcast/internal/obs"
+)
+
+// This file holds the algorithms' observability hooks. Every
+// algorithm struct optionally carries an obs.Registry (metrics) and
+// an obs.Recorder (trace events); both default to nil, which costs a
+// branch per run — never per decision.
+//
+// Metric families registered here (see DESIGN.md "Observability"):
+//
+//	algo_runs_total{algo}               centralized runs
+//	algo_iterations_total{algo}         greedy picks / SCG passes
+//	algo_bla_guesses_total{complete}    B* guesses tried
+//	algo_convergence_rounds_total{objective}  sequential rounds
+//	algo_moves_total{objective}         accepted moves
+//	algo_runs_converged_total{objective,converged}  run outcomes
+
+// recordAlgoRun updates the centralized-run metrics and emits one
+// EvAlgoRun trace event. iters is the number of greedy iterations
+// (picked sets, or SCG passes for BLA); value is the achieved
+// objective.
+func recordAlgoRun(reg *obs.Registry, tr obs.Recorder, algo string, iters int, value float64) {
+	if reg != nil {
+		reg.Counter("algo_runs_total", "Centralized algorithm runs, by algorithm.", obs.L("algo", algo)).Inc()
+		reg.Counter("algo_iterations_total", "Greedy iterations (picked sets / SCG passes), by algorithm.", obs.L("algo", algo)).Add(uint64(iters))
+	}
+	if obs.Active(tr) {
+		tr.Record(obs.Event{Type: obs.EvAlgoRun, Algo: algo, N: iters, Value: value, User: -1, AP: -1})
+	}
+}
+
+// recordGuess counts one BLA B* guess and emits one EvGuess event.
+func recordGuess(reg *obs.Registry, tr obs.Recorder, algo string, bStar float64, complete bool) {
+	if reg != nil {
+		label := "false"
+		if complete {
+			label = "true"
+		}
+		reg.Counter("algo_bla_guesses_total", "BLA B* guesses tried, by completeness of the resulting cover.", obs.L("complete", label)).Inc()
+	}
+	if obs.Active(tr) {
+		n := 0
+		if complete {
+			n = 1
+		}
+		tr.Record(obs.Event{Type: obs.EvGuess, Algo: algo, Value: bStar, N: n, User: -1, AP: -1})
+	}
+}
+
+// roundInstruments is the per-run handle RunDetailed uses so the
+// per-round hot loop touches pre-resolved counters only.
+type roundInstruments struct {
+	rounds *obs.Counter
+	moves  *obs.Counter
+	trace  obs.Recorder
+	algo   string
+}
+
+func newRoundInstruments(reg *obs.Registry, tr obs.Recorder, algo, objective string) roundInstruments {
+	ri := roundInstruments{trace: tr, algo: algo}
+	if reg != nil {
+		ri.rounds = reg.Counter("algo_convergence_rounds_total", "Sequential distributed rounds executed, by objective.", obs.L("objective", objective))
+		ri.moves = reg.Counter("algo_moves_total", "Accepted distributed moves, by objective.", obs.L("objective", objective))
+	}
+	return ri
+}
+
+// round records one completed sequential round.
+func (ri *roundInstruments) round(round, moves int) {
+	if ri.rounds != nil {
+		ri.rounds.Inc()
+		ri.moves.Add(uint64(moves))
+	}
+	if obs.Active(ri.trace) {
+		ri.trace.Record(obs.Event{Type: obs.EvRound, Algo: ri.algo, Round: round, N: moves, User: -1, AP: -1})
+	}
+}

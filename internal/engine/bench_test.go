@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"runtime"
 	"testing"
 
 	"wlanmcast/internal/core"
+	"wlanmcast/internal/obs"
 	"wlanmcast/internal/scenario"
 )
 
@@ -41,7 +43,7 @@ func benchTrace(b *testing.B) (scenario.Params, []Event) {
 	return p, trace
 }
 
-func benchEngine(b *testing.B, mode Mode) {
+func benchEngine(b *testing.B, mode Mode, obsCfg func() (*obs.Registry, obs.Recorder)) {
 	p, trace := benchTrace(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -50,7 +52,11 @@ func benchEngine(b *testing.B, mode Mode) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		e, err := New(n, Config{Objective: core.ObjMLA, Mode: mode, ActiveUsers: benchActive})
+		cfg := Config{Objective: core.ObjMLA, Mode: mode, ActiveUsers: benchActive}
+		if obsCfg != nil {
+			cfg.Obs, cfg.Trace = obsCfg()
+		}
+		e, err := New(n, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -62,5 +68,30 @@ func benchEngine(b *testing.B, mode Mode) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*benchEvents), "ns/event")
 }
 
-func BenchmarkEngineIncremental(b *testing.B)   { benchEngine(b, ModeIncremental) }
-func BenchmarkEngineFullRecompute(b *testing.B) { benchEngine(b, ModeFullRecompute) }
+func BenchmarkEngineIncremental(b *testing.B)   { benchEngine(b, ModeIncremental, nil) }
+func BenchmarkEngineFullRecompute(b *testing.B) { benchEngine(b, ModeFullRecompute, nil) }
+
+// BenchmarkEngineIncrementalObs is the instrumented twin of
+// BenchmarkEngineIncremental: a shared registry plus a live ring trace,
+// exactly the assocd -serve configuration. scripts/bench.sh compares it
+// against BenchmarkEngineIncrementalObsDisabled and emits the overhead
+// delta to BENCH_obs.json (<5% target).
+func BenchmarkEngineIncrementalObs(b *testing.B) {
+	reg := obs.NewRegistry()
+	ring := obs.NewRing(obs.DefaultRingCapacity)
+	benchEngine(b, ModeIncremental, func() (*obs.Registry, obs.Recorder) { return reg, ring })
+}
+
+// BenchmarkEngineIncrementalObsDisabled is the control for the
+// overhead comparison: the same shared registry and a live ring of
+// the same capacity — so heap size and GC pacing match the
+// instrumented run, which otherwise dominate the A/B delta — but the
+// recorder handed to the engine is obs.Disabled, so every Record
+// call is skipped at the obs.Active guard. The pair differs only in
+// the trace recording path.
+func BenchmarkEngineIncrementalObsDisabled(b *testing.B) {
+	reg := obs.NewRegistry()
+	ring := obs.NewRing(obs.DefaultRingCapacity)
+	benchEngine(b, ModeIncremental, func() (*obs.Registry, obs.Recorder) { return reg, obs.Disabled })
+	runtime.KeepAlive(ring)
+}

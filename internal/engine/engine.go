@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"wlanmcast/internal/core"
+	"wlanmcast/internal/obs"
 	"wlanmcast/internal/wlan"
 )
 
@@ -80,6 +81,14 @@ type Config struct {
 	// Now supplies timestamps for the latency metrics (nil =
 	// time.Now). Decisions never depend on it.
 	Now func() time.Time
+	// Obs receives the engine's metrics (the assocd_* families, plus
+	// the distributed rule's algo_* families). nil gets a private
+	// registry — instrumentation always runs; Obs only decides who
+	// can read it.
+	Obs *obs.Registry
+	// Trace, when active, receives churn_event / redecision / handoff
+	// trace events (and conv_round events from full recomputes).
+	Trace obs.Recorder
 }
 
 // Engine is a long-lived association engine. It is not safe for
@@ -97,8 +106,10 @@ type Engine struct {
 	worklist intHeap
 	inList   []bool
 
-	stats Stats
-	now   func() time.Time
+	reg     *obs.Registry
+	metrics metrics
+	trace   obs.Recorder
+	now     func() time.Time
 }
 
 // New builds an engine over n, detaches the inactive slots, and seeds
@@ -128,6 +139,10 @@ func New(n *wlan.Network, cfg Config) (*Engine, error) {
 	if cfg.ActiveUsers < 0 || cfg.ActiveUsers > n.NumUsers() {
 		return nil, fmt.Errorf("engine: ActiveUsers %d out of range for %d user slots", cfg.ActiveUsers, n.NumUsers())
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	e := &Engine{
 		n:   n,
 		cfg: cfg,
@@ -135,11 +150,18 @@ func New(n *wlan.Network, cfg Config) (*Engine, error) {
 			Objective:     cfg.Objective,
 			EnforceBudget: cfg.EnforceBudget,
 			Hysteresis:    cfg.Hysteresis,
+			Obs:           reg,
+			Trace:         cfg.Trace,
 		},
 		active: make([]bool, n.NumUsers()),
 		inList: make([]bool, n.NumUsers()),
+		reg:    reg,
+		trace:  cfg.Trace,
 		now:    cfg.Now,
 	}
+	// Register the assocd_* families before the first distributed run
+	// so the exposition keeps its historical family order.
+	e.metrics.register(reg)
 	if e.now == nil {
 		e.now = time.Now
 	}
@@ -165,8 +187,22 @@ func New(n *wlan.Network, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.updateGauges()
 	return e, nil
 }
+
+// updateGauges refreshes the point-in-time gauges after any state
+// change. Gauge writes are atomic, so /metrics renders them without
+// the engine lock.
+func (e *Engine) updateGauges() {
+	e.metrics.activeUsers.Set(float64(e.nActive))
+	e.metrics.apLoadTotal.Set(e.tr.TotalLoad())
+	e.metrics.apLoadMax.Set(e.tr.MaxLoad())
+}
+
+// Registry returns the engine's metrics registry (Config.Obs, or the
+// private registry built when none was supplied).
+func (e *Engine) Registry() *obs.Registry { return e.reg }
 
 // fullRun executes the sequential distributed process from scratch
 // over the current network state.
@@ -202,7 +238,7 @@ func (e *Engine) Apply(ev Event) (ApplyResult, error) {
 	start := e.now()
 	res := ApplyResult{Event: ev}
 	if err := e.applyPrimary(ev, &res); err != nil {
-		e.stats.Rejected++
+		e.metrics.rejected.Inc()
 		return res, err
 	}
 	if e.cfg.Mode == ModeFullRecompute {
@@ -213,7 +249,12 @@ func (e *Engine) Apply(ev Event) (ApplyResult, error) {
 		return res, err
 	}
 	res.Elapsed = e.now().Sub(start)
-	e.stats.record(ev.Kind, res)
+	e.metrics.record(ev.Kind, res)
+	e.updateGauges()
+	if obs.Active(e.trace) {
+		e.trace.Record(obs.Event{Type: obs.EvChurn, Kind: string(ev.Kind), User: ev.User, AP: -1,
+			N: res.Redecisions, Value: res.Elapsed.Seconds()})
+	}
 	return res, nil
 }
 
@@ -268,6 +309,9 @@ func (e *Engine) applyPrimary(ev Event, res *ApplyResult) error {
 				return err
 			}
 			res.Moves++
+			if obs.Active(e.trace) {
+				e.trace.Record(obs.Event{Type: obs.EvHandoff, User: u, AP: wlan.Unassociated})
+			}
 			e.markAPIfChanged(ap, before)
 		}
 		if err := e.n.DetachUser(u); err != nil {
@@ -330,6 +374,9 @@ func (e *Engine) rehome(u int, res *ApplyResult, mutate func() error) error {
 		}
 	} else if ap != wlan.Unassociated {
 		res.Moves++ // forced detach counts as a change
+		if obs.Active(e.trace) {
+			e.trace.Record(obs.Event{Type: obs.EvHandoff, User: u, AP: wlan.Unassociated})
+		}
 	}
 	if ap != wlan.Unassociated {
 		e.markAPIfChanged(ap, before)
@@ -371,10 +418,9 @@ func (e *Engine) repair(res *ApplyResult) error {
 		res.Redecisions++
 		cur := e.tr.APOf(u)
 		target, improves := e.rule.Choose(e.n, e.tr, u)
-		if target == wlan.Unassociated || target == cur {
-			continue
-		}
-		if cur != wlan.Unassociated && !improves {
+		moving := target != wlan.Unassociated && target != cur &&
+			(cur == wlan.Unassociated || improves)
+		if !moving {
 			continue
 		}
 		var beforeCur float64
@@ -386,6 +432,9 @@ func (e *Engine) repair(res *ApplyResult) error {
 			return err
 		}
 		res.Moves++
+		if obs.Active(e.trace) {
+			e.trace.Record(obs.Event{Type: obs.EvHandoff, User: u, AP: target})
+		}
 		if cur != wlan.Unassociated {
 			e.markAPIfChanged(cur, beforeCur)
 		}
@@ -487,11 +536,12 @@ func (e *Engine) SetAssoc(a *wlan.Assoc) error {
 		return err
 	}
 	e.tr = tr
+	e.updateGauges()
 	return nil
 }
 
 // Stats returns a copy of the engine's counters.
-func (e *Engine) Stats() Stats { return e.stats.clone() }
+func (e *Engine) Stats() Stats { return e.metrics.snapshot() }
 
 // Hysteresis returns the effective move-improvement threshold.
 func (e *Engine) Hysteresis() float64 { return e.cfg.Hysteresis }

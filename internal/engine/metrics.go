@@ -1,7 +1,13 @@
 package engine
 
-// Stats are the engine's cumulative counters, exposed on the assocd
-// /metrics endpoint. All fields are totals since engine creation.
+import (
+	"wlanmcast/internal/obs"
+)
+
+// Stats is a point-in-time copy of the engine's cumulative counters,
+// as exposed on the assocd /metrics endpoint. All fields are totals
+// since engine creation. The live counters are registry-backed
+// atomics (see metrics below); Stats is only the snapshot shape.
 type Stats struct {
 	// Joins..DemandChanges count successfully applied events by kind.
 	Joins, Leaves, UserMoves, DemandChanges uint64
@@ -14,7 +20,7 @@ type Stats struct {
 	// Truncated counts events whose repair hit MaxRedecisions.
 	Truncated uint64
 	// Latency is the per-event wall-clock histogram.
-	Latency Histogram
+	Latency obs.HistogramSnapshot
 }
 
 // EventsTotal is the number of successfully applied events.
@@ -22,74 +28,80 @@ func (s *Stats) EventsTotal() uint64 {
 	return s.Joins + s.Leaves + s.UserMoves + s.DemandChanges
 }
 
-func (s *Stats) record(kind EventKind, res ApplyResult) {
+// metrics holds the engine's pre-resolved registry instruments. The
+// metric names keep the assocd_ prefix the daemon has exposed since
+// /metrics first shipped — the engine is the owner of those series
+// now, but the wire names must not move (obs golden test).
+//
+// Everything here is atomic: the assocd /metrics handler reads these
+// without taking the engine lock, concurrently with Apply.
+type metrics struct {
+	joins, leaves, moves, demands *obs.Counter
+	rejected                      *obs.Counter
+	redecisions                   *obs.Counter
+	handoffs                      *obs.Counter
+	truncated                     *obs.Counter
+	latency                       *obs.Histogram
+	activeUsers                   *obs.Gauge
+	apLoadTotal                   *obs.Gauge
+	apLoadMax                     *obs.Gauge
+}
+
+// register resolves the engine's instruments, creating the families in
+// the historical exposition order.
+func (m *metrics) register(reg *obs.Registry) {
+	const evHelp = "Churn events applied, by kind."
+	m.joins = reg.Counter("assocd_events_total", evHelp, obs.L("kind", string(UserJoin)))
+	m.leaves = reg.Counter("assocd_events_total", evHelp, obs.L("kind", string(UserLeave)))
+	m.moves = reg.Counter("assocd_events_total", evHelp, obs.L("kind", string(UserMove)))
+	m.demands = reg.Counter("assocd_events_total", evHelp, obs.L("kind", string(DemandChange)))
+	m.rejected = reg.Counter("assocd_events_rejected_total", "Events that failed validation.")
+	m.redecisions = reg.Counter("assocd_redecisions_total", "User decisions re-evaluated during repair.")
+	m.handoffs = reg.Counter("assocd_handoffs_total", "Association changes.")
+	m.truncated = reg.Counter("assocd_repairs_truncated_total", "Events whose repair hit the re-decision cap.")
+	m.latency = reg.Histogram("assocd_event_latency_seconds", "Wall-clock time to apply one event.", DefaultLatencyBounds())
+	m.activeUsers = reg.Gauge("assocd_active_users", "Currently active user slots.")
+	m.apLoadTotal = reg.Gauge("assocd_ap_load_total", "Sum of AP multicast loads.")
+	m.apLoadMax = reg.Gauge("assocd_ap_load_max", "Maximum AP multicast load.")
+}
+
+// record accounts one successfully applied event.
+func (m *metrics) record(kind EventKind, res ApplyResult) {
 	switch kind {
 	case UserJoin:
-		s.Joins++
+		m.joins.Inc()
 	case UserLeave:
-		s.Leaves++
+		m.leaves.Inc()
 	case UserMove:
-		s.UserMoves++
+		m.moves.Inc()
 	case DemandChange:
-		s.DemandChanges++
+		m.demands.Inc()
 	}
-	s.Redecisions += uint64(res.Redecisions)
-	s.Handoffs += uint64(res.Moves)
+	m.redecisions.Add(uint64(res.Redecisions))
+	m.handoffs.Add(uint64(res.Moves))
 	if res.Truncated {
-		s.Truncated++
+		m.truncated.Inc()
 	}
-	s.Latency.Observe(res.Elapsed.Seconds())
+	m.latency.Observe(res.Elapsed.Seconds())
 }
 
-func (s *Stats) clone() Stats {
-	out := *s
-	out.Latency = s.Latency.clone()
-	return out
-}
-
-// Histogram is a fixed-bucket cumulative histogram in the Prometheus
-// style: Counts[i] counts observations ≤ Bounds[i], with one implicit
-// +Inf bucket at the end.
-type Histogram struct {
-	// Bounds are the bucket upper bounds in seconds, ascending. The
-	// zero value gets the default latency buckets on first Observe.
-	Bounds []float64
-	// Counts[i] is the number of observations ≤ Bounds[i];
-	// Counts[len(Bounds)] (the +Inf bucket) equals Count.
-	Counts []uint64
-	// Sum is the running total of observed values.
-	Sum float64
-	// Count is the number of observations.
-	Count uint64
+// snapshot copies the live counters into a Stats.
+func (m *metrics) snapshot() Stats {
+	return Stats{
+		Joins:         m.joins.Value(),
+		Leaves:        m.leaves.Value(),
+		UserMoves:     m.moves.Value(),
+		DemandChanges: m.demands.Value(),
+		Rejected:      m.rejected.Value(),
+		Redecisions:   m.redecisions.Value(),
+		Handoffs:      m.handoffs.Value(),
+		Truncated:     m.truncated.Value(),
+		Latency:       m.latency.Snapshot(),
+	}
 }
 
 // DefaultLatencyBounds spans 1µs..4s in powers of four — wide enough
 // for a no-op event and a full recompute on a large network alike.
-func DefaultLatencyBounds() []float64 {
-	return []float64{1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 256e-3, 1, 4}
-}
-
-// Observe records v (seconds).
-func (h *Histogram) Observe(v float64) {
-	if h.Bounds == nil {
-		h.Bounds = DefaultLatencyBounds()
-	}
-	if h.Counts == nil {
-		h.Counts = make([]uint64, len(h.Bounds)+1)
-	}
-	for i, b := range h.Bounds {
-		if v <= b {
-			h.Counts[i]++
-		}
-	}
-	h.Counts[len(h.Bounds)]++
-	h.Sum += v
-	h.Count++
-}
-
-func (h Histogram) clone() Histogram {
-	out := h
-	out.Bounds = append([]float64(nil), h.Bounds...)
-	out.Counts = append([]uint64(nil), h.Counts...)
-	return out
-}
+// (It is obs.DefaultLatencyBounds, re-exported because the engine API
+// predates the obs package.)
+func DefaultLatencyBounds() []float64 { return obs.DefaultLatencyBounds() }

@@ -140,23 +140,3 @@ func TestGenTraceValidation(t *testing.T) {
 		t.Error("GenTrace generated events when none are possible")
 	}
 }
-
-func TestHistogram(t *testing.T) {
-	var h Histogram
-	h.Observe(2e-6)
-	h.Observe(0.5)
-	h.Observe(100) // beyond the last bound → +Inf bucket only
-	if h.Count != 3 {
-		t.Fatalf("Count = %d, want 3", h.Count)
-	}
-	if got := h.Counts[len(h.Bounds)]; got != 3 {
-		t.Fatalf("+Inf bucket = %d, want 3", got)
-	}
-	// 2e-6 lands in every bucket from 4e-6 up; 0.5 from 1 up.
-	if h.Counts[0] != 0 || h.Counts[1] != 1 {
-		t.Fatalf("low buckets = %v", h.Counts[:2])
-	}
-	if h.Sum < 100.5 || h.Sum > 100.6 {
-		t.Fatalf("Sum = %v", h.Sum)
-	}
-}

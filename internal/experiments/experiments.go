@@ -19,6 +19,7 @@ import (
 	"wlanmcast/internal/core"
 	"wlanmcast/internal/geom"
 	"wlanmcast/internal/metrics"
+	"wlanmcast/internal/obs"
 	"wlanmcast/internal/runner"
 	"wlanmcast/internal/scenario"
 	"wlanmcast/internal/wlan"
@@ -48,6 +49,14 @@ type Config struct {
 	// callback is never invoked concurrently, so it needs no locking
 	// of its own.
 	Progress func(format string, args ...any)
+	// Obs, when set, is handed to the runner so sweeps accumulate
+	// runner_tasks_total and the runner_task_seconds /
+	// runner_queue_wait_seconds histograms across experiments.
+	Obs *obs.Registry
+	// Trace, when active, receives one EvRunnerTask event per
+	// completed (point, seed) evaluation. Wrap it in an obs.Sampler
+	// to thin high-volume sweeps.
+	Trace obs.Recorder
 }
 
 func (c Config) normalize() Config {
@@ -127,6 +136,8 @@ type Value struct {
 func runSeeds(ctx context.Context, cfg Config, fig *metrics.Figure, fn func(ctx context.Context, point, seed int) ([]Value, error)) (*metrics.Figure, error) {
 	res, err := runner.Map(ctx, runner.Options{
 		Workers: cfg.Workers,
+		Obs:     cfg.Obs,
+		Trace:   cfg.Trace,
 		OnProgress: func(ev runner.Event) {
 			cfg.logf("%s: x=%v done (%d seeds) [%d/%d points, %.1f evals/s, %v elapsed]",
 				fig.ID, fig.X[ev.Point], cfg.Seeds, ev.DonePoints, ev.Points,

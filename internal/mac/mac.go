@@ -25,9 +25,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"time"
 
 	"wlanmcast/internal/des"
+	"wlanmcast/internal/obs"
 	"wlanmcast/internal/radio"
 	"wlanmcast/internal/wlan"
 )
@@ -59,6 +61,14 @@ type Config struct {
 	CWSlots int
 	// Seed drives backoff draws and CBR phase offsets.
 	Seed int64
+	// Obs, when set, receives mac_frames_total / mac_collisions_total
+	// counters and per-AP mac_ap_airtime_share gauges, written once at
+	// the end of the run (the per-frame hot path stays metric-free).
+	Obs *obs.Registry
+	// Trace, when active, receives one EvMacTx event per transmitted
+	// frame and one EvAPLoad sample per AP at the end of the run. Wrap
+	// it in an obs.Sampler for long simulations.
+	Trace obs.Recorder
 }
 
 // APStats aggregates per-AP outcomes.
@@ -143,7 +153,36 @@ func Run(cfg Config) (*Result, error) {
 	s.buildMedia()
 	s.buildFlows()
 	s.eng.RunUntil(cfg.Duration)
+	s.publishObs()
 	return s.res, nil
+}
+
+// publishObs writes the run's aggregate counters and per-AP airtime
+// shares to the registry, and emits one EvAPLoad sample per AP. It
+// runs once per simulation, so repeated Runs over the same registry
+// accumulate counters while the share gauges reflect the latest run.
+func (s *sim) publishObs() {
+	res := s.res
+	if s.cfg.Obs != nil {
+		var mcast, ucast, collided int
+		for ap := range res.PerAP {
+			st := &res.PerAP[ap]
+			mcast += st.MulticastSent
+			ucast += st.UnicastSent
+			collided += st.MulticastCollided
+			s.cfg.Obs.Gauge("mac_ap_airtime_share", "Multicast airtime fraction of the last simulated run, per AP.",
+				obs.L("ap", strconv.Itoa(ap))).Set(res.MeasuredLoad(ap))
+		}
+		const frameHelp = "Frames put on the air across simulated runs, by kind."
+		s.cfg.Obs.Counter("mac_frames_total", frameHelp, obs.L("kind", "multicast")).Add(uint64(mcast))
+		s.cfg.Obs.Counter("mac_frames_total", frameHelp, obs.L("kind", "unicast")).Add(uint64(ucast))
+		s.cfg.Obs.Counter("mac_collisions_total", "Multicast frames lost to collisions across simulated runs.").Add(uint64(collided))
+	}
+	if obs.Active(s.cfg.Trace) {
+		for ap := range res.PerAP {
+			s.cfg.Trace.Record(obs.Event{Type: obs.EvAPLoad, Algo: "mac", User: -1, AP: ap, Value: res.MeasuredLoad(ap)})
+		}
+	}
 }
 
 func applyDefaults(cfg *Config) {

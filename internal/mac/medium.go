@@ -2,6 +2,8 @@ package mac
 
 import (
 	"time"
+
+	"wlanmcast/internal/obs"
 )
 
 // txKind distinguishes queue types.
@@ -102,6 +104,17 @@ func (m *medium) arbitrate() {
 		// collision every collider is charged the full span — the
 		// channel was lost to each frame.
 		span := overhead + onAir
+		if obs.Active(s.cfg.Trace) {
+			kind, n := "unicast", 0
+			if req.kind == txMulticast {
+				kind = "multicast"
+			}
+			if collided {
+				n = 1
+			}
+			s.cfg.Trace.Record(obs.Event{Type: obs.EvMacTx, Algo: "mac", Kind: kind,
+				User: -1, AP: req.ap, N: n, Value: span.Seconds()})
+		}
 		st := &s.res.PerAP[req.ap]
 		switch req.kind {
 		case txMulticast:

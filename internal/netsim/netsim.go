@@ -26,6 +26,7 @@ import (
 
 	"wlanmcast/internal/core"
 	"wlanmcast/internal/des"
+	"wlanmcast/internal/obs"
 	"wlanmcast/internal/wlan"
 )
 
@@ -65,6 +66,13 @@ type Options struct {
 	// always runs to MaxTime and Converged reports whether the final
 	// stretch was stable.
 	Churn *ChurnConfig
+	// Obs, when set, receives netsim_messages_total (by kind) and
+	// netsim_moves_total / netsim_decisions_total, written once at the
+	// end of the run from the Stats aggregate.
+	Obs *obs.Registry
+	// Trace, when active, receives one EvHandoff event per committed
+	// protocol move (Value = virtual seconds since start).
+	Trace obs.Recorder
 }
 
 // ChurnConfig parameterizes on/off session dynamics.
@@ -211,7 +219,33 @@ func Run(opts Options) (*Result, error) {
 		// the tail of the run was quiet.
 		res.Converged = opts.MaxTime-s.lastMove > 3*opts.QueryInterval
 	}
+	if opts.Obs != nil {
+		publishStats(opts.Obs, &s.stats)
+	}
 	return res, nil
+}
+
+// publishStats writes the run's protocol-traffic aggregate to the
+// registry. Done once per Run, so repeated runs accumulate.
+func publishStats(reg *obs.Registry, st *Stats) {
+	const msgHelp = "Protocol frames exchanged across simulated runs, by kind."
+	for _, kv := range []struct {
+		kind string
+		n    int
+	}{
+		{"probe_request", st.ProbeRequests},
+		{"probe_response", st.ProbeResponses},
+		{"association", st.Associations},
+		{"disassociation", st.Disassociations},
+		{"lock_request", st.LockRequests},
+		{"lock_grant", st.LockGrants},
+		{"lock_denial", st.LockDenials},
+		{"lock_release", st.LockReleases},
+	} {
+		reg.Counter("netsim_messages_total", msgHelp, obs.L("kind", kv.kind)).Add(uint64(kv.n))
+	}
+	reg.Counter("netsim_moves_total", "Committed protocol moves across simulated runs.").Add(uint64(st.Moves))
+	reg.Counter("netsim_decisions_total", "Completed decision cycles across simulated runs.").Add(uint64(st.Decisions))
 }
 
 // churnDelay draws an exponential on/off period for user u's current
@@ -331,6 +365,10 @@ func (s *sim) commit(u int, view *wlan.Tracker) bool {
 	s.stats.Associations++
 	s.stats.Moves++
 	s.lastMove = s.eng.Now()
+	if obs.Active(s.opts.Trace) {
+		s.opts.Trace.Record(obs.Event{Type: obs.EvHandoff, Algo: "netsim",
+			User: u, AP: target, Value: s.lastMove.Seconds()})
+	}
 	return true
 }
 

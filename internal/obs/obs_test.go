@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryIdempotentLookup(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "X.", L("kind", "a"))
+	b := r.Counter("x_total", "X.", L("kind", "a"))
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	c := r.Counter("x_total", "X.", L("kind", "b"))
+	if a == c {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	a.Add(2)
+	c.Inc()
+	if got, _ := r.Value("x_total", L("kind", "a")); got != 2 {
+		t.Fatalf("kind=a value = %v, want 2", got)
+	}
+	if got, _ := r.Value("x_total", L("kind", "b")); got != 1 {
+		t.Fatalf("kind=b value = %v, want 1", got)
+	}
+	if _, ok := r.Value("x_total", L("kind", "zzz")); ok {
+		t.Fatal("unknown series reported a value")
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x_total", "X.")
+	r.Gauge("x_total", "X.")
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "G.")
+	g.Set(1.5)
+	g.Add(-0.25)
+	if v := g.Value(); v != 1.25 {
+		t.Fatalf("gauge = %v, want 1.25", v)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "H.", nil)
+	h.Observe(2e-6)
+	h.Observe(0.5)
+	h.Observe(100) // beyond the last bound: +Inf only
+	s := h.Snapshot()
+	if s.Count != 3 || s.Counts[len(s.Bounds)] != 3 {
+		t.Fatalf("count = %d, +Inf = %d, want 3/3", s.Count, s.Counts[len(s.Bounds)])
+	}
+	// 2e-6 lands in the le=4e-6 bucket and above; 0.5 from le=1 up.
+	if s.Counts[0] != 0 || s.Counts[1] != 1 {
+		t.Fatalf("low cumulative buckets = %v", s.Counts[:2])
+	}
+	if s.Counts[10] != 2 {
+		t.Fatalf("le=1 cumulative = %d, want 2", s.Counts[10])
+	}
+	if s.Sum < 100.5 || s.Sum > 100.6 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "C.", L("path", `a"b\c`+"\n")).Inc()
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `c_total{path="a\"b\\c\n"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("exposition %q missing escaped series %q", b.String(), want)
+	}
+	if err := LintProm(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("lint rejected escaped labels: %v", err)
+	}
+}
+
+// TestGoldenAssocdExposition locks the PR-2 assocd /metrics wire
+// format: a registry populated with the same families, in the same
+// order and with the same values, must render byte-identically to the
+// exposition cmd/assocd/serve.go used to hand-write. This is the
+// golden-file contract behind moving the formatting into this
+// package.
+func TestGoldenAssocdExposition(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("assocd_uptime_seconds", "Time since the daemon started.", func() float64 { return 12.5 })
+	events := map[string]uint64{"join": 3, "leave": 2, "move": 1, "demand": 0}
+	for _, kind := range []string{"join", "leave", "move", "demand"} {
+		r.Counter("assocd_events_total", "Churn events applied, by kind.", L("kind", kind)).Add(events[kind])
+	}
+	r.Counter("assocd_events_rejected_total", "Events that failed validation.").Add(1)
+	r.Counter("assocd_redecisions_total", "User decisions re-evaluated during repair.").Add(17)
+	r.Counter("assocd_handoffs_total", "Association changes.").Add(5)
+	r.Counter("assocd_repairs_truncated_total", "Events whose repair hit the re-decision cap.").Add(0)
+	h := r.Histogram("assocd_event_latency_seconds", "Wall-clock time to apply one event.", DefaultLatencyBounds())
+	h.Observe(2e-6)
+	h.Observe(0.5)
+	h.Observe(100)
+	r.Gauge("assocd_active_users", "Currently active user slots.").Set(30)
+	r.Gauge("assocd_ap_load_total", "Sum of AP multicast loads.").Set(1.25)
+	r.Gauge("assocd_ap_load_max", "Maximum AP multicast load.").Set(0.5)
+
+	want := `# HELP assocd_uptime_seconds Time since the daemon started.
+# TYPE assocd_uptime_seconds gauge
+assocd_uptime_seconds 12.5
+# HELP assocd_events_total Churn events applied, by kind.
+# TYPE assocd_events_total counter
+assocd_events_total{kind="join"} 3
+assocd_events_total{kind="leave"} 2
+assocd_events_total{kind="move"} 1
+assocd_events_total{kind="demand"} 0
+# HELP assocd_events_rejected_total Events that failed validation.
+# TYPE assocd_events_rejected_total counter
+assocd_events_rejected_total 1
+# HELP assocd_redecisions_total User decisions re-evaluated during repair.
+# TYPE assocd_redecisions_total counter
+assocd_redecisions_total 17
+# HELP assocd_handoffs_total Association changes.
+# TYPE assocd_handoffs_total counter
+assocd_handoffs_total 5
+# HELP assocd_repairs_truncated_total Events whose repair hit the re-decision cap.
+# TYPE assocd_repairs_truncated_total counter
+assocd_repairs_truncated_total 0
+# HELP assocd_event_latency_seconds Wall-clock time to apply one event.
+# TYPE assocd_event_latency_seconds histogram
+assocd_event_latency_seconds_bucket{le="1e-06"} 0
+assocd_event_latency_seconds_bucket{le="4e-06"} 1
+assocd_event_latency_seconds_bucket{le="1.6e-05"} 1
+assocd_event_latency_seconds_bucket{le="6.4e-05"} 1
+assocd_event_latency_seconds_bucket{le="0.000256"} 1
+assocd_event_latency_seconds_bucket{le="0.001"} 1
+assocd_event_latency_seconds_bucket{le="0.004"} 1
+assocd_event_latency_seconds_bucket{le="0.016"} 1
+assocd_event_latency_seconds_bucket{le="0.064"} 1
+assocd_event_latency_seconds_bucket{le="0.256"} 1
+assocd_event_latency_seconds_bucket{le="1"} 2
+assocd_event_latency_seconds_bucket{le="4"} 2
+assocd_event_latency_seconds_bucket{le="+Inf"} 3
+assocd_event_latency_seconds_sum 100.500002
+assocd_event_latency_seconds_count 3
+# HELP assocd_active_users Currently active user slots.
+# TYPE assocd_active_users gauge
+assocd_active_users 30
+# HELP assocd_ap_load_total Sum of AP multicast loads.
+# TYPE assocd_ap_load_total gauge
+assocd_ap_load_total 1.25
+# HELP assocd_ap_load_max Maximum AP multicast load.
+# TYPE assocd_ap_load_max gauge
+assocd_ap_load_max 0.5
+`
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != want {
+		t.Fatalf("exposition diverges from the PR-2 wire format.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if err := LintProm(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("golden exposition fails its own lint: %v", err)
+	}
+}
+
+func TestLintPromRejectsMalformed(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"bad name", "2bad_name 1\n"},
+		{"bad value", "ok_metric notanumber\n"},
+		{"unterminated labels", `ok_metric{kind="a 1` + "\n"},
+		{"unquoted label", `ok_metric{kind=a} 1` + "\n"},
+		{"unknown type", "# TYPE x wibble\n"},
+		{"duplicate series", "x 1\nx 1\n"},
+		{"duplicate type", "# TYPE x counter\n# TYPE x counter\n"},
+		{"type after samples", "x_total 1\n# TYPE x_total counter\n"},
+		{"bucket without le", "# TYPE h histogram\nh_bucket 1\n"},
+		{"bare histogram sample", "# TYPE h histogram\nh 1\n"},
+		{"bad escape", `x{k="a\q"} 1` + "\n"},
+	}
+	for _, c := range cases {
+		if err := LintProm(strings.NewReader(c.text)); err == nil {
+			t.Errorf("%s: lint accepted %q", c.name, c.text)
+		}
+	}
+}
+
+func TestLintPromAcceptsSpecials(t *testing.T) {
+	text := "# some free comment\n# TYPE g gauge\ng +Inf\ng{x=\"1\"} NaN\n"
+	if err := LintProm(strings.NewReader(text)); err != nil {
+		t.Fatalf("lint rejected valid exposition: %v", err)
+	}
+}
+
+// TestRegistryConcurrent hammers every instrument kind from many
+// goroutines while the exposition is rendered — run under -race by
+// scripts/check.sh.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("conc_total", "C.", L("g", string(rune('a'+g))))
+			ga := r.Gauge("conc_gauge", "G.")
+			h := r.Histogram("conc_seconds", "H.", nil)
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				ga.Add(1)
+				h.Observe(float64(i) * 1e-5)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WriteProm(&b); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := LintProm(strings.NewReader(b.String())); err != nil {
+				t.Errorf("mid-flight exposition failed lint: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got, _ := r.Value("conc_total", L("g", "a")); got != 1000 {
+		t.Fatalf("counter = %v, want 1000", got)
+	}
+	if got := r.Histogram("conc_seconds", "H.", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,14 @@
+package obs
+
+import "testing"
+
+// BenchmarkRingRecord is the per-record floor of the daemon's trace
+// path; engine instrumentation pays it once per emitted event.
+func BenchmarkRingRecord(b *testing.B) {
+	r := NewRing(DefaultRingCapacity)
+	ev := Event{Type: EvHandoff, User: 5, AP: 3, N: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(ev)
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"wlanmcast/internal/obs"
 )
 
 // Event describes one completed sweep point. Events are delivered to
@@ -49,6 +51,12 @@ type Options struct {
 	// point. Delivery is serialized — OnProgress is never invoked
 	// concurrently — so callbacks need no locking of their own.
 	OnProgress func(Event)
+	// Obs, when set, receives runner_tasks_total plus the
+	// runner_task_seconds and runner_queue_wait_seconds histograms.
+	Obs *obs.Registry
+	// Trace, when active, receives one EvRunnerTask event per
+	// completed (point, seed) evaluation.
+	Trace obs.Recorder
 }
 
 // Map runs fn for every (point, seed) pair on a bounded worker pool
@@ -95,13 +103,31 @@ func Map[T any](ctx context.Context, opts Options, points, seeds int, fn func(ct
 		remaining[p] = seeds
 	}
 
-	feed := make(chan [2]int)
+	var (
+		tasksTotal *obs.Counter
+		taskSecs   *obs.Histogram
+		waitSecs   *obs.Histogram
+	)
+	if opts.Obs != nil {
+		tasksTotal = opts.Obs.Counter("runner_tasks_total", "Completed sweep (point, seed) evaluations.")
+		taskSecs = opts.Obs.Histogram("runner_task_seconds", "Wall-clock time of one sweep evaluation.", nil)
+		waitSecs = opts.Obs.Histogram("runner_queue_wait_seconds", "Time a sweep task waited for a free worker.", nil)
+	}
+
+	// A task carries its enqueue time: the feed channel is unbuffered,
+	// so enqueue-to-receive is exactly how long the task waited for a
+	// free worker.
+	type task struct {
+		p, s int
+		enq  time.Time
+	}
+	feed := make(chan task)
 	go func() {
 		defer close(feed)
 		for p := 0; p < points; p++ {
 			for s := 0; s < seeds; s++ {
 				select {
-				case feed <- [2]int{p, s}:
+				case feed <- task{p: p, s: s, enq: time.Now()}:
 				case <-ctx.Done():
 					return
 				}
@@ -118,7 +144,9 @@ func Map[T any](ctx context.Context, opts Options, points, seeds int, fn func(ct
 				if ctx.Err() != nil {
 					return
 				}
-				p, s := t[0], t[1]
+				p, s := t.p, t.s
+				waited := time.Since(t.enq)
+				tstart := time.Now()
 				v, err := fn(ctx, p, s)
 				if err != nil {
 					mu.Lock()
@@ -128,6 +156,16 @@ func Map[T any](ctx context.Context, opts Options, points, seeds int, fn func(ct
 					mu.Unlock()
 					cancel()
 					return
+				}
+				elapsed := time.Since(tstart)
+				if tasksTotal != nil {
+					tasksTotal.Inc()
+					taskSecs.Observe(elapsed.Seconds())
+					waitSecs.Observe(waited.Seconds())
+				}
+				if obs.Active(opts.Trace) {
+					opts.Trace.Record(obs.Event{Type: obs.EvRunnerTask, Point: p, Seed: s,
+						User: -1, AP: -1, Value: elapsed.Seconds(), N: int(waited.Microseconds())})
 				}
 				out[p][s] = v
 				mu.Lock()

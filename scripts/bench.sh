@@ -1,23 +1,38 @@
 #!/bin/sh
-# bench.sh — run the online-engine benchmark pair and emit a small
-# machine-readable summary.
+# bench.sh — run the online-engine benchmarks and emit small
+# machine-readable summaries.
 #
 #   ./scripts/bench.sh [output.json]
 #
-# Runs BenchmarkEngineIncremental and BenchmarkEngineFullRecompute
-# (internal/engine/bench_test.go) and writes BENCH_engine.json (or the
-# given path): one record per benchmark with ns/op, ns/event, B/op and
-# allocs/op, plus the incremental-vs-full speedup. The figure-quality
-# comparison of the two modes lives in the ext-churn experiment; this
-# script owns the wall-clock side, which has no place in the
-# byte-deterministic figure pipeline.
+# Runs the BenchmarkEngine* set (internal/engine/bench_test.go) and
+# writes BENCH_engine.json (or the given path): one record per
+# benchmark with ns/op, ns/event, B/op and allocs/op, plus the
+# incremental-vs-full speedup. The figure-quality comparison of the
+# two modes lives in the ext-churn experiment; this script owns the
+# wall-clock side, which has no place in the byte-deterministic
+# figure pipeline.
+#
+# It also writes BENCH_obs.json next to the first output: the trace
+# recording overhead of BenchmarkEngineIncrementalObs (shared
+# registry + live ring recorder — the assocd -serve configuration)
+# over BenchmarkEngineIncrementalObsDisabled (identical heap, the
+# obs.Disabled recorder), as a fraction of the disabled ns/event.
+# The observability PR targets < 5%. Two measurement pitfalls are
+# deliberately engineered out: the control keeps a same-size ring
+# alive so both processes see the same heap and GC pacing (the ring's
+# ~2 MB otherwise shifts GC cadence by more than the effect being
+# measured), and the pair runs interleaved (base, obs, base, obs,
+# ...) over OBS_ROUNDS rounds (default 3) compared on minimum
+# ns/event, so monotone load drift cannot masquerade as overhead.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_engine.json}"
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+tmp2="$(mktemp)"
+bin="$(mktemp)"
+trap 'rm -f "$tmp" "$tmp2" "$bin"' EXIT
 
 echo "== go test -bench Engine ./internal/engine" >&2
 go test -run '^$' -bench 'BenchmarkEngine' -benchmem -count 1 ./internal/engine | tee "$tmp" >&2
@@ -51,3 +66,43 @@ END {
 }' "$tmp" > "$out"
 
 echo "wrote $out" >&2
+
+obs_out="$(dirname "$out")/BENCH_obs.json"
+rounds="${OBS_ROUNDS:-3}"
+
+echo "== obs overhead: interleaved Incremental pair, $rounds rounds" >&2
+go test -c -o "$bin" ./internal/engine
+: > "$tmp2"
+i=0
+while [ "$i" -lt "$rounds" ]; do
+    "$bin" -test.run '^$' -test.bench 'BenchmarkEngineIncrementalObsDisabled$' -test.benchtime 500x | tee -a "$tmp2" >&2
+    "$bin" -test.run '^$' -test.bench 'BenchmarkEngineIncrementalObs$' -test.benchtime 500x | tee -a "$tmp2" >&2
+    i=$((i + 1))
+done
+
+awk '
+/^BenchmarkEngineIncremental/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i < NF; i++)
+        if ($(i+1) == "ns/event" && (!(name in nsev) || $i + 0 < nsev[name]))
+            nsev[name] = $i
+}
+END {
+    base = nsev["BenchmarkEngineIncrementalObsDisabled"]
+    inst = nsev["BenchmarkEngineIncrementalObs"]
+    if (base <= 0 || inst <= 0) {
+        print "bench.sh: missing IncrementalObsDisabled/IncrementalObs pair" > "/dev/stderr"
+        exit 1
+    }
+    frac = (inst - base) / base
+    printf "{\n"
+    printf "  \"disabled_ns_per_event\": %s,\n", base
+    printf "  \"instrumented_ns_per_event\": %s,\n", inst
+    printf "  \"overhead_fraction\": %.4f,\n", frac
+    printf "  \"target_fraction\": 0.05,\n"
+    printf "  \"within_target\": %s\n", (frac < 0.05 ? "true" : "false")
+    printf "}\n"
+}' "$tmp2" > "$obs_out"
+
+echo "wrote $obs_out" >&2

@@ -8,9 +8,13 @@
 #   2. the full test suite
 #   3. the race detector over the concurrency-sensitive packages
 #      (internal/runner and internal/experiments, which fan seed
-#      evaluations over a goroutine pool, plus internal/engine and
-#      cmd/assocd, whose HTTP daemon serves one engine to many
-#      connections)
+#      evaluations over a goroutine pool, internal/obs, whose
+#      lock-free instruments are written and exposed concurrently,
+#      plus internal/engine and cmd/assocd, whose HTTP daemon serves
+#      one engine to many connections)
+#   4. the promtext lint gate: the byte-format golden test for the
+#      exposition writer plus the linter over the daemon's live
+#      /metrics output
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,7 +25,11 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (runner + experiments + engine + assocd)"
-go test -race ./internal/runner ./internal/experiments ./internal/engine ./cmd/assocd
+echo "== go test -race (runner + experiments + obs + engine + assocd)"
+go test -race ./internal/runner ./internal/experiments ./internal/obs ./internal/engine ./cmd/assocd
+
+echo "== promtext lint (golden exposition + live /metrics)"
+go test -run 'TestGoldenAssocdExposition|TestLintProm' -count 1 ./internal/obs
+go test -run 'TestServeMetricsLint' -count 1 ./cmd/assocd
 
 echo "ok: all checks passed"
