@@ -89,13 +89,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	simulate := func(ctx context.Context, s int64) (*netsim.Result, *wlan.Network, error) {
-		n, err := loadNetwork(*scenarioPath, scenario.Params{
-			NumAPs:      *aps,
-			NumUsers:    *users,
-			NumSessions: *sessions,
-			Seed:        s,
-		})
-		if err != nil {
+		// Scenario loads touch the filesystem; a transient read failure
+		// should not kill a 40-run batch, so retry briefly before giving
+		// up for real.
+		var n *wlan.Network
+		if err := retryBackoff(ctx, 3, 50*time.Millisecond, func() error {
+			var err error
+			n, err = loadNetwork(*scenarioPath, scenario.Params{
+				NumAPs:      *aps,
+				NumUsers:    *users,
+				NumSessions: *sessions,
+				Seed:        s,
+			})
+			return err
+		}); err != nil {
 			return nil, nil, err
 		}
 		if err := ctx.Err(); err != nil {
@@ -202,6 +209,31 @@ func objectiveByName(name string) (core.Objective, error) {
 	default:
 		return 0, fmt.Errorf("unknown objective %q", name)
 	}
+}
+
+// retryBackoff runs fn up to attempts times, doubling the wait from
+// base between failures and respecting ctx cancellation. It returns
+// nil on the first success, ctx's error if cancelled, and otherwise
+// the last fn error once the attempts are spent.
+func retryBackoff(ctx context.Context, attempts int, base time.Duration, fn func() error) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if err = fn(); err == nil {
+			return nil
+		}
+		if i == attempts-1 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(base << i):
+		}
+	}
+	return err
 }
 
 func loadNetwork(path string, p scenario.Params) (*wlan.Network, error) {

@@ -2,8 +2,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"wlanmcast/internal/core"
 )
@@ -47,6 +49,46 @@ func TestRunBadFlags(t *testing.T) {
 	}
 	if code := run(context.Background(), []string{"-runs", "0"}, &out, &errOut); code != 2 {
 		t.Errorf("-runs 0 exited %d, want 2", code)
+	}
+}
+
+func TestRetryBackoff(t *testing.T) {
+	ctx := context.Background()
+
+	// Succeeds on the last allowed attempt.
+	calls := 0
+	err := retryBackoff(ctx, 3, time.Millisecond, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Errorf("flaky fn: err=%v after %d calls, want success on call 3", err, calls)
+	}
+
+	// Exhausts its attempts and reports the last error.
+	calls = 0
+	last := errors.New("still broken")
+	err = retryBackoff(ctx, 3, time.Millisecond, func() error {
+		calls++
+		return last
+	})
+	if !errors.Is(err, last) || calls != 3 {
+		t.Errorf("persistent fn: err=%v after %d calls, want %v after 3", err, calls, last)
+	}
+
+	// A cancelled context stops the retries between attempts.
+	cctx, cancel := context.WithCancel(ctx)
+	calls = 0
+	err = retryBackoff(cctx, 5, time.Minute, func() error {
+		calls++
+		cancel()
+		return errors.New("nope")
+	})
+	if !errors.Is(err, context.Canceled) || calls != 1 {
+		t.Errorf("cancelled ctx: err=%v after %d calls, want context.Canceled after 1", err, calls)
 	}
 }
 

@@ -3,11 +3,14 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -51,9 +54,13 @@ type server struct {
 	// ring buffers trace events across all scenarios for
 	// /v1/trace/export.
 	ring *obs.Ring
+	// errlog receives panic reports (default os.Stderr; tests divert
+	// it).
+	errlog io.Writer
 
 	scenarios   *obs.Counter
 	httpLatency *obs.Histogram
+	panics      *obs.Counter
 }
 
 // servedPaths is the label set for assocd_http_requests_total; paths
@@ -71,6 +78,7 @@ func newServer() *server {
 		mux:     http.NewServeMux(),
 		base:    obs.NewRegistry(),
 		ring:    obs.NewRing(0),
+		errlog:  os.Stderr,
 	}
 	// Uptime registers first so the exposition keeps opening with the
 	// family it has led with since /metrics first shipped.
@@ -78,6 +86,7 @@ func newServer() *server {
 		func() float64 { return time.Since(s.started).Seconds() })
 	s.scenarios = s.base.Counter("assocd_scenarios_loaded_total", "Scenarios loaded over the daemon's lifetime.")
 	s.httpLatency = s.base.Histogram("assocd_http_request_seconds", "Wall-clock time to serve one HTTP request.", nil)
+	s.panics = s.base.Counter("assocd_panics_total", "Handler panics recovered by the HTTP middleware.")
 	s.base.GaugeFunc("assocd_trace_events", "Trace events recorded over the daemon's lifetime.",
 		func() float64 { return float64(s.ring.Total()) })
 	s.base.GaugeFunc("assocd_trace_dropped", "Trace events evicted from the export ring.",
@@ -102,19 +111,43 @@ func newServer() *server {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	defer func() {
+		// A panicking handler must cost one request, not the daemon:
+		// net/http would kill the connection and nothing else, so
+		// convert it to a 500 here and account for it. WriteHeader is a
+		// no-op (with a server-log complaint) if the handler already
+		// sent headers; there is nothing better to do at that point.
+		if rec := recover(); rec != nil {
+			s.panics.Inc()
+			fmt.Fprintf(s.errlog, "assocd: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			httpError(w, http.StatusInternalServerError, "internal error: %v", rec)
+		}
+		path := r.URL.Path
+		if !servedPaths[path] {
+			path = "other"
+		}
+		s.base.Counter("assocd_http_requests_total", "HTTP requests served, by path.", obs.L("path", path)).Inc()
+		s.httpLatency.Observe(time.Since(start).Seconds())
+	}()
 	s.mux.ServeHTTP(w, r)
-	path := r.URL.Path
-	if !servedPaths[path] {
-		path = "other"
-	}
-	s.base.Counter("assocd_http_requests_total", "HTTP requests served, by path.", obs.L("path", path)).Inc()
-	s.httpLatency.Observe(time.Since(start).Seconds())
 }
 
 // serveOn runs the daemon on ln until ctx is cancelled, then shuts
-// down gracefully (in-flight requests get up to 5s to finish).
+// down gracefully (in-flight requests get up to 5s to finish). The
+// server carries defensive timeouts so one stalled or byte-dribbling
+// client cannot pin a connection (and its goroutine) forever; the
+// write timeout still leaves room for the longest legitimate response,
+// a 30s pprof CPU profile.
 func serveOn(ctx context.Context, ln net.Listener, stderr io.Writer) error {
-	srv := &http.Server{Handler: newServer()}
+	h := newServer()
+	h.errlog = stderr
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	fmt.Fprintf(stderr, "assocd: serving on http://%s\n", ln.Addr())
@@ -187,8 +220,8 @@ func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req scenarioRequest
-	if err := decodeBody(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+	if err := decodeBody(w, r, &req); err != nil {
+		bodyError(w, "decode request", err)
 		return
 	}
 	var (
@@ -252,7 +285,7 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		bodyError(w, "read body", err)
 		return
 	}
 	// Accept a single event object or an array of events.
@@ -293,8 +326,8 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req traceRequest
-	if err := decodeBody(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+	if err := decodeBody(w, r, &req); err != nil {
+		bodyError(w, "decode request", err)
 		return
 	}
 	s.mu.Lock()
@@ -399,7 +432,7 @@ func (s *server) handleAssoc(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPut:
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "read body: %v", err)
+			bodyError(w, "read body", err)
 			return
 		}
 		s.mu.Lock()
@@ -487,10 +520,25 @@ func (s *server) status(eng *engine.Engine) statusResponse {
 
 const maxBody = 32 << 20 // scenarios with thousands of users fit easily
 
-func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(io.LimitReader(r.Body, maxBody))
+// decodeBody parses a JSON request body, hard-capped at maxBody.
+// MaxBytesReader (unlike a silent LimitReader truncation) makes an
+// oversized body a distinguishable error — bodyError turns it into a
+// 413 — and closes the connection so the client stops sending.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
 	dec.DisallowUnknownFields()
 	return dec.Decode(v)
+}
+
+// bodyError reports a body read/decode failure: 413 when the client
+// blew the maxBody cap, 400 for everything else.
+func bodyError(w http.ResponseWriter, what string, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		httpError(w, http.StatusRequestEntityTooLarge, "%s: body exceeds %d bytes", what, tooBig.Limit)
+		return
+	}
+	httpError(w, http.StatusBadRequest, "%s: %v", what, err)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -60,6 +60,12 @@ func TestServeMetricsLint(t *testing.T) {
 	}
 	newSeries := []string{
 		"assocd_scenarios_loaded_total",
+		"assocd_panics_total",
+		`assocd_events_total{kind="ap_down"}`,
+		`assocd_events_total{kind="ap_up"}`,
+		"fault_aps_down",
+		"fault_orphaned_users_total",
+		"fault_unsatisfied_users",
 		`assocd_http_requests_total{path="/metrics"}`,
 		`assocd_http_requests_total{path="/v1/trace"}`,
 		"assocd_http_request_seconds_count",

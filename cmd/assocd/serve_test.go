@@ -16,7 +16,9 @@ import (
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer())
+	s := newServer()
+	s.errlog = io.Discard
+	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -123,6 +125,50 @@ func TestServeEventsAndLoads(t *testing.T) {
 	}
 	if diff := sum - loads.Total; diff > 1e-9 || diff < -1e-9 {
 		t.Errorf("loads sum %.6f != reported total %.6f", sum, loads.Total)
+	}
+}
+
+// TestServeAPFaultEvents drives an AP failure and recovery through the
+// public events API and checks the fault gauges track it.
+func TestServeAPFaultEvents(t *testing.T) {
+	ts := testServer(t)
+	loadScenario(t, ts)
+
+	var ev eventsResponse
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/events", []map[string]any{
+		{"kind": "ap_down", "user": -1, "ap": 3},
+	}, &ev)
+	if code != http.StatusOK {
+		t.Fatalf("POST ap_down = %d: %s", code, raw)
+	}
+	if ev.Applied != 1 {
+		t.Fatalf("applied %d events, want 1", ev.Applied)
+	}
+	text := getText(t, ts.URL+"/metrics")
+	if got := metricValue(t, text, "fault_aps_down"); got != 1 {
+		t.Errorf("fault_aps_down = %v after ap_down, want 1", got)
+	}
+
+	// Down APs reject repeat failures; recovery brings the gauge back.
+	if code, raw := doJSON(t, "POST", ts.URL+"/v1/events", map[string]any{
+		"kind": "ap_down", "user": -1, "ap": 3,
+	}, nil); code != http.StatusBadRequest {
+		t.Errorf("double ap_down = %d, want 400: %s", code, raw)
+	}
+	if code, raw := doJSON(t, "POST", ts.URL+"/v1/events", map[string]any{
+		"kind": "ap_up", "user": -1, "ap": 3,
+	}, &ev); code != http.StatusOK {
+		t.Fatalf("POST ap_up = %d: %s", code, raw)
+	}
+	text = getText(t, ts.URL+"/metrics")
+	if got := metricValue(t, text, "fault_aps_down"); got != 0 {
+		t.Errorf("fault_aps_down = %v after recovery, want 0", got)
+	}
+	if got := metricValue(t, text, `assocd_events_total{kind="ap_down"}`); got != 1 {
+		t.Errorf(`assocd_events_total{kind="ap_down"} = %v, want 1`, got)
+	}
+	if got := metricValue(t, text, `assocd_events_total{kind="ap_up"}`); got != 1 {
+		t.Errorf(`assocd_events_total{kind="ap_up"} = %v, want 1`, got)
 	}
 }
 
@@ -285,6 +331,85 @@ func TestServeBadRequests(t *testing.T) {
 	}
 	if code, raw := doJSON(t, "DELETE", ts.URL+"/v1/assoc", nil, nil); code != http.StatusMethodNotAllowed {
 		t.Errorf("DELETE /v1/assoc = %d, want 405: %s", code, raw)
+	}
+}
+
+// TestServePanicRecovery plants a panicking handler on the daemon mux
+// and checks the middleware converts the crash into a 500 + counter +
+// stack log while the daemon keeps serving.
+func TestServePanicRecovery(t *testing.T) {
+	s := newServer()
+	var logged bytes.Buffer
+	s.errlog = &logged
+	s.mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 2; i++ {
+		code, raw := doJSON(t, "GET", ts.URL+"/boom", nil, nil)
+		if code != http.StatusInternalServerError {
+			t.Fatalf("request %d: GET /boom = %d, want 500: %s", i, code, raw)
+		}
+		if !strings.Contains(raw, "kaboom") {
+			t.Errorf("500 body %q does not carry the panic value", raw)
+		}
+	}
+	if !strings.Contains(logged.String(), "kaboom") || !strings.Contains(logged.String(), "serve_test.go") {
+		t.Errorf("panic log lacks the value or a stack trace:\n%s", logged.String())
+	}
+
+	// The daemon survived: normal endpoints still answer and the
+	// counter accounts for both crashes.
+	if code, raw := doJSON(t, "GET", ts.URL+"/healthz", nil, nil); code != http.StatusOK {
+		t.Fatalf("daemon dead after panic: /healthz = %d: %s", code, raw)
+	}
+	text := getText(t, ts.URL+"/metrics")
+	if got := metricValue(t, text, "assocd_panics_total"); got != 2 {
+		t.Errorf("assocd_panics_total = %v, want 2", got)
+	}
+}
+
+// TestServeOversizedBody checks the body cap answers 413 (not a silent
+// truncation or a generic 400) on every body-accepting endpoint.
+func TestServeOversizedBody(t *testing.T) {
+	ts := testServer(t)
+	loadScenario(t, ts)
+	// A single JSON string token bigger than maxBody: the decoder must
+	// consume it whole, so the cap — not a syntax error — trips first.
+	big := append(append([]byte{'"'}, bytes.Repeat([]byte{'a'}, maxBody+1)...), '"')
+	answered := 0
+	for _, c := range []struct{ method, path string }{
+		{"POST", "/v1/scenario"},
+		{"POST", "/v1/events"},
+		{"POST", "/v1/trace"},
+		{"PUT", "/v1/assoc"},
+	} {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, bytes.NewReader(big))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			// MaxBytesReader closes the connection mid-upload; the
+			// client may see the abort instead of the response.
+			continue
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		answered++
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s %s with %d-byte body = %d, want 413: %s",
+				c.method, c.path, len(big), resp.StatusCode, raw)
+		}
+	}
+	if answered == 0 {
+		t.Error("no endpoint delivered its 413 before the connection abort")
+	}
+	// The daemon is still healthy afterwards.
+	if code, raw := doJSON(t, "GET", ts.URL+"/v1/loads", nil, nil); code != http.StatusOK {
+		t.Fatalf("daemon unhealthy after oversized bodies: /v1/loads = %d: %s", code, raw)
 	}
 }
 

@@ -71,6 +71,50 @@ func benchEngine(b *testing.B, mode Mode, obsCfg func() (*obs.Registry, obs.Reco
 func BenchmarkEngineIncremental(b *testing.B)   { benchEngine(b, ModeIncremental, nil) }
 func BenchmarkEngineFullRecompute(b *testing.B) { benchEngine(b, ModeFullRecompute, nil) }
 
+// benchFaultRepair measures self-healing latency: one AP failure plus
+// its recovery on a steady-state network, incremental repair vs the
+// full-recompute baseline. scripts/bench.sh derives BENCH_fault.json
+// from the ns/event of this pair. The failed AP is the most loaded
+// one under the initial association, so the repair is a worst-ish
+// case, not a no-op.
+func benchFaultRepair(b *testing.B, mode Mode) {
+	p, _ := benchTrace(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		n, err := scenario.GenerateNetwork(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := New(n, Config{Objective: core.ObjMLA, Mode: mode, ActiveUsers: benchActive})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ap, top := 0, -1.0
+		for a, l := range e.APLoads() {
+			if l > top {
+				ap, top = a, l
+			}
+		}
+		b.StartTimer()
+		if _, err := e.Apply(Event{Kind: APDown, User: -1, AP: ap}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Apply(Event{Kind: APUp, User: -1, AP: ap}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*2), "ns/event")
+}
+
+func BenchmarkEngineFaultRepairIncremental(b *testing.B) {
+	benchFaultRepair(b, ModeIncremental)
+}
+
+func BenchmarkEngineFaultRepairFullRecompute(b *testing.B) {
+	benchFaultRepair(b, ModeFullRecompute)
+}
+
 // BenchmarkEngineIncrementalObs is the instrumented twin of
 // BenchmarkEngineIncremental: a shared registry plus a live ring trace,
 // exactly the assocd -serve configuration. scripts/bench.sh compares it

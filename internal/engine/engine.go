@@ -198,6 +198,8 @@ func (e *Engine) updateGauges() {
 	e.metrics.activeUsers.Set(float64(e.nActive))
 	e.metrics.apLoadTotal.Set(e.tr.TotalLoad())
 	e.metrics.apLoadMax.Set(e.tr.MaxLoad())
+	e.metrics.apsDown.Set(float64(e.n.NumAPsDown()))
+	e.metrics.unsatisfied.Set(float64(e.nActive - e.tr.Satisfied()))
 }
 
 // Registry returns the engine's metrics registry (Config.Obs, or the
@@ -227,16 +229,23 @@ type ApplyResult struct {
 	Moves int `json:"moves"`
 	// Truncated reports that the repair hit MaxRedecisions.
 	Truncated bool `json:"truncated,omitempty"`
+	// Orphaned is how many users an ap_down event disassociated.
+	Orphaned int `json:"orphaned,omitempty"`
 	// Elapsed is the wall-clock cost of the event.
 	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
 // Apply validates and applies one churn event, then repairs the
 // association back to a hysteresis-stable equilibrium. A validation
-// error leaves the engine unchanged (and counts in Stats.Rejected).
+// failure returns a *InvalidEventError before any state is touched, so
+// the engine is unchanged (and the event counts in Stats.Rejected).
 func (e *Engine) Apply(ev Event) (ApplyResult, error) {
 	start := e.now()
 	res := ApplyResult{Event: ev}
+	if err := e.validateEvent(ev); err != nil {
+		e.metrics.rejected.Inc()
+		return res, err
+	}
 	if err := e.applyPrimary(ev, &res); err != nil {
 		e.metrics.rejected.Inc()
 		return res, err
@@ -252,7 +261,11 @@ func (e *Engine) Apply(ev Event) (ApplyResult, error) {
 	e.metrics.record(ev.Kind, res)
 	e.updateGauges()
 	if obs.Active(e.trace) {
-		e.trace.Record(obs.Event{Type: obs.EvChurn, Kind: string(ev.Kind), User: ev.User, AP: -1,
+		ap := -1
+		if ev.Kind == APDown || ev.Kind == APUp {
+			ap = ev.AP
+		}
+		e.trace.Record(obs.Event{Type: obs.EvChurn, Kind: string(ev.Kind), User: ev.User, AP: ap,
 			N: res.Redecisions, Value: res.Elapsed.Seconds()})
 	}
 	return res, nil
@@ -273,22 +286,13 @@ func (e *Engine) ApplyTrace(events []Event) (redecisions, moves int, err error) 
 }
 
 // applyPrimary performs the event's own mutation, marking the subject
-// user and any AP whose load changed for re-decision. Every rate or
-// session mutation happens with the subject user disassociated
-// (invariant 1).
+// user and any AP whose load changed for re-decision. The event has
+// already passed validateEvent; every rate or session mutation happens
+// with the subject user disassociated (invariant 1).
 func (e *Engine) applyPrimary(ev Event, res *ApplyResult) error {
 	u := ev.User
-	if u < 0 || u >= e.n.NumUsers() {
-		return fmt.Errorf("engine: unknown user %d", u)
-	}
 	switch ev.Kind {
 	case UserJoin:
-		if e.active[u] {
-			return fmt.Errorf("engine: join: user %d is already active", u)
-		}
-		if ev.Session < 0 || ev.Session >= e.n.NumSessions() {
-			return fmt.Errorf("engine: join: unknown session %d", ev.Session)
-		}
 		if err := e.n.SetUserSession(u, ev.Session); err != nil {
 			return err
 		}
@@ -300,9 +304,6 @@ func (e *Engine) applyPrimary(ev Event, res *ApplyResult) error {
 		e.markUser(u)
 
 	case UserLeave:
-		if !e.active[u] {
-			return fmt.Errorf("engine: leave: user %d is not active", u)
-		}
 		if ap := e.tr.APOf(u); ap != wlan.Unassociated {
 			before := e.tr.APLoad(ap)
 			if err := e.tr.Disassociate(u); err != nil {
@@ -321,21 +322,22 @@ func (e *Engine) applyPrimary(ev Event, res *ApplyResult) error {
 		e.nActive--
 
 	case UserMove:
-		if !e.active[u] {
-			return fmt.Errorf("engine: move: user %d is not active", u)
-		}
 		if err := e.rehome(u, res, func() error { return e.n.MoveUser(u, ev.Pos) }); err != nil {
 			return err
 		}
 
 	case DemandChange:
-		if !e.active[u] {
-			return fmt.Errorf("engine: demand: user %d is not active", u)
-		}
-		if ev.Session < 0 || ev.Session >= e.n.NumSessions() {
-			return fmt.Errorf("engine: demand: unknown session %d", ev.Session)
-		}
 		if err := e.rehome(u, res, func() error { return e.n.SetUserSession(u, ev.Session) }); err != nil {
+			return err
+		}
+
+	case APDown:
+		if err := e.applyAPDown(ev, res); err != nil {
+			return err
+		}
+
+	case APUp:
+		if err := e.applyAPUp(ev, res); err != nil {
 			return err
 		}
 

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"testing"
@@ -142,11 +143,22 @@ func TestEngineRejectsInvalidEvents(t *testing.T) {
 		{Kind: "bogus", User: 0},
 		{Kind: UserLeave, User: -1},
 		{Kind: UserLeave, User: 1000},
+		{Kind: APDown, User: -1, AP: -1},   // negative AP
+		{Kind: APDown, User: -1, AP: 99},   // unknown AP
+		{Kind: APUp, User: -1, AP: 0},      // AP is not down
 	}
 	before := e.Snapshot()
 	for _, ev := range cases {
-		if _, err := e.Apply(ev); err == nil {
+		_, err := e.Apply(ev)
+		if err == nil {
 			t.Errorf("Apply(%+v) succeeded, want error", ev)
+			continue
+		}
+		var ie *InvalidEventError
+		if !errors.As(err, &ie) {
+			t.Errorf("Apply(%+v) error %v is not an *InvalidEventError", ev, err)
+		} else if ie.Event.Kind != ev.Kind {
+			t.Errorf("InvalidEventError.Event.Kind = %q, want %q", ie.Event.Kind, ev.Kind)
 		}
 	}
 	if !e.Snapshot().Equal(before) {
@@ -154,6 +166,19 @@ func TestEngineRejectsInvalidEvents(t *testing.T) {
 	}
 	if got := e.Stats().Rejected; got != uint64(len(cases)) {
 		t.Errorf("Rejected = %d, want %d", got, len(cases))
+	}
+	// Double-down is rejected statefully: down it once, try again.
+	if _, err := e.Apply(Event{Kind: APDown, User: -1, AP: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(Event{Kind: APDown, User: -1, AP: 0}); err == nil {
+		t.Error("double ap_down accepted")
+	}
+	if _, err := e.Apply(Event{Kind: APUp, User: -1, AP: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().Rejected; got != uint64(len(cases))+1 {
+		t.Errorf("Rejected = %d, want %d", got, len(cases)+1)
 	}
 }
 

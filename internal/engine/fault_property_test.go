@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"wlanmcast/internal/core"
+	"wlanmcast/internal/fault"
+	"wlanmcast/internal/radio"
+	"wlanmcast/internal/wlan"
+)
+
+// survivorNet rebuilds the engine's network as an explicit
+// surviving-AP subnetwork: LinkRate reports 0 for down APs, so the
+// accessor matrix fed to NewFromRates is exactly the network "as if
+// the down APs never existed".
+func survivorNet(t *testing.T, n *wlan.Network) *wlan.Network {
+	t.Helper()
+	rates := make([][]radio.Mbps, n.NumAPs())
+	for a := range rates {
+		row := make([]radio.Mbps, n.NumUsers())
+		for u := range row {
+			row[u] = n.LinkRate(a, u)
+		}
+		rates[a] = row
+	}
+	userSession := make([]int, n.NumUsers())
+	for u := range userSession {
+		userSession[u] = n.UserSession(u)
+	}
+	sessions := make([]wlan.Session, n.NumSessions())
+	copy(sessions, n.Sessions)
+	sub, err := wlan.NewFromRates(rates, userSession, sessions, wlan.DefaultBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sub
+}
+
+// assertNoDownAssociation is the hard safety invariant: no active user
+// is ever associated to a down AP, and the snapshot validates against
+// the (fault-aware) network.
+func assertNoDownAssociation(t *testing.T, e *Engine, enforceBudget bool) {
+	t.Helper()
+	snap := e.Snapshot()
+	for _, a := range e.Network().DownAPs() {
+		for u := 0; u < snap.NumUsers(); u++ {
+			if snap.APOf(u) == a {
+				t.Fatalf("user %d associated to down AP %d", u, a)
+			}
+		}
+	}
+	if err := e.Network().Validate(snap, enforceBudget); err != nil {
+		t.Fatalf("snapshot invalid: %v", err)
+	}
+}
+
+// TestFaultPropertyFullRecompute is the acceptance property: after
+// every fault event, a ModeFullRecompute engine's snapshot equals a
+// fresh batch distributed run on the explicitly-built surviving-AP
+// subnetwork — the engine's fault handling is indistinguishable from
+// deleting the AP from the model.
+func TestFaultPropertyFullRecompute(t *testing.T) {
+	for _, tc := range []struct {
+		obj     core.Objective
+		enforce bool
+	}{
+		{core.ObjMNU, true},
+		{core.ObjBLA, false},
+		{core.ObjMLA, false},
+	} {
+		t.Run(fmt.Sprintf("obj=%d", int(tc.obj)), func(t *testing.T) {
+			n, _ := churnSetup(t, 11, 10, 30, 30, 3, 0)
+			e := newEngine(t, n, Config{Objective: tc.obj, EnforceBudget: tc.enforce, Mode: ModeFullRecompute})
+			sched, err := fault.Gen(fault.Params{
+				Seed: 101, APs: n.NumAPs(), Horizon: 100,
+				MTBF: 30, MTTR: 10, GroupSize: 2, FlapProb: 0.2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sched) == 0 {
+				t.Fatal("empty fault schedule")
+			}
+			for _, ev := range MergeFaults(nil, sched) {
+				if _, err := e.Apply(ev); err != nil {
+					t.Fatalf("Apply(%+v): %v", ev, err)
+				}
+				assertNoDownAssociation(t, e, tc.enforce)
+				d := &core.Distributed{
+					Objective:     tc.obj,
+					EnforceBudget: tc.enforce,
+					Hysteresis:    e.Hysteresis(),
+				}
+				ref, err := d.RunDetailed(survivorNet(t, e.Network()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !e.Snapshot().Equal(ref.Assoc) {
+					t.Fatalf("after %+v: snapshot differs from batch run on surviving subnetwork", ev)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultIncrementalInvariants drives a mixed churn+fault stream
+// through the incremental engine: the no-down-association invariant
+// holds after every event, coverage loss degrades to unsatisfied
+// rather than erroring, and every covered active user is re-admitted
+// by the repair pass (no budget pressure in this config).
+func TestFaultIncrementalInvariants(t *testing.T) {
+	n, trace := churnSetup(t, 12, 10, 40, 25, 3, 120)
+	e := newEngine(t, n, Config{Objective: core.ObjMLA, ActiveUsers: 25})
+	sched, err := fault.Gen(fault.Params{
+		Seed: 202, APs: n.NumAPs(), Horizon: trace[len(trace)-1].At,
+		MTBF: 20, MTTR: 8, GroupSize: 3, FlapProb: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Downs() == 0 {
+		t.Fatal("schedule has no failures")
+	}
+	merged := MergeFaults(trace, sched)
+	if len(merged) != len(trace)+len(sched) {
+		t.Fatalf("merged %d events, want %d", len(merged), len(trace)+len(sched))
+	}
+	sawUnsatisfied := false
+	for i, ev := range merged {
+		if _, err := e.Apply(ev); err != nil {
+			t.Fatalf("event %d (%+v): %v", i, ev, err)
+		}
+		assertNoDownAssociation(t, e, false)
+		snap := e.Snapshot()
+		for u := 0; u < n.NumUsers(); u++ {
+			if !e.Active(u) {
+				continue
+			}
+			covered := len(n.NeighborAPs(u)) > 0
+			if covered && snap.APOf(u) == wlan.Unassociated {
+				t.Fatalf("event %d: covered active user %d left unsatisfied", i, u)
+			}
+			if !covered && snap.APOf(u) != wlan.Unassociated {
+				t.Fatalf("event %d: uncovered user %d still associated", i, u)
+			}
+			if !covered {
+				sawUnsatisfied = true
+			}
+		}
+	}
+	if !sawUnsatisfied {
+		t.Log("note: no user ever lost all coverage in this schedule")
+	}
+	// Recover every still-down AP: the engine must accept the ups and
+	// end with zero down APs.
+	for _, a := range append([]int(nil), e.Network().DownAPs()...) {
+		if _, err := e.Apply(Event{Kind: APUp, User: -1, AP: a}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Network().NumAPsDown() != 0 {
+		t.Fatalf("%d APs still down after recovery", e.Network().NumAPsDown())
+	}
+	st := e.Stats()
+	if st.APDowns == 0 || st.APUps == 0 {
+		t.Fatalf("fault counters not accounted: downs=%d ups=%d", st.APDowns, st.APUps)
+	}
+}
+
+// TestFaultDeterminism: the same merged stream applied twice yields
+// identical snapshots (fault events obey engine invariant 3).
+func TestFaultDeterminism(t *testing.T) {
+	run := func() []string {
+		n, trace := churnSetup(t, 13, 8, 30, 20, 3, 60)
+		e := newEngine(t, n, Config{Objective: core.ObjBLA, ActiveUsers: 20})
+		sched, err := fault.Gen(fault.Params{
+			Seed: 303, APs: n.NumAPs(), Horizon: trace[len(trace)-1].At,
+			MTBF: 15, MTTR: 5, GroupSize: 2, FlapProb: 0.25,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snaps []string
+		for _, ev := range MergeFaults(trace, sched) {
+			if _, err := e.Apply(ev); err != nil {
+				t.Fatal(err)
+			}
+			b, err := e.Snapshot().MarshalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			snaps = append(snaps, string(b))
+		}
+		return snaps
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("snapshot %d differs between identical runs", i)
+		}
+	}
+}

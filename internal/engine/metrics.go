@@ -11,6 +11,10 @@ import (
 type Stats struct {
 	// Joins..DemandChanges count successfully applied events by kind.
 	Joins, Leaves, UserMoves, DemandChanges uint64
+	// APDowns and APUps count applied fault events by kind.
+	APDowns, APUps uint64
+	// Orphaned counts users disassociated by AP failures.
+	Orphaned uint64
 	// Rejected counts events that failed validation.
 	Rejected uint64
 	// Redecisions counts user decisions re-evaluated during repair.
@@ -25,7 +29,7 @@ type Stats struct {
 
 // EventsTotal is the number of successfully applied events.
 func (s *Stats) EventsTotal() uint64 {
-	return s.Joins + s.Leaves + s.UserMoves + s.DemandChanges
+	return s.Joins + s.Leaves + s.UserMoves + s.DemandChanges + s.APDowns + s.APUps
 }
 
 // metrics holds the engine's pre-resolved registry instruments. The
@@ -37,6 +41,7 @@ func (s *Stats) EventsTotal() uint64 {
 // without taking the engine lock, concurrently with Apply.
 type metrics struct {
 	joins, leaves, moves, demands *obs.Counter
+	apDowns, apUps                *obs.Counter
 	rejected                      *obs.Counter
 	redecisions                   *obs.Counter
 	handoffs                      *obs.Counter
@@ -45,6 +50,11 @@ type metrics struct {
 	activeUsers                   *obs.Gauge
 	apLoadTotal                   *obs.Gauge
 	apLoadMax                     *obs.Gauge
+	// Fault families (fault_ prefix: availability state, not churn
+	// accounting).
+	apsDown     *obs.Gauge
+	orphaned    *obs.Counter
+	unsatisfied *obs.Gauge
 }
 
 // register resolves the engine's instruments, creating the families in
@@ -55,6 +65,8 @@ func (m *metrics) register(reg *obs.Registry) {
 	m.leaves = reg.Counter("assocd_events_total", evHelp, obs.L("kind", string(UserLeave)))
 	m.moves = reg.Counter("assocd_events_total", evHelp, obs.L("kind", string(UserMove)))
 	m.demands = reg.Counter("assocd_events_total", evHelp, obs.L("kind", string(DemandChange)))
+	m.apDowns = reg.Counter("assocd_events_total", evHelp, obs.L("kind", string(APDown)))
+	m.apUps = reg.Counter("assocd_events_total", evHelp, obs.L("kind", string(APUp)))
 	m.rejected = reg.Counter("assocd_events_rejected_total", "Events that failed validation.")
 	m.redecisions = reg.Counter("assocd_redecisions_total", "User decisions re-evaluated during repair.")
 	m.handoffs = reg.Counter("assocd_handoffs_total", "Association changes.")
@@ -63,6 +75,9 @@ func (m *metrics) register(reg *obs.Registry) {
 	m.activeUsers = reg.Gauge("assocd_active_users", "Currently active user slots.")
 	m.apLoadTotal = reg.Gauge("assocd_ap_load_total", "Sum of AP multicast loads.")
 	m.apLoadMax = reg.Gauge("assocd_ap_load_max", "Maximum AP multicast load.")
+	m.apsDown = reg.Gauge("fault_aps_down", "APs currently out of service.")
+	m.orphaned = reg.Counter("fault_orphaned_users_total", "Users disassociated by AP failures.")
+	m.unsatisfied = reg.Gauge("fault_unsatisfied_users", "Active users with no association (degraded service).")
 }
 
 // record accounts one successfully applied event.
@@ -76,6 +91,10 @@ func (m *metrics) record(kind EventKind, res ApplyResult) {
 		m.moves.Inc()
 	case DemandChange:
 		m.demands.Inc()
+	case APDown:
+		m.apDowns.Inc()
+	case APUp:
+		m.apUps.Inc()
 	}
 	m.redecisions.Add(uint64(res.Redecisions))
 	m.handoffs.Add(uint64(res.Moves))
@@ -92,6 +111,9 @@ func (m *metrics) snapshot() Stats {
 		Leaves:        m.leaves.Value(),
 		UserMoves:     m.moves.Value(),
 		DemandChanges: m.demands.Value(),
+		APDowns:       m.apDowns.Value(),
+		APUps:         m.apUps.Value(),
+		Orphaned:      m.orphaned.Value(),
 		Rejected:      m.rejected.Value(),
 		Redecisions:   m.redecisions.Value(),
 		Handoffs:      m.handoffs.Value(),

@@ -21,15 +21,24 @@ const (
 	UserMove EventKind = "move"
 	// DemandChange switches an active user to another session.
 	DemandChange EventKind = "demand"
+	// APDown takes an AP out of service; its users are orphaned and
+	// rehomed (or degraded to unsatisfied when nothing else covers
+	// them).
+	APDown EventKind = "ap_down"
+	// APUp restores a failed AP; affected users may re-admit or move
+	// back.
+	APUp EventKind = "ap_up"
 )
 
 // Event is one churn event. Pos is meaningful for join and move,
-// Session for join and demand. At is the event's offset in seconds
-// from the trace start — informational only; the engine's decisions
-// never depend on it.
+// Session for join and demand, AP for ap_down and ap_up (whose User is
+// conventionally -1). At is the event's offset in seconds from the
+// trace start — informational only; the engine's decisions never
+// depend on it.
 type Event struct {
 	Kind    EventKind  `json:"kind"`
 	User    int        `json:"user"`
+	AP      int        `json:"ap,omitempty"`
 	Pos     geom.Point `json:"pos,omitempty"`
 	Session int        `json:"session,omitempty"`
 	At      float64    `json:"at,omitempty"`

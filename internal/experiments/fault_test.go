@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func TestExtFaultSmoke(t *testing.T) {
+	fig, err := ExtFault(context.Background(), quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := GetAny("ext-fault"); !ok {
+		t.Error("ext-fault not registered in Extensions()")
+	}
+	for _, label := range []string{
+		"MNU/redecisions-per-fault", "MNU/handoffs-per-fault", "MNU/max-load",
+		"BLA/redecisions-per-fault", "BLA/handoffs-per-fault", "BLA/max-load",
+		"MLA/redecisions-per-fault", "MLA/handoffs-per-fault", "MLA/max-load",
+		"SSA/handoffs-per-fault", "SSA/max-load",
+	} {
+		s := findSeries(t, fig, label)
+		if len(s.Stats) != len(fig.X) {
+			t.Fatalf("%s: %d stats for %d x points", label, len(s.Stats), len(fig.X))
+		}
+		for i, st := range s.Stats {
+			if st.Avg < 0 {
+				t.Errorf("%s at x=%v: negative average %v", label, fig.X[i], st.Avg)
+			}
+		}
+	}
+}
+
+func TestExtFaultDeterministic(t *testing.T) {
+	cfg := quickCfg()
+	a, err := ExtFault(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	b, err := ExtFault(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("ExtFault differs between Workers=default and Workers=4")
+	}
+}

@@ -1,0 +1,197 @@
+// Package fault generates deterministic seeded AP-failure schedules —
+// crash/recover cycles, correlated multi-AP outages, and flapping —
+// for the online engine (engine.MergeFaults), the discrete-event
+// simulator (netsim.Options.Faults), and the ext-fault experiment.
+//
+// A Schedule is a time-ordered list of Actions over abstract
+// simulation time, the same clock engine traces and netsim use. The
+// package is a leaf: it knows AP IDs and times, nothing about
+// networks, engines, or simulators, so every layer can import it.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Action is one scheduled availability change: AP goes down (Down
+// true) or comes back up (Down false) at time At.
+type Action struct {
+	// At is the event time in abstract simulation seconds.
+	At float64 `json:"at"`
+	// AP is the target AP ID.
+	AP int `json:"ap"`
+	// Down is true for a failure, false for a recovery.
+	Down bool `json:"down"`
+}
+
+// Schedule is a list of Actions ordered by time (ties broken by AP ID,
+// downs before ups).
+type Schedule []Action
+
+// Params configures Gen. The process is per-AP alternating
+// exponential up/down periods — the textbook MTBF/MTTR availability
+// model — with two stressors layered on: correlated outages (a crash
+// takes down a whole group of consecutive-ID APs, modelling a shared
+// switch or PSU) and flapping (a recovered AP immediately re-crashes
+// with probability FlapProb).
+type Params struct {
+	// Seed makes the schedule deterministic.
+	Seed int64
+	// APs is the number of APs (IDs 0..APs-1).
+	APs int
+	// Horizon is the schedule length in simulation seconds; no action
+	// is emitted at or after it.
+	Horizon float64
+	// MTBF is the mean up-time before a failure, in seconds.
+	MTBF float64
+	// MTTR is the mean down-time before recovery, in seconds.
+	MTTR float64
+	// GroupSize correlates failures: a crash of AP a also takes down
+	// APs a+1..a+GroupSize-1 (clamped to the ID range) that are up.
+	// 0 or 1 means independent failures.
+	GroupSize int
+	// FlapProb is the probability that a recovered AP crashes again
+	// immediately (after a small fraction of MTTR), per recovery.
+	FlapProb float64
+}
+
+// Gen builds a deterministic fault schedule from p. The same Params
+// always yield the same Schedule. The result satisfies Validate: per
+// AP, actions strictly alternate down/up starting with down, times are
+// non-decreasing overall and strictly increasing per AP, and every
+// action falls in [0, Horizon).
+func Gen(p Params) (Schedule, error) {
+	if p.APs <= 0 {
+		return nil, fmt.Errorf("fault: need at least one AP, have %d", p.APs)
+	}
+	if p.Horizon <= 0 {
+		return nil, fmt.Errorf("fault: non-positive horizon %v", p.Horizon)
+	}
+	if p.MTBF <= 0 || p.MTTR <= 0 {
+		return nil, fmt.Errorf("fault: MTBF and MTTR must be positive, have %v and %v", p.MTBF, p.MTTR)
+	}
+	if p.FlapProb < 0 || p.FlapProb >= 1 {
+		return nil, fmt.Errorf("fault: FlapProb %v outside [0, 1)", p.FlapProb)
+	}
+	group := p.GroupSize
+	if group < 1 {
+		group = 1
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	down := make([]bool, p.APs)
+	var s Schedule
+	// Event-driven: keep per-AP next transition times and repeatedly
+	// take the earliest. Correlated crashes share the primary's time.
+	next := make([]float64, p.APs)
+	for a := range next {
+		next[a] = rng.ExpFloat64() * p.MTBF
+	}
+	for {
+		a, at := -1, p.Horizon
+		for i, t := range next {
+			if t < at || (t == at && (a == -1 || i < a)) {
+				a, at = i, t
+			}
+		}
+		if a == -1 || at >= p.Horizon {
+			break
+		}
+		if !down[a] {
+			// Crash; the whole group of consecutive up APs goes with it.
+			for g := a; g < a+group && g < p.APs; g++ {
+				if down[g] {
+					continue
+				}
+				s = append(s, Action{At: at, AP: g, Down: true})
+				down[g] = true
+				next[g] = at + rng.ExpFloat64()*p.MTTR
+			}
+		} else {
+			s = append(s, Action{At: at, AP: a, Down: false})
+			down[a] = false
+			if rng.Float64() < p.FlapProb {
+				// Flap: re-crash after a sliver of the repair time.
+				next[a] = at + 0.05*p.MTTR*(1+rng.Float64())
+			} else {
+				next[a] = at + rng.ExpFloat64()*p.MTBF
+			}
+		}
+	}
+	sortSchedule(s)
+	return s, nil
+}
+
+// sortSchedule orders by time, then downs before ups, then AP ID —
+// the canonical order Validate expects and consumers replay in.
+func sortSchedule(s Schedule) {
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].At != s[j].At {
+			return s[i].At < s[j].At
+		}
+		if s[i].Down != s[j].Down {
+			return s[i].Down
+		}
+		return s[i].AP < s[j].AP
+	})
+}
+
+// Validate checks that s is a legal schedule for numAPs APs assumed
+// all-up at time 0: times non-negative and non-decreasing, AP IDs in
+// range, and per AP a strict down/up alternation starting with down.
+func (s Schedule) Validate(numAPs int) error {
+	last := 0.0
+	state := make(map[int]bool, numAPs)
+	for i, a := range s {
+		if a.At < 0 {
+			return fmt.Errorf("fault: action %d at negative time %v", i, a.At)
+		}
+		if a.At < last {
+			return fmt.Errorf("fault: action %d at %v after time %v", i, a.At, last)
+		}
+		last = a.At
+		if a.AP < 0 || a.AP >= numAPs {
+			return fmt.Errorf("fault: action %d targets unknown AP %d", i, a.AP)
+		}
+		if state[a.AP] == a.Down {
+			if a.Down {
+				return fmt.Errorf("fault: action %d crashes AP %d twice", i, a.AP)
+			}
+			return fmt.Errorf("fault: action %d recovers AP %d, which is up", i, a.AP)
+		}
+		state[a.AP] = a.Down
+	}
+	return nil
+}
+
+// Downs returns how many failure actions the schedule contains.
+func (s Schedule) Downs() int {
+	n := 0
+	for _, a := range s {
+		if a.Down {
+			n++
+		}
+	}
+	return n
+}
+
+// DownAt returns the set of APs down at time t (after applying every
+// action with At <= t).
+func (s Schedule) DownAt(t float64) []int {
+	state := map[int]bool{}
+	for _, a := range s {
+		if a.At > t {
+			break
+		}
+		state[a.AP] = a.Down
+	}
+	var out []int
+	for ap, d := range state {
+		if d {
+			out = append(out, ap)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,130 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGenDeterministic(t *testing.T) {
+	p := Params{Seed: 7, APs: 12, Horizon: 200, MTBF: 60, MTTR: 10, GroupSize: 3, FlapProb: 0.2}
+	a, err := Gen(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Gen(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same Params produced different schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("no actions generated for a 200s horizon with MTBF 60")
+	}
+	p2 := p
+	p2.Seed = 8
+	c, err := Gen(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestGenValidates(t *testing.T) {
+	for _, p := range []Params{
+		{Seed: 1, APs: 1, Horizon: 50, MTBF: 10, MTTR: 2},
+		{Seed: 2, APs: 20, Horizon: 500, MTBF: 40, MTTR: 8, GroupSize: 5},
+		{Seed: 3, APs: 8, Horizon: 300, MTBF: 20, MTTR: 5, FlapProb: 0.5},
+		{Seed: 4, APs: 15, Horizon: 1000, MTBF: 30, MTTR: 30, GroupSize: 4, FlapProb: 0.3},
+	} {
+		s, err := Gen(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(p.APs); err != nil {
+			t.Fatalf("Params %+v: %v", p, err)
+		}
+		for i, a := range s {
+			if a.At >= p.Horizon {
+				t.Fatalf("Params %+v: action %d at %v beyond horizon %v", p, i, a.At, p.Horizon)
+			}
+		}
+	}
+}
+
+func TestGenCorrelatedGroups(t *testing.T) {
+	// MTTR far beyond the horizon: nothing recovers, so with a large
+	// GroupSize every AP ends up down, and correlation must collapse
+	// some crashes onto shared instants of consecutive AP IDs.
+	p := Params{Seed: 5, APs: 6, Horizon: 1000, MTBF: 50, MTTR: 1000000, GroupSize: 6}
+	s, err := Gen(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Downs() != 6 {
+		t.Fatalf("Downs = %d, want 6", s.Downs())
+	}
+	if got := s.DownAt(p.Horizon); len(got) != 6 {
+		t.Fatalf("DownAt(horizon) = %v, want all 6 APs", got)
+	}
+	// Group crashes by instant: fewer instants than crashes proves
+	// correlation, and IDs within an instant must be consecutive.
+	byTime := map[float64][]int{}
+	for _, a := range s {
+		byTime[a.At] = append(byTime[a.At], a.AP)
+	}
+	if len(byTime) >= s.Downs() {
+		t.Fatalf("no correlated crash instants: %+v", s)
+	}
+	for at, aps := range byTime {
+		for i := 1; i < len(aps); i++ {
+			if aps[i] != aps[i-1]+1 {
+				t.Fatalf("crash group at %v has non-consecutive APs %v", at, aps)
+			}
+		}
+	}
+}
+
+func TestGenRejectsBadParams(t *testing.T) {
+	for _, p := range []Params{
+		{APs: 0, Horizon: 10, MTBF: 1, MTTR: 1},
+		{APs: 5, Horizon: 0, MTBF: 1, MTTR: 1},
+		{APs: 5, Horizon: 10, MTBF: 0, MTTR: 1},
+		{APs: 5, Horizon: 10, MTBF: 1, MTTR: -1},
+		{APs: 5, Horizon: 10, MTBF: 1, MTTR: 1, FlapProb: 1},
+	} {
+		if _, err := Gen(p); err == nil {
+			t.Errorf("Gen(%+v) accepted invalid params", p)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	for name, s := range map[string]Schedule{
+		"negative time":   {{At: -1, AP: 0, Down: true}},
+		"time regression": {{At: 5, AP: 0, Down: true}, {At: 3, AP: 1, Down: true}},
+		"unknown AP":      {{At: 1, AP: 9, Down: true}},
+		"double down":     {{At: 1, AP: 0, Down: true}, {At: 2, AP: 0, Down: true}},
+		"up while up":     {{At: 1, AP: 0, Down: false}},
+	} {
+		if err := s.Validate(3); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	ok := Schedule{
+		{At: 1, AP: 0, Down: true},
+		{At: 2, AP: 0, Down: false},
+		{At: 2, AP: 1, Down: true},
+	}
+	if err := ok.Validate(3); err != nil {
+		t.Errorf("legal schedule rejected: %v", err)
+	}
+	if got := ok.DownAt(1.5); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("DownAt(1.5) = %v, want [0]", got)
+	}
+	if got := ok.DownAt(2); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("DownAt(2) = %v, want [1]", got)
+	}
+}

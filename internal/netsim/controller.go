@@ -7,6 +7,7 @@ import (
 
 	"wlanmcast/internal/core"
 	"wlanmcast/internal/des"
+	"wlanmcast/internal/fault"
 	"wlanmcast/internal/radio"
 	"wlanmcast/internal/wlan"
 )
@@ -36,6 +37,13 @@ type CentralizedOptions struct {
 	// distributed simulation, so the two control styles face the same
 	// workload.
 	Churn *ChurnConfig
+	// Faults, when non-empty, injects the same AP failure/recovery
+	// schedule as the distributed simulation. Users on a failed AP are
+	// disassociated immediately; the controller only reassigns them at
+	// its next epoch — the centralized repair latency the paper argues
+	// against. Any AP still down at the end is re-enabled before
+	// RunCentralized returns.
+	Faults fault.Schedule
 	// Seed drives churn timing.
 	Seed int64
 }
@@ -54,6 +62,9 @@ type CentralizedResult struct {
 func RunCentralized(opts CentralizedOptions) (*CentralizedResult, error) {
 	if opts.Network == nil || opts.Algorithm == nil {
 		return nil, fmt.Errorf("netsim: nil network or algorithm")
+	}
+	if err := opts.Faults.Validate(opts.Network.NumAPs()); err != nil {
+		return nil, err
 	}
 	if opts.Epoch <= 0 {
 		opts.Epoch = 30 * time.Second
@@ -157,8 +168,28 @@ func RunCentralized(opts CentralizedOptions) (*CentralizedResult, error) {
 		res.Stats.Decisions++
 		eng.Schedule(opts.Epoch, epoch)
 	}
+	scheduleFaults(eng, opts.Faults, func(act fault.Action) {
+		if act.Down {
+			for u := 0; u < n.NumUsers(); u++ {
+				if res.Assoc.APOf(u) == act.AP {
+					res.Assoc.Associate(u, wlan.Unassociated)
+					res.Stats.Disassociations++
+				}
+			}
+			if err := n.DisableAP(act.AP); err != nil {
+				panic(err) // schedule is validated; cannot fail
+			}
+			res.Stats.APFailures++
+			return
+		}
+		if err := n.EnableAP(act.AP); err != nil {
+			panic(err)
+		}
+		res.Stats.APRecoveries++
+	})
 	eng.Schedule(0, epoch)
 	eng.RunUntil(opts.MaxTime)
+	restoreFaults(n)
 	return res, nil
 }
 

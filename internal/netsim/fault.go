@@ -1,0 +1,85 @@
+package netsim
+
+import (
+	"time"
+
+	"wlanmcast/internal/des"
+	"wlanmcast/internal/fault"
+	"wlanmcast/internal/obs"
+	"wlanmcast/internal/wlan"
+)
+
+// Fault wiring for both simulation styles. A fault.Schedule plugs into
+// Options.Faults / CentralizedOptions.Faults; each action is a DES
+// event that takes the AP down (forcibly disassociating its users —
+// the frames are free because the AP is gone, but the users notice at
+// their next cycle) or brings it back. The network is the caller's:
+// any AP still down when the horizon ends is re-enabled before the
+// simulation returns, so Run never leaves the input mutated.
+
+// scheduleFaults installs the schedule's actions on the DES engine.
+// apply runs at each action's virtual time.
+func scheduleFaults(eng *des.Engine, sched fault.Schedule, apply func(fault.Action)) {
+	for _, act := range sched {
+		act := act
+		eng.Schedule(time.Duration(act.At*float64(time.Second)), func() { apply(act) })
+	}
+}
+
+// applyFault executes one availability change in the distributed
+// simulation.
+func (s *sim) applyFault(act fault.Action) {
+	if s.done {
+		return
+	}
+	n := s.opts.Network
+	if act.Down {
+		// The AP vanishes: its users lose service instantly. The
+		// tracker contract wants them disassociated while the link
+		// still resolves.
+		for _, u := range append([]int(nil), n.Coverage(act.AP)...) {
+			if s.tracker.APOf(u) != act.AP {
+				continue
+			}
+			if err := s.tracker.Disassociate(u); err != nil {
+				panic(err) // tracker state mirrors ours; cannot fail
+			}
+			s.stats.Disassociations++
+		}
+		if err := n.DisableAP(act.AP); err != nil {
+			panic(err) // schedule is validated; cannot fail
+		}
+		s.stats.APFailures++
+	} else {
+		if err := n.EnableAP(act.AP); err != nil {
+			panic(err)
+		}
+		s.stats.APRecoveries++
+	}
+	// Availability changed: every covered user may want to re-decide,
+	// so stability restarts, exactly as after a move.
+	s.lastMove = s.eng.Now()
+	for i := range s.stable {
+		if s.coverable[i] {
+			s.stable[i] = 0
+		}
+	}
+	if obs.Active(s.opts.Trace) {
+		kind := "ap_up"
+		if act.Down {
+			kind = "ap_down"
+		}
+		s.opts.Trace.Record(obs.Event{Type: obs.EvChurn, Algo: "netsim", Kind: kind,
+			User: -1, AP: act.AP, Value: s.lastMove.Seconds()})
+	}
+}
+
+// restoreFaults re-enables every AP the schedule left down so the
+// caller's network comes back unchanged.
+func restoreFaults(n *wlan.Network) {
+	for _, a := range n.DownAPs() {
+		if err := n.EnableAP(a); err != nil {
+			panic(err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package netsim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"wlanmcast/internal/core"
+	"wlanmcast/internal/fault"
+	"wlanmcast/internal/geom"
+	"wlanmcast/internal/radio"
+	"wlanmcast/internal/wlan"
+)
+
+func faultNet(t *testing.T, seed int64, aps, users int) *wlan.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	area := geom.Square(500)
+	apPos := geom.UniformPoints(rng, aps, area)
+	userPos := geom.UniformPoints(rng, users, area)
+	sess := []wlan.Session{{Rate: 1}, {Rate: 1}}
+	us := make([]int, users)
+	for i := range us {
+		us[i] = rng.Intn(len(sess))
+	}
+	n, err := wlan.NewGeometric(area, apPos, userPos, us, sess, radio.Table1(), wlan.DefaultBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func faultSched(t *testing.T, aps int) fault.Schedule {
+	t.Helper()
+	sched, err := fault.Gen(fault.Params{
+		Seed: 9, APs: aps, Horizon: 100, MTBF: 60, MTTR: 15, GroupSize: 2, FlapProb: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Downs() == 0 {
+		t.Fatal("schedule has no failures")
+	}
+	return sched
+}
+
+// TestRunWithFaults: the protocol self-heals across injected AP
+// failures — the run reaches the horizon, the final association is
+// valid, fault stats are accounted, and the caller's network comes
+// back with every AP re-enabled.
+func TestRunWithFaults(t *testing.T) {
+	n := faultNet(t, 31, 8, 30)
+	sched := faultSched(t, n.NumAPs())
+	res, err := Run(Options{
+		Network:   n,
+		Objective: core.ObjMLA,
+		Jitter:    400 * time.Millisecond,
+		Seed:      1,
+		MaxTime:   100 * time.Second,
+		Faults:    sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumAPsDown() != 0 {
+		t.Fatalf("%d APs left down after Run", n.NumAPsDown())
+	}
+	if res.Stats.APFailures == 0 || res.Stats.APRecoveries == 0 {
+		t.Fatalf("fault stats not accounted: %d failures, %d recoveries", res.Stats.APFailures, res.Stats.APRecoveries)
+	}
+	if res.Stats.APFailures > sched.Downs() {
+		t.Fatalf("APFailures = %d, schedule only has %d downs", res.Stats.APFailures, sched.Downs())
+	}
+	if err := n.Validate(res.Assoc, false); err != nil {
+		t.Fatalf("final association invalid: %v", err)
+	}
+	// No user may end on an AP that was down at the horizon.
+	for _, a := range sched.DownAt(100) {
+		for u := 0; u < n.NumUsers(); u++ {
+			if res.Assoc.APOf(u) == a {
+				t.Fatalf("user %d associated to AP %d, down at the horizon", u, a)
+			}
+		}
+	}
+}
+
+// TestRunFaultsDeterministic: identical options yield identical final
+// associations and stats even with faults in play.
+func TestRunFaultsDeterministic(t *testing.T) {
+	run := func() *Result {
+		n := faultNet(t, 32, 8, 25)
+		sched := faultSched(t, n.NumAPs())
+		res, err := Run(Options{
+			Network:   n,
+			Objective: core.ObjBLA,
+			Jitter:    300 * time.Millisecond,
+			Seed:      2,
+			MaxTime:   100 * time.Second,
+			Faults:    sched,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !a.Assoc.Equal(b.Assoc) {
+		t.Error("final associations differ between identical runs")
+	}
+	if !reflect.DeepEqual(a.Stats, b.Stats) {
+		t.Errorf("stats differ: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+// TestRunCentralizedWithFaults: the controller loop absorbs the same
+// schedule — orphans are dropped immediately and reassigned at the
+// next epoch, and the network is restored on return.
+func TestRunCentralizedWithFaults(t *testing.T) {
+	n := faultNet(t, 33, 8, 30)
+	sched := faultSched(t, n.NumAPs())
+	res, err := RunCentralized(CentralizedOptions{
+		Network:   n,
+		Algorithm: &core.CentralizedBLA{},
+		Epoch:     10 * time.Second,
+		MaxTime:   100 * time.Second,
+		Faults:    sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumAPsDown() != 0 {
+		t.Fatalf("%d APs left down after RunCentralized", n.NumAPsDown())
+	}
+	if res.Stats.APFailures == 0 {
+		t.Fatal("no failures accounted")
+	}
+	if err := n.Validate(res.Assoc, false); err != nil {
+		t.Fatalf("final association invalid: %v", err)
+	}
+}
+
+// TestRunRejectsBadSchedule: an invalid schedule is refused up front.
+func TestRunRejectsBadSchedule(t *testing.T) {
+	n := faultNet(t, 34, 4, 10)
+	bad := fault.Schedule{{At: 1, AP: 99, Down: true}}
+	if _, err := Run(Options{Network: n, Faults: bad}); err == nil {
+		t.Error("Run accepted an out-of-range fault schedule")
+	}
+	if _, err := RunCentralized(CentralizedOptions{Network: n, Algorithm: &core.CentralizedBLA{}, Faults: bad}); err == nil {
+		t.Error("RunCentralized accepted an out-of-range fault schedule")
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"wlanmcast/internal/core"
 	"wlanmcast/internal/des"
+	"wlanmcast/internal/fault"
 	"wlanmcast/internal/obs"
 	"wlanmcast/internal/wlan"
 )
@@ -66,6 +67,12 @@ type Options struct {
 	// always runs to MaxTime and Converged reports whether the final
 	// stretch was stable.
 	Churn *ChurnConfig
+	// Faults, when non-empty, injects AP failures and recoveries at
+	// their scheduled virtual times (fault.Gen for seeded schedules).
+	// Like churn, faults make the run non-terminal: it always reaches
+	// MaxTime and Converged reports a quiet tail. Any AP still down at
+	// the end is re-enabled before Run returns.
+	Faults fault.Schedule
 	// Obs, when set, receives netsim_messages_total (by kind) and
 	// netsim_moves_total / netsim_decisions_total, written once at the
 	// end of the run from the Stats aggregate.
@@ -106,6 +113,10 @@ type Stats struct {
 	// without churn).
 	Joins  int
 	Leaves int
+	// APFailures and APRecoveries count injected fault actions (zero
+	// without faults).
+	APFailures   int
+	APRecoveries int
 }
 
 // Messages returns the total frame count.
@@ -151,6 +162,9 @@ type sim struct {
 func Run(opts Options) (*Result, error) {
 	if opts.Network == nil {
 		return nil, fmt.Errorf("netsim: nil network")
+	}
+	if err := opts.Faults.Validate(opts.Network.NumAPs()); err != nil {
+		return nil, err
 	}
 	applyDefaults(&opts)
 	tracker, err := wlan.NewTracker(opts.Network, opts.Start)
@@ -207,16 +221,18 @@ func Run(opts Options) (*Result, error) {
 		}
 		s.eng.Schedule(first, func() { s.startCycle(u) })
 	}
+	scheduleFaults(s.eng, opts.Faults, s.applyFault)
 	s.eng.RunUntil(opts.MaxTime)
+	restoreFaults(opts.Network)
 	res := &Result{
 		Assoc:       s.tracker.Assoc(),
 		Converged:   s.done,
 		ConvergedAt: s.lastMove,
 		Stats:       s.stats,
 	}
-	if opts.Churn != nil {
-		// Under churn convergence is never terminal; report whether
-		// the tail of the run was quiet.
+	if opts.Churn != nil || len(opts.Faults) > 0 {
+		// Under churn or faults convergence is never terminal; report
+		// whether the tail of the run was quiet.
 		res.Converged = opts.MaxTime-s.lastMove > 3*opts.QueryInterval
 	}
 	if opts.Obs != nil {
@@ -246,6 +262,9 @@ func publishStats(reg *obs.Registry, st *Stats) {
 	}
 	reg.Counter("netsim_moves_total", "Committed protocol moves across simulated runs.").Add(uint64(st.Moves))
 	reg.Counter("netsim_decisions_total", "Completed decision cycles across simulated runs.").Add(uint64(st.Decisions))
+	const faultHelp = "Injected AP availability changes across simulated runs, by kind."
+	reg.Counter("netsim_faults_total", faultHelp, obs.L("kind", "ap_down")).Add(uint64(st.APFailures))
+	reg.Counter("netsim_faults_total", faultHelp, obs.L("kind", "ap_up")).Add(uint64(st.APRecoveries))
 }
 
 // churnDelay draws an exponential on/off period for user u's current
@@ -356,6 +375,11 @@ func (s *sim) commit(u int, view *wlan.Tracker) bool {
 	if target == wlan.Unassociated || target == cur || (cur != wlan.Unassociated && !improves) {
 		return false
 	}
+	if !s.opts.Network.Reachable(target, u) {
+		// The chosen AP failed between the query snapshot and this
+		// decision; drop the move and retry next cycle.
+		return false
+	}
 	if cur != wlan.Unassociated {
 		s.stats.Disassociations++
 	}
@@ -429,7 +453,7 @@ func (s *sim) finishCycle(u int, moved bool) {
 	} else {
 		s.stable[u]++
 	}
-	if s.opts.Churn == nil && s.convergedNow() {
+	if s.opts.Churn == nil && len(s.opts.Faults) == 0 && s.convergedNow() {
 		s.done = true
 		return
 	}

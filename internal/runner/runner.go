@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -147,7 +148,7 @@ func Map[T any](ctx context.Context, opts Options, points, seeds int, fn func(ct
 				p, s := t.p, t.s
 				waited := time.Since(t.enq)
 				tstart := time.Now()
-				v, err := fn(ctx, p, s)
+				v, err := runTask(ctx, p, s, fn)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -206,4 +207,16 @@ func Map[T any](ctx context.Context, opts Options, points, seeds int, fn func(ct
 		return nil, ctx.Err()
 	}
 	return out, nil
+}
+
+// runTask invokes fn, converting a panic into an error carrying the
+// (point, seed) index and the stack — one broken evaluation fails the
+// sweep cleanly instead of crashing the whole process.
+func runTask[T any](ctx context.Context, p, s int, fn func(ctx context.Context, point, seed int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: task (point %d, seed %d) panicked: %v\n%s", p, s, r, debug.Stack())
+		}
+	}()
+	return fn(ctx, p, s)
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -237,5 +238,30 @@ func TestMapWorkerCountRespected(t *testing.T) {
 	}
 	if p := peak.Load(); p > 3 {
 		t.Errorf("observed %d concurrent tasks, worker bound is 3", p)
+	}
+}
+
+func TestMapRecoversWorkerPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), Options{Workers: workers}, 3, 5,
+			func(ctx context.Context, p, s int) (int, error) {
+				if p == 1 && s == 3 {
+					panic("boom")
+				}
+				return p*10 + s, nil
+			})
+		if err == nil {
+			t.Fatalf("workers=%d: panicking task did not fail the sweep", workers)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "(point 1, seed 3)") {
+			t.Errorf("workers=%d: error %q lacks the (point, seed) index", workers, msg)
+		}
+		if !strings.Contains(msg, "boom") {
+			t.Errorf("workers=%d: error %q lacks the panic value", workers, msg)
+		}
+		if !strings.Contains(msg, "runner_test.go") {
+			t.Errorf("workers=%d: error lacks a stack trace", workers)
+		}
 	}
 }

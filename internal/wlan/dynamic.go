@@ -70,7 +70,9 @@ func (n *Network) SetUserSession(u, s int) error {
 }
 
 // setUserRates installs col (nil = all zero) as user u's rate column
-// and updates coverage, neighbor, and rate-set indices.
+// and updates coverage, neighbor, and rate-set indices. Down APs get
+// only the physical rate update: their derived indices stay empty
+// until EnableAP restores the row wholesale.
 func (n *Network) setUserRates(u int, col []radio.Mbps) {
 	rateSetDirty := false
 	for a := range n.rates {
@@ -80,6 +82,10 @@ func (n *Network) setUserRates(u int, col []radio.Mbps) {
 			now = col[a]
 		}
 		if old == now {
+			continue
+		}
+		if n.APDown(a) {
+			n.rates[a][u] = now
 			continue
 		}
 		if old > 0 {
@@ -105,7 +111,7 @@ func (n *Network) setUserRates(u int, col []radio.Mbps) {
 	}
 	nb := n.neighborAPs[u][:0]
 	for a := range n.rates {
-		if n.rates[a][u] > 0 {
+		if n.rates[a][u] > 0 && !n.APDown(a) {
 			nb = append(nb, a)
 		}
 	}

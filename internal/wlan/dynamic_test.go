@@ -190,6 +190,91 @@ func TestMoveUserErrors(t *testing.T) {
 	}
 }
 
+// TestDetachLastUserOfSession covers the session multiset emptying
+// out: detaching the only member of a session removes that session's
+// entire load contribution and leaves the rate set consistent.
+func TestDetachLastUserOfSession(t *testing.T) {
+	n, err := NewFromRates(
+		[][]radio.Mbps{{54, 6}, {0, 12}},
+		[]int{0, 1},
+		[]Session{{Rate: 2}, {Rate: 3}},
+		DefaultBudget,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTracker(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Associate(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Associate(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// User 1 is session 1's only member. Remove it: AP 1's load must
+	// drop to exactly zero, not a residual float.
+	if err := tr.Disassociate(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.DetachUser(1); err != nil {
+		t.Fatal(err)
+	}
+	if l := tr.APLoad(1); l != 0 {
+		t.Fatalf("AP 1 load after last session user left = %v, want 0", l)
+	}
+	if got, want := n.RateSet(), []radio.Mbps{54}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("rate set = %v, want %v", got, want)
+	}
+	if got := tr.Satisfied(); got != 1 {
+		t.Fatalf("Satisfied = %d, want 1", got)
+	}
+}
+
+// TestMoveOutOfAllCoverage moves a user beyond every AP's range: it
+// must become uncoverable with empty neighbor sets, and the global
+// rate set must forget rates only it contributed.
+func TestMoveOutOfAllCoverage(t *testing.T) {
+	n := dynNet(t, 7, 6, 12)
+	u := 5
+	if !n.Coverable(u) {
+		t.Skip("seed left user 5 uncovered")
+	}
+	if err := n.MoveUser(u, geom.Point{X: 1e9, Y: 1e9}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Coverable(u) {
+		t.Fatal("user out of every AP's range still coverable")
+	}
+	if nb := n.NeighborAPs(u); len(nb) != 0 {
+		t.Fatalf("neighbors = %v, want none", nb)
+	}
+	for a := 0; a < n.NumAPs(); a++ {
+		if n.Reachable(a, u) {
+			t.Fatalf("AP %d still reaches the user", a)
+		}
+	}
+	assertIndicesMatch(t, n, rebuilt(t, n), nil)
+}
+
+// TestRepeatedDetach detaches the same user twice: the second call is
+// a no-op, not an error, and indices stay exact.
+func TestRepeatedDetach(t *testing.T) {
+	n := dynNet(t, 8, 6, 12)
+	detached := map[int]bool{2: true}
+	if err := n.DetachUser(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.DetachUser(2); err != nil {
+		t.Fatalf("repeated detach: %v", err)
+	}
+	if n.Coverable(2) {
+		t.Fatal("detached user coverable")
+	}
+	assertIndicesMatch(t, n, rebuilt(t, n), detached)
+}
+
 // TestDynamicTrackerInterplay pins the documented contract: detach in
 // the tracker first, mutate, re-decide — and the tracker loads stay
 // exact.

@@ -22,6 +22,8 @@ type Tracker struct {
 	total float64
 	// apOf[u] mirrors the association.
 	apOf []int
+	// satisfied counts the currently associated users.
+	satisfied int
 }
 
 // NewTracker builds a tracker over network n starting from association
@@ -62,6 +64,9 @@ func (t *Tracker) APLoad(ap int) float64 { return t.load[ap] }
 
 // TotalLoad returns the current total multicast load.
 func (t *Tracker) TotalLoad() float64 { return t.total }
+
+// Satisfied returns how many users are currently associated (served).
+func (t *Tracker) Satisfied() int { return t.satisfied }
 
 // MaxLoad returns the current maximum AP load.
 func (t *Tracker) MaxLoad() float64 {
@@ -112,6 +117,7 @@ func (t *Tracker) Associate(u, ap int) error {
 	now := sessionMin(ss)
 	t.bump(ap, s, old, now)
 	t.apOf[u] = ap
+	t.satisfied++
 	return nil
 }
 
@@ -132,6 +138,7 @@ func (t *Tracker) Disassociate(u int) error {
 	now := sessionMin(ss)
 	t.bump(ap, s, old, now)
 	t.apOf[u] = Unassociated
+	t.satisfied--
 	return nil
 }
 

@@ -97,9 +97,16 @@ type Network struct {
 	// basicRate is the lowest rate of the rate set.
 	basicRate radio.Mbps
 	// neighborAPs[u] lists the APs in range of user u, ascending.
+	// Down APs are excluded.
 	neighborAPs [][]int
-	// coverage[a] lists the users in range of AP a, ascending.
+	// coverage[a] lists the users in range of AP a, ascending; empty
+	// while the AP is down.
 	coverage [][]int
+	// down[a] marks AP a as failed (fault.go); nil until the first
+	// DisableAP. Down APs keep their physical rate rows but are
+	// excluded from every derived index and accessor.
+	down    []bool
+	numDown int
 }
 
 // NewGeometric builds a network from node positions using the given
@@ -231,19 +238,25 @@ func (n *Network) NumUsers() int { return len(n.Users) }
 // NumSessions returns the session count.
 func (n *Network) NumSessions() int { return len(n.Sessions) }
 
-// LinkRate returns the maximum PHY rate from AP a to user u (0 when out
-// of range). This is r_{a,u} of the paper.
-func (n *Network) LinkRate(a, u int) radio.Mbps { return n.rates[a][u] }
+// LinkRate returns the maximum PHY rate from AP a to user u (0 when
+// out of range or the AP is down). This is r_{a,u} of the paper.
+func (n *Network) LinkRate(a, u int) radio.Mbps {
+	if n.APDown(a) {
+		return 0
+	}
+	return n.rates[a][u]
+}
 
-// Reachable reports whether user u is in range of AP a.
-func (n *Network) Reachable(a, u int) bool { return n.rates[a][u] > 0 }
+// Reachable reports whether user u is in range of AP a (false while
+// the AP is down).
+func (n *Network) Reachable(a, u int) bool { return !n.APDown(a) && n.rates[a][u] > 0 }
 
 // TxRate returns the PHY rate AP a would use toward user u for
 // multicast: the link rate normally, the basic rate in basic-rate-only
 // mode. The second result is false when u is out of range.
 func (n *Network) TxRate(a, u int) (radio.Mbps, bool) {
 	r := n.rates[a][u]
-	if r == 0 {
+	if r == 0 || n.APDown(a) {
 		return 0, false
 	}
 	if n.BasicRateOnly {

@@ -12,6 +12,11 @@
 # wall-clock side, which has no place in the byte-deterministic
 # figure pipeline.
 #
+# It also writes BENCH_fault.json next to the first output: the
+# incremental-vs-full repair cost of one AP failure + recovery on the
+# most-loaded AP (the BenchmarkEngineFaultRepair* pair) and their
+# speedup — the wall-clock side of the ext-fault experiment.
+#
 # It also writes BENCH_obs.json next to the first output: the trace
 # recording overhead of BenchmarkEngineIncrementalObs (shared
 # registry + live ring recorder — the assocd -serve configuration)
@@ -66,6 +71,31 @@ END {
 }' "$tmp" > "$out"
 
 echo "wrote $out" >&2
+
+fault_out="$(dirname "$out")/BENCH_fault.json"
+
+awk '
+/^BenchmarkEngineFaultRepair/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i < NF; i++)
+        if ($(i+1) == "ns/event") nsev[name] = $i
+}
+END {
+    inc = nsev["BenchmarkEngineFaultRepairIncremental"]
+    full = nsev["BenchmarkEngineFaultRepairFullRecompute"]
+    if (inc <= 0 || full <= 0) {
+        print "bench.sh: missing FaultRepairIncremental/FullRecompute pair" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n"
+    printf "  \"incremental_ns_per_event\": %s,\n", inc
+    printf "  \"full_recompute_ns_per_event\": %s,\n", full
+    printf "  \"repair_speedup\": %.2f\n", full / inc
+    printf "}\n"
+}' "$tmp" > "$fault_out"
+
+echo "wrote $fault_out" >&2
 
 obs_out="$(dirname "$out")/BENCH_obs.json"
 rounds="${OBS_ROUNDS:-3}"

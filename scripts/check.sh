@@ -10,6 +10,7 @@
 #      (internal/runner and internal/experiments, which fan seed
 #      evaluations over a goroutine pool, internal/obs, whose
 #      lock-free instruments are written and exposed concurrently,
+#      internal/fault, whose schedules feed the parallel sweeps,
 #      plus internal/engine and cmd/assocd, whose HTTP daemon serves
 #      one engine to many connections)
 #   4. the promtext lint gate: the byte-format golden test for the
@@ -25,8 +26,8 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (runner + experiments + obs + engine + assocd)"
-go test -race ./internal/runner ./internal/experiments ./internal/obs ./internal/engine ./cmd/assocd
+echo "== go test -race (runner + experiments + obs + fault + engine + assocd)"
+go test -race ./internal/runner ./internal/experiments ./internal/obs ./internal/fault ./internal/engine ./cmd/assocd
 
 echo "== promtext lint (golden exposition + live /metrics)"
 go test -run 'TestGoldenAssocdExposition|TestLintProm' -count 1 ./internal/obs
