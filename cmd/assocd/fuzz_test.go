@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"wlanmcast/internal/engine"
+	"wlanmcast/internal/scenario"
+)
+
+// fuzzSpec is one small geometric scenario shared by every fuzz
+// execution; each exec materializes a fresh network from it so engine
+// mutations cannot leak between inputs.
+func fuzzSpec(tb testing.TB) *scenario.Spec {
+	tb.Helper()
+	spec, err := scenario.Generate(scenario.Params{
+		NumAPs: 6, NumUsers: 10, NumSessions: 2, Seed: 42,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return spec
+}
+
+// FuzzDecodeEvents pins the /v1/events contract end to end: arbitrary
+// bytes fed to the decoder must yield a typed error or a decoded event
+// list — never a panic — and every decoded event the engine rejects
+// must leave the association snapshot untouched (engine.Apply's
+// *InvalidEventError guarantee).
+func FuzzDecodeEvents(f *testing.F) {
+	// Seed corpus: the documented wire forms plus near-miss shapes.
+	f.Add([]byte(`{"kind":"join","user":7,"pos":{"x":100,"y":200},"session":1}`))
+	f.Add([]byte(`[{"kind":"leave","user":0},{"kind":"move","user":1,"pos":{"x":5,"y":5}}]`))
+	f.Add([]byte(`{"kind":"demand","user":2,"session":0}`))
+	f.Add([]byte(`[{"kind":"ap_down","ap":3,"user":-1},{"kind":"ap_up","ap":3,"user":-1}]`))
+	f.Add([]byte(`{"kind":"warp","user":1}`))
+	f.Add([]byte(`{"kind":"join","user":999999,"session":-4}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`42`))
+	f.Add([]byte(`"join"`))
+	f.Add([]byte(`[{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"kind":"move","user":1,"pos":{"x":1e308,"y":-1e308}}`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+
+	spec := fuzzSpec(f)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		events, err := decodeEvents(body)
+		if err != nil {
+			// Decode failures must be JSON-layer errors, not panics
+			// smuggled into err; nothing was decoded so nothing to apply.
+			return
+		}
+		n, err := spec.Network()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := engine.New(n, engine.Config{ActiveUsers: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range events {
+			before := eng.Snapshot()
+			beforeActive := eng.ActiveUsers()
+			if _, err := eng.Apply(ev); err != nil {
+				var invalid *engine.InvalidEventError
+				if !errors.As(err, &invalid) {
+					t.Fatalf("Apply(%+v) returned an untyped error: %v", ev, err)
+				}
+				after := eng.Snapshot()
+				if !before.Equal(after) {
+					t.Fatalf("Apply(%+v) rejected the event but mutated the snapshot", ev)
+				}
+				if eng.ActiveUsers() != beforeActive {
+					t.Fatalf("Apply(%+v) rejected the event but changed the active set", ev)
+				}
+			}
+		}
+	})
+}
+
+// TestDecodeEventsForms pins the two accepted wire forms and the error
+// form (the fuzz target only checks "no panic"; this checks meaning).
+func TestDecodeEventsForms(t *testing.T) {
+	one, err := decodeEvents([]byte(`{"kind":"leave","user":3}`))
+	if err != nil || len(one) != 1 || one[0].Kind != engine.UserLeave || one[0].User != 3 {
+		t.Fatalf("single object decode = %+v, %v", one, err)
+	}
+	many, err := decodeEvents([]byte(`[{"kind":"ap_down","ap":1},{"kind":"ap_up","ap":1}]`))
+	if err != nil || len(many) != 2 || many[1].Kind != engine.APUp {
+		t.Fatalf("array decode = %+v, %v", many, err)
+	}
+	if _, err := decodeEvents([]byte(`{"kind":`)); err == nil {
+		t.Fatal("truncated JSON must error")
+	}
+	var jsonErr *json.SyntaxError
+	if _, err := decodeEvents([]byte(`nope`)); !errors.As(err, &jsonErr) {
+		t.Fatalf("want a wrapped *json.SyntaxError, got %v", err)
+	}
+}

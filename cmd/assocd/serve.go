@@ -288,15 +288,10 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		bodyError(w, "read body", err)
 		return
 	}
-	// Accept a single event object or an array of events.
-	var events []engine.Event
-	if err := json.Unmarshal(body, &events); err != nil {
-		var one engine.Event
-		if err2 := json.Unmarshal(body, &one); err2 != nil {
-			httpError(w, http.StatusBadRequest, "decode events: %v", err)
-			return
-		}
-		events = []engine.Event{one}
+	events, err := decodeEvents(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -517,6 +512,25 @@ func (s *server) status(eng *engine.Engine) statusResponse {
 }
 
 // --- plumbing ---
+
+// decodeEvents parses a /v1/events body: a single event object or an
+// array of events. It is pure parsing over untrusted bytes — semantic
+// validation (user ranges, kind checks) stays in engine.Apply, which
+// rejects bad events without touching the snapshot. The fuzz suite
+// pins that split: arbitrary input yields an error or a decoded event
+// list, never a panic.
+func decodeEvents(body []byte) ([]engine.Event, error) {
+	var events []engine.Event
+	arrErr := json.Unmarshal(body, &events)
+	if arrErr == nil {
+		return events, nil
+	}
+	var one engine.Event
+	if err := json.Unmarshal(body, &one); err != nil {
+		return nil, fmt.Errorf("decode events: %w", arrErr)
+	}
+	return []engine.Event{one}, nil
+}
 
 const maxBody = 32 << 20 // scenarios with thousands of users fit easily
 

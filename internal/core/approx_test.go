@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wlanmcast/internal/wlan"
+)
+
+// Approximation-factor regression suite: on small seeded instances
+// where the branch-and-bound ILP solvers reach the true optimum, the
+// greedy algorithms must stay within the paper's proven bounds —
+// MNU >= OPT/8 (Theorem: greedy MCG is an 8-approximation, §4) and
+// MLA <= (ln n + 1)·OPT (greedy weighted set cover, §6). The bounds
+// are loose in practice, so a failure here means a genuine regression
+// in the greedy reductions, not noise.
+
+// approxEps absorbs float accumulation when comparing load sums.
+const approxEps = 1e-9
+
+func TestMNUApproximationBound(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		// Tight budgets make MNU leave users unserved, which is the
+		// regime where the 8-approximation bound has teeth.
+		budget := 0.05 + 0.1*rng.Float64()
+		n := randomNetwork(t, rng, 4+int(seed%3), 10+int(seed%4)*2, 1+int(seed%2), budget)
+		greedy := mustRun(t, &CentralizedMNU{}, n)
+		opt := mustRun(t, &OptimalMNU{}, n)
+		if err := n.Validate(opt.Assoc, true); err != nil {
+			t.Fatalf("seed %d: optimal MNU violates budgets: %v", seed, err)
+		}
+		if opt.Satisfied < greedy.Satisfied {
+			t.Fatalf("seed %d: \"optimal\" MNU serves %d users, greedy serves %d",
+				seed, opt.Satisfied, greedy.Satisfied)
+		}
+		if 8*greedy.Satisfied < opt.Satisfied {
+			t.Fatalf("seed %d: MNU bound regressed: greedy %d < OPT/8 (OPT = %d)",
+				seed, greedy.Satisfied, opt.Satisfied)
+		}
+	}
+}
+
+func TestMLAApproximationBound(t *testing.T) {
+	for seed := int64(100); seed < 112; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomNetwork(t, rng, 4+int(seed%3), 10+int(seed%4)*2, 1+int(seed%2), wlan.DefaultBudget)
+		greedy := mustRun(t, &CentralizedMLA{}, n)
+		opt := mustRun(t, &OptimalMLA{}, n)
+		if opt.Satisfied < greedy.Satisfied {
+			t.Fatalf("seed %d: optimal MLA covers %d users, greedy covers %d",
+				seed, opt.Satisfied, greedy.Satisfied)
+		}
+		if opt.TotalLoad > greedy.TotalLoad+approxEps {
+			t.Fatalf("seed %d: \"optimal\" MLA load %v exceeds greedy %v",
+				seed, opt.TotalLoad, greedy.TotalLoad)
+		}
+		// ln n + 1 with n = covered users (the set-cover universe).
+		covered := 0
+		for u := 0; u < n.NumUsers(); u++ {
+			if n.Coverable(u) {
+				covered++
+			}
+		}
+		if covered == 0 {
+			if greedy.TotalLoad != 0 {
+				t.Fatalf("seed %d: load %v with no coverable users", seed, greedy.TotalLoad)
+			}
+			continue
+		}
+		bound := (math.Log(float64(covered)) + 1) * opt.TotalLoad
+		if greedy.TotalLoad > bound+approxEps {
+			t.Fatalf("seed %d: MLA bound regressed: greedy %v > (ln %d + 1)*OPT = %v",
+				seed, greedy.TotalLoad, covered, bound)
+		}
+	}
+}
+
+// TestBLAApproximationBound rides along: §5's iterated-MCG analysis
+// gives BLA a (log_{8/7} n + 1) factor on the max load.
+func TestBLAApproximationBound(t *testing.T) {
+	for seed := int64(200); seed < 208; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomNetwork(t, rng, 4+int(seed%3), 10+int(seed%3)*3, 1+int(seed%2), wlan.DefaultBudget)
+		greedy := mustRun(t, &CentralizedBLA{}, n)
+		opt := mustRun(t, &OptimalBLA{}, n)
+		if opt.MaxLoad > greedy.MaxLoad+approxEps {
+			t.Fatalf("seed %d: \"optimal\" BLA max load %v exceeds greedy %v",
+				seed, opt.MaxLoad, greedy.MaxLoad)
+		}
+		covered := 0
+		for u := 0; u < n.NumUsers(); u++ {
+			if n.Coverable(u) {
+				covered++
+			}
+		}
+		if covered == 0 {
+			continue
+		}
+		bound := (math.Log(float64(covered))/math.Log(8.0/7.0) + 1) * opt.MaxLoad
+		if greedy.MaxLoad > bound+approxEps {
+			t.Fatalf("seed %d: BLA bound regressed: greedy %v > (log_{8/7} %d + 1)*OPT = %v",
+				seed, greedy.MaxLoad, covered, bound)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"wlanmcast/internal/core"
+	"wlanmcast/internal/radio"
+	"wlanmcast/internal/wlan"
+)
+
+// differentialSeeds is how many seeded scenarios the equivalence suite
+// sweeps. The acceptance bar for the sparse spatial core is >= 50.
+const differentialSeeds = 55
+
+// TestSparseDenseDifferential pins the sparse spatial core against the
+// brute-force dense build: for every seeded random geometric scenario,
+// the grid-indexed network (wlan.NewGeometric via Spec.Network) and
+// the all-pairs reference (wlan.NewGeometricDense) must agree exactly
+// on every link accessor, and every association algorithm — the three
+// centralized approximations, the distributed rules, and the SSA
+// baseline — must produce bit-identical associations and AP loads on
+// the two builds. Any grid bug that drops or invents a candidate AP
+// shows up here as a divergence.
+func TestSparseDenseDifferential(t *testing.T) {
+	for seed := int64(0); seed < differentialSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			p := Params{
+				NumAPs:      15 + int(seed%4)*10,
+				NumUsers:    40 + int(seed%5)*25,
+				NumSessions: 1 + int(seed%5),
+				Seed:        seed,
+				Placement:   []Placement{Uniform, Grid, Clustered}[seed%3],
+			}
+			spec, err := Generate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sparse, err := spec.Network()
+			if err != nil {
+				t.Fatal(err)
+			}
+			table, err := radio.NewRateTable(spec.RateSteps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dense, err := wlan.NewGeometricDense(spec.Area, spec.APPositions, spec.UserPositions,
+				spec.UserSessions, cloneSessions(spec.Sessions), table, spec.Budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertNetworksEqual(t, sparse, dense)
+
+			algorithms := []core.Algorithm{
+				&core.SSA{},
+				&core.SSA{EnforceBudget: true},
+				&core.CentralizedMNU{},
+				&core.CentralizedBLA{},
+				&core.CentralizedMLA{},
+				&core.Distributed{Objective: core.ObjMNU, EnforceBudget: true},
+				&core.Distributed{Objective: core.ObjBLA},
+				&core.Distributed{Objective: core.ObjMLA},
+			}
+			for _, alg := range algorithms {
+				onSparse, err := alg.Run(sparse)
+				if err != nil {
+					t.Fatalf("%s on sparse: %v", alg.Name(), err)
+				}
+				onDense, err := alg.Run(dense)
+				if err != nil {
+					t.Fatalf("%s on dense: %v", alg.Name(), err)
+				}
+				if !onSparse.Equal(onDense) {
+					t.Fatalf("%s: associations diverge between sparse and dense builds", alg.Name())
+				}
+				for ap := 0; ap < sparse.NumAPs(); ap++ {
+					ls, ld := sparse.APLoad(onSparse, ap), dense.APLoad(onDense, ap)
+					if ls != ld {
+						t.Fatalf("%s: AP %d load %v (sparse) != %v (dense)", alg.Name(), ap, ls, ld)
+					}
+				}
+				if ts, td := sparse.TotalLoad(onSparse), dense.TotalLoad(onDense); ts != td {
+					t.Fatalf("%s: total load %v (sparse) != %v (dense)", alg.Name(), ts, td)
+				}
+			}
+		})
+	}
+}
+
+// assertNetworksEqual compares every link-level accessor of the two
+// builds exactly.
+func assertNetworksEqual(t *testing.T, sparse, dense *wlan.Network) {
+	t.Helper()
+	if sparse.NumAPs() != dense.NumAPs() || sparse.NumUsers() != dense.NumUsers() {
+		t.Fatalf("shape mismatch: %dx%d vs %dx%d",
+			sparse.NumAPs(), sparse.NumUsers(), dense.NumAPs(), dense.NumUsers())
+	}
+	if got, want := sparse.RateSet(), dense.RateSet(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("RateSet = %v (sparse), %v (dense)", got, want)
+	}
+	if sparse.BasicRate() != dense.BasicRate() {
+		t.Fatalf("BasicRate = %v (sparse), %v (dense)", sparse.BasicRate(), dense.BasicRate())
+	}
+	if sparse.NumLinks() != dense.NumLinks() {
+		t.Fatalf("NumLinks = %d (sparse), %d (dense)", sparse.NumLinks(), dense.NumLinks())
+	}
+	for u := 0; u < sparse.NumUsers(); u++ {
+		if got, want := sparse.NeighborAPs(u), dense.NeighborAPs(u); !equalInts(got, want) {
+			t.Fatalf("NeighborAPs(%d) = %v (sparse), %v (dense)", u, got, want)
+		}
+	}
+	for a := 0; a < sparse.NumAPs(); a++ {
+		if got, want := sparse.Coverage(a), dense.Coverage(a); !equalInts(got, want) {
+			t.Fatalf("Coverage(%d) = %v (sparse), %v (dense)", a, got, want)
+		}
+		for u := 0; u < sparse.NumUsers(); u++ {
+			if got, want := sparse.LinkRate(a, u), dense.LinkRate(a, u); got != want {
+				t.Fatalf("LinkRate(%d, %d) = %v (sparse), %v (dense)", a, u, got, want)
+			}
+			gr, gok := sparse.TxRate(a, u)
+			wr, wok := dense.TxRate(a, u)
+			if gr != wr || gok != wok {
+				t.Fatalf("TxRate(%d, %d) = (%v, %v) sparse, (%v, %v) dense", a, u, gr, gok, wr, wok)
+			}
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

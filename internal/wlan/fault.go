@@ -7,7 +7,7 @@ import "fmt"
 // An AP crash is the dominant real-world WLAN failure, and the fault
 // layer (internal/fault, engine EvAPDown/EvAPUp) models it by taking
 // APs administratively down and back up on a live Network. A down AP
-// keeps its physical rate row — recovery must restore exactly the
+// keeps its physical adjacency row — recovery must restore exactly the
 // pre-failure links, including any MoveUser churn that happened while
 // it was dark — but it vanishes from every derived index and
 // accessor: Reachable/TxRate/LinkRate report "out of range",
@@ -20,11 +20,13 @@ import "fmt"
 // Contract, mirroring the dynamic user API: the AP must have no
 // associated users in any live Tracker when DisableAP runs — callers
 // disassociate first (while TxRate still resolves), then disable.
-// EnableAP has no such constraint. Both are O(covered users + APs)
+// EnableAP has no such constraint. Both are O(covered users x log)
 // incremental updates, never a full rebuild.
 
-// DisableAP takes AP a down: its links disappear from the neighbor,
-// coverage, and rate-set indices. Disabling a down AP is an error.
+// DisableAP takes AP a down: its links disappear from the neighbor
+// and rate-set indices and its Coverage reads empty, while the
+// physical adjacency row stays put for EnableAP. Disabling a down AP
+// is an error.
 func (n *Network) DisableAP(a int) error {
 	if a < 0 || a >= len(n.APs) {
 		return fmt.Errorf("wlan: DisableAP: unknown AP %d", a)
@@ -36,16 +38,10 @@ func (n *Network) DisableAP(a int) error {
 		n.down = make([]bool, len(n.APs))
 	}
 	rateSetDirty := false
-	for _, u := range n.coverage[a] {
-		r := n.rates[a][u]
-		n.rateCount[r]--
-		if n.rateCount[r] == 0 {
-			delete(n.rateCount, r)
-			rateSetDirty = true
-		}
-		n.neighborAPs[u] = removeSorted(n.neighborAPs[u], a)
+	for i, u := range n.adjUsers[a] {
+		rateSetDirty = n.decRate(n.adjRates[a][i]) || rateSetDirty
+		n.neighborAPs[u], n.nbrRates[u] = removePair(n.neighborAPs[u], n.nbrRates[u], a)
 	}
-	n.coverage[a] = n.coverage[a][:0]
 	n.down[a] = true
 	n.numDown++
 	if rateSetDirty {
@@ -67,19 +63,11 @@ func (n *Network) EnableAP(a int) error {
 	n.down[a] = false
 	n.numDown--
 	rateSetDirty := false
-	cov := n.coverage[a][:0]
-	for u, r := range n.rates[a] {
-		if r <= 0 {
-			continue
-		}
-		if n.rateCount[r] == 0 {
-			rateSetDirty = true
-		}
-		n.rateCount[r]++
-		cov = append(cov, u)
-		n.neighborAPs[u] = insertSorted(n.neighborAPs[u], a)
+	for i, u := range n.adjUsers[a] {
+		r := n.adjRates[a][i]
+		rateSetDirty = n.incRate(r) || rateSetDirty
+		n.neighborAPs[u], n.nbrRates[u] = insertPair(n.neighborAPs[u], n.nbrRates[u], a, r)
 	}
-	n.coverage[a] = cov
 	if rateSetDirty {
 		n.rebuildRateSet()
 	}

@@ -19,7 +19,9 @@ func survivors(t *testing.T, n *Network) *Network {
 	for a := range rates {
 		row := make([]radio.Mbps, n.NumUsers())
 		if !n.APDown(a) {
-			copy(row, n.rates[a])
+			for i, u := range n.adjUsers[a] {
+				row[u] = n.adjRates[a][i]
+			}
 		}
 		rates[a] = row
 	}

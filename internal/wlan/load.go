@@ -163,18 +163,25 @@ func (a *Assoc) Equal(b *Assoc) bool {
 // at the slowest of those users' rates (so everyone can decode), and
 // the loads add up (Definition 1).
 func (n *Network) APLoad(a *Assoc, ap int) float64 {
+	if n.APDown(ap) {
+		return 0
+	}
 	// Track the slowest associated user per session in index order:
 	// summing in a fixed order keeps the float result bit-identical
 	// across runs (map iteration order would reshuffle the additions),
 	// which the parallel experiment runner's determinism guarantee
-	// relies on.
+	// relies on. Iterating the AP's adjacency row reads each tx rate
+	// in place instead of binary-searching per user via TxRate.
 	minRate := make([]radio.Mbps, len(n.Sessions))
 	served := make([]bool, len(n.Sessions))
-	for _, u := range n.coverage[ap] {
+	for i, u := range n.adjUsers[ap] {
 		if a.apOf[u] != ap {
 			continue
 		}
-		r, _ := n.TxRate(ap, u)
+		r := n.adjRates[ap][i]
+		if n.BasicRateOnly {
+			r = n.basicRate
+		}
 		s := n.Users[u].Session
 		if !served[s] || r < minRate[s] {
 			served[s] = true

@@ -10,10 +10,13 @@
 package wlan
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"wlanmcast/internal/geom"
 	"wlanmcast/internal/radio"
+	"wlanmcast/internal/runner"
 )
 
 // Unassociated marks a user that receives no multicast service.
@@ -59,6 +62,15 @@ type User struct {
 // NewFromRates (an explicit rate matrix, as in the paper's worked
 // examples). Association state lives outside in Assoc values.
 //
+// Connectivity is stored sparsely (DESIGN.md "Sparse spatial core"):
+// radio range is finite, so each user sees O(1) candidate APs and the
+// AP–user graph has O(users) edges regardless of deployment size.
+// The model never materializes an APs x users matrix — NewGeometric
+// discovers each user's candidates through a uniform grid over the AP
+// positions, and NewFromRates converts its explicit matrix into the
+// same adjacency (the dense input form is just an adapter for the
+// paper's worked examples).
+//
 // A Network is immutable under the batch algorithms; the online
 // engine mutates single users through the dynamic API in dynamic.go
 // (MoveUser, DetachUser, SetUserSession), which keeps all derived
@@ -86,32 +98,57 @@ type Network struct {
 	// table is the rate-vs-distance table geometric networks were
 	// built from; MoveUser rederives link rates with it.
 	table *radio.RateTable
-	// rates[a][u] is the maximum PHY rate from AP a to user u,
-	// 0 when out of range.
-	rates [][]radio.Mbps
-	// rateSet is the ascending list of distinct nonzero rates.
+	// grid indexes AP positions for geometric networks (cell = max
+	// radio range), answering "which APs can reach this point" in
+	// O(1); MoveUser re-buckets a user by querying it at the new
+	// position. nil for explicit-rate networks, whose links never
+	// rederive from geometry.
+	grid *geom.Grid
+
+	// Sparse adjacency — the primary link storage.
+	//
+	// adjUsers[a] / adjRates[a] are AP a's physical links, sorted by
+	// user id. They are maintained even while the AP is down (fault.go)
+	// so EnableAP can restore exactly the current links, including any
+	// MoveUser churn that happened while the AP was dark.
+	//
+	// neighborAPs[u] / nbrRates[u] are the live per-user view, sorted
+	// by AP id with down APs excluded. While an AP is up its physical
+	// and live links coincide, so point lookups (LinkRate, TxRate,
+	// Reachable) binary-search the short per-user list.
+	adjUsers    [][]int
+	adjRates    [][]radio.Mbps
+	neighborAPs [][]int
+	nbrRates    [][]radio.Mbps
+
+	// rateSet is the ascending list of distinct nonzero live rates.
 	rateSet []radio.Mbps
-	// rateCount is the multiset behind rateSet, kept so the dynamic
-	// mutation API can maintain rateSet incrementally.
+	// rateCount is the multiset behind rateSet (live links only), kept
+	// so the dynamic mutation API can maintain rateSet incrementally.
 	rateCount map[radio.Mbps]int
 	// basicRate is the lowest rate of the rate set.
 	basicRate radio.Mbps
-	// neighborAPs[u] lists the APs in range of user u, ascending.
-	// Down APs are excluded.
-	neighborAPs [][]int
-	// coverage[a] lists the users in range of AP a, ascending; empty
-	// while the AP is down.
-	coverage [][]int
 	// down[a] marks AP a as failed (fault.go); nil until the first
-	// DisableAP. Down APs keep their physical rate rows but are
+	// DisableAP. Down APs keep their physical adjacency rows but are
 	// excluded from every derived index and accessor.
 	down    []bool
 	numDown int
 }
 
+// parallelChunk is the per-task user count for parallel construction:
+// large enough that scheduling is noise, small enough that a 100k-user
+// build fans out over every core.
+const parallelChunk = 2048
+
 // NewGeometric builds a network from node positions using the given
 // rate-vs-distance table (the paper's Table 1 via radio.Table1).
 // budget applies to every AP; sessions[u.Session] must exist.
+//
+// Construction is O(users x candidate APs), not O(users x APs): a
+// uniform grid over the AP positions (cell = the table's maximum
+// range) yields each user's candidates, and users are scanned in
+// parallel chunks through the shared runner pool, so building a
+// million-user network uses all cores and only O(links) memory.
 func NewGeometric(area geom.Rect, apPos, userPos []geom.Point, userSession []int, sessions []Session, table *radio.RateTable, budget float64) (*Network, error) {
 	if table == nil {
 		return nil, fmt.Errorf("wlan: nil rate table")
@@ -119,15 +156,46 @@ func NewGeometric(area geom.Rect, apPos, userPos []geom.Point, userSession []int
 	if len(userPos) != len(userSession) {
 		return nil, fmt.Errorf("wlan: %d user positions but %d session choices", len(userPos), len(userSession))
 	}
-	rates := make([][]radio.Mbps, len(apPos))
-	for a := range apPos {
-		row := make([]radio.Mbps, len(userPos))
-		for u := range userPos {
-			if r, ok := table.RateFor(apPos[a].Dist(userPos[u])); ok {
-				row[u] = r
+	grid, err := geom.NewGrid(apPos, table.Range())
+	if err != nil {
+		return nil, fmt.Errorf("wlan: index AP positions: %w", err)
+	}
+	nbrAPs := make([][]int, len(userPos))
+	nbrRates := make([][]radio.Mbps, len(userPos))
+	// scan fills the candidate links of users [lo, hi). Chunks write
+	// disjoint slices, so the parallel fan-out needs no locking and
+	// the result is identical for any worker count.
+	scan := func(lo, hi int, buf []int) {
+		for u := lo; u < hi; u++ {
+			buf = grid.Near(userPos[u], buf[:0])
+			var aps []int
+			var rates []radio.Mbps
+			for _, a := range buf {
+				if r, ok := table.RateFor(apPos[a].Dist(userPos[u])); ok {
+					aps = append(aps, a)
+					rates = append(rates, r)
+				}
 			}
+			nbrAPs[u] = aps
+			nbrRates[u] = rates
 		}
-		rates[a] = row
+	}
+	if chunks := (len(userPos) + parallelChunk - 1) / parallelChunk; chunks > 1 {
+		_, err := runner.Map(context.Background(), runner.Options{}, chunks, 1,
+			func(ctx context.Context, p, _ int) (struct{}, error) {
+				lo := p * parallelChunk
+				hi := lo + parallelChunk
+				if hi > len(userPos) {
+					hi = len(userPos)
+				}
+				scan(lo, hi, make([]int, 0, 64))
+				return struct{}{}, nil
+			})
+		if err != nil {
+			return nil, fmt.Errorf("wlan: parallel link scan: %w", err)
+		}
+	} else {
+		scan(0, len(userPos), nil)
 	}
 	aps := make([]AP, len(apPos))
 	for a := range aps {
@@ -137,7 +205,62 @@ func NewGeometric(area geom.Rect, apPos, userPos []geom.Point, userSession []int
 	for u := range users {
 		users[u] = User{ID: u, Pos: userPos[u], Session: userSession[u]}
 	}
-	n := &Network{Area: area, APs: aps, Users: users, Sessions: sessions, Load: RatioLoad{}, geometric: true, table: table, rates: rates}
+	n := &Network{Area: area, APs: aps, Users: users, Sessions: sessions, Load: RatioLoad{},
+		geometric: true, table: table, grid: grid, neighborAPs: nbrAPs, nbrRates: nbrRates}
+	if err := n.finish(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// NewGeometricDense is the brute-force reference constructor: it
+// materializes the full APs x users rate matrix by scanning every
+// pair, exactly like the pre-sparse implementation, and produces a
+// network indistinguishable from NewGeometric's. It exists so the
+// differential property suite can pin the grid-indexed build against
+// ground truth and so the scale benchmark can measure what the sparse
+// core saves; production callers always want NewGeometric.
+func NewGeometricDense(area geom.Rect, apPos, userPos []geom.Point, userSession []int, sessions []Session, table *radio.RateTable, budget float64) (*Network, error) {
+	if table == nil {
+		return nil, fmt.Errorf("wlan: nil rate table")
+	}
+	if len(userPos) != len(userSession) {
+		return nil, fmt.Errorf("wlan: %d user positions but %d session choices", len(userPos), len(userSession))
+	}
+	rates := make([][]radio.Mbps, len(apPos))
+	for a := range rates {
+		row := make([]radio.Mbps, len(userPos))
+		for u := range userPos {
+			if r, ok := table.RateFor(apPos[a].Dist(userPos[u])); ok {
+				row[u] = r
+			}
+		}
+		rates[a] = row
+	}
+	nbrAPs := make([][]int, len(userPos))
+	nbrRates := make([][]radio.Mbps, len(userPos))
+	for a, row := range rates {
+		for u, r := range row {
+			if r > 0 {
+				nbrAPs[u] = append(nbrAPs[u], a)
+				nbrRates[u] = append(nbrRates[u], r)
+			}
+		}
+	}
+	grid, err := geom.NewGrid(apPos, table.Range())
+	if err != nil {
+		return nil, fmt.Errorf("wlan: index AP positions: %w", err)
+	}
+	aps := make([]AP, len(apPos))
+	for a := range aps {
+		aps[a] = AP{ID: a, Pos: apPos[a], Budget: budget}
+	}
+	users := make([]User, len(userPos))
+	for u := range users {
+		users[u] = User{ID: u, Pos: userPos[u], Session: userSession[u]}
+	}
+	n := &Network{Area: area, APs: aps, Users: users, Sessions: sessions, Load: RatioLoad{},
+		geometric: true, table: table, grid: grid, neighborAPs: nbrAPs, nbrRates: nbrRates}
 	if err := n.finish(); err != nil {
 		return nil, err
 	}
@@ -146,18 +269,31 @@ func NewGeometric(area geom.Rect, apPos, userPos []geom.Point, userSession []int
 
 // NewFromRates builds a network from an explicit rate matrix
 // rates[a][u] in Mbps with 0 meaning "out of range". It is how the
-// paper's Figure 1 and Figure 4 examples are expressed.
+// paper's Figure 1 and Figure 4 examples are expressed, and the dense
+// adapter onto the sparse core: the matrix is consumed into adjacency
+// lists and never retained.
 func NewFromRates(rates [][]radio.Mbps, userSession []int, sessions []Session, budget float64) (*Network, error) {
 	if len(rates) == 0 {
 		return nil, fmt.Errorf("wlan: need at least one AP")
 	}
 	nUsers := len(rates[0])
-	cp := make([][]radio.Mbps, len(rates))
+	nbrAPs := make([][]int, nUsers)
+	nbrRates := make([][]radio.Mbps, nUsers)
 	for a, row := range rates {
 		if len(row) != nUsers {
 			return nil, fmt.Errorf("wlan: rate row %d has %d entries, want %d", a, len(row), nUsers)
 		}
-		cp[a] = append([]radio.Mbps(nil), row...)
+		for u, r := range row {
+			if r < 0 {
+				return nil, fmt.Errorf("wlan: negative rate %v for AP %d user %d", r, a, u)
+			}
+			if r > 0 {
+				// Outer loop ascends over APs, so each user's list
+				// arrives sorted.
+				nbrAPs[u] = append(nbrAPs[u], a)
+				nbrRates[u] = append(nbrRates[u], r)
+			}
+		}
 	}
 	if len(userSession) != nUsers {
 		return nil, fmt.Errorf("wlan: %d users but %d session choices", nUsers, len(userSession))
@@ -170,15 +306,17 @@ func NewFromRates(rates [][]radio.Mbps, userSession []int, sessions []Session, b
 	for u := range users {
 		users[u] = User{ID: u, Session: userSession[u]}
 	}
-	n := &Network{APs: aps, Users: users, Sessions: sessions, Load: RatioLoad{}, rates: cp}
+	n := &Network{APs: aps, Users: users, Sessions: sessions, Load: RatioLoad{},
+		neighborAPs: nbrAPs, nbrRates: nbrRates}
 	if err := n.finish(); err != nil {
 		return nil, err
 	}
 	return n, nil
 }
 
-// finish validates entities and derives the neighbor and coverage
-// indices and the rate set.
+// finish validates entities, transposes the per-user candidate lists
+// into per-AP adjacency, and derives the rate set. Callers have filled
+// neighborAPs/nbrRates with sorted, positive-rate links.
 func (n *Network) finish() error {
 	if len(n.Sessions) == 0 {
 		return fmt.Errorf("wlan: need at least one session")
@@ -202,19 +340,31 @@ func (n *Network) finish() error {
 			return fmt.Errorf("wlan: user %d requests unknown session %d", u, usr.Session)
 		}
 	}
+	// Counting transpose: degree count, exact-capacity rows, then a
+	// fill in ascending user order so each AP's list arrives sorted.
+	// Rows get exactly their degree so a later insertPair reallocates
+	// instead of growing into a neighbor's backing array.
+	deg := make([]int, len(n.APs))
+	for u := range n.neighborAPs {
+		for _, a := range n.neighborAPs[u] {
+			deg[a]++
+		}
+	}
 	n.rateCount = make(map[radio.Mbps]int)
-	n.neighborAPs = make([][]int, len(n.Users))
-	n.coverage = make([][]int, len(n.APs))
-	for a := range n.rates {
-		for u, r := range n.rates[a] {
-			if r < 0 {
-				return fmt.Errorf("wlan: negative rate %v for AP %d user %d", r, a, u)
-			}
-			if r > 0 {
-				n.neighborAPs[u] = append(n.neighborAPs[u], a)
-				n.coverage[a] = append(n.coverage[a], u)
-				n.rateCount[r]++
-			}
+	n.adjUsers = make([][]int, len(n.APs))
+	n.adjRates = make([][]radio.Mbps, len(n.APs))
+	for a, d := range deg {
+		if d > 0 {
+			n.adjUsers[a] = make([]int, 0, d)
+			n.adjRates[a] = make([]radio.Mbps, 0, d)
+		}
+	}
+	for u := range n.neighborAPs {
+		for i, a := range n.neighborAPs[u] {
+			r := n.nbrRates[u][i]
+			n.adjUsers[a] = append(n.adjUsers[a], u)
+			n.adjRates[a] = append(n.adjRates[a], r)
+			n.rateCount[r]++
 		}
 	}
 	n.rebuildRateSet()
@@ -238,25 +388,57 @@ func (n *Network) NumUsers() int { return len(n.Users) }
 // NumSessions returns the session count.
 func (n *Network) NumSessions() int { return len(n.Sessions) }
 
+// NumLinks returns the number of live AP-user links (down APs
+// excluded). The sparse core's memory and construction time are
+// O(NumLinks), not O(NumAPs x NumUsers).
+func (n *Network) NumLinks() int {
+	links := 0
+	for u := range n.neighborAPs {
+		links += len(n.neighborAPs[u])
+	}
+	return links
+}
+
+// linkAt returns the live rate of link a→u via the per-user adjacency
+// (a must be up: down APs are absent from the live lists).
+func (n *Network) linkAt(u, a int) (radio.Mbps, bool) {
+	nb := n.neighborAPs[u]
+	i := sort.SearchInts(nb, a)
+	if i < len(nb) && nb[i] == a {
+		return n.nbrRates[u][i], true
+	}
+	return 0, false
+}
+
 // LinkRate returns the maximum PHY rate from AP a to user u (0 when
 // out of range or the AP is down). This is r_{a,u} of the paper.
 func (n *Network) LinkRate(a, u int) radio.Mbps {
 	if n.APDown(a) {
 		return 0
 	}
-	return n.rates[a][u]
+	r, _ := n.linkAt(u, a)
+	return r
 }
 
 // Reachable reports whether user u is in range of AP a (false while
 // the AP is down).
-func (n *Network) Reachable(a, u int) bool { return !n.APDown(a) && n.rates[a][u] > 0 }
+func (n *Network) Reachable(a, u int) bool {
+	if n.APDown(a) {
+		return false
+	}
+	_, ok := n.linkAt(u, a)
+	return ok
+}
 
 // TxRate returns the PHY rate AP a would use toward user u for
 // multicast: the link rate normally, the basic rate in basic-rate-only
 // mode. The second result is false when u is out of range.
 func (n *Network) TxRate(a, u int) (radio.Mbps, bool) {
-	r := n.rates[a][u]
-	if r == 0 || n.APDown(a) {
+	if n.APDown(a) {
+		return 0, false
+	}
+	r, ok := n.linkAt(u, a)
+	if !ok {
 		return 0, false
 	}
 	if n.BasicRateOnly {
@@ -284,9 +466,15 @@ func (n *Network) BasicRate() radio.Mbps { return n.basicRate }
 // The slice is shared; callers must not modify it.
 func (n *Network) NeighborAPs(u int) []int { return n.neighborAPs[u] }
 
-// Coverage returns the users within range of AP a, ascending by ID.
-// The slice is shared; callers must not modify it.
-func (n *Network) Coverage(a int) []int { return n.coverage[a] }
+// Coverage returns the users within range of AP a, ascending by ID;
+// empty while the AP is down. The slice is shared; callers must not
+// modify it.
+func (n *Network) Coverage(a int) []int {
+	if n.APDown(a) {
+		return nil
+	}
+	return n.adjUsers[a]
+}
 
 // SessionRate returns the stream bitrate of session s.
 func (n *Network) SessionRate(s int) radio.Mbps { return n.Sessions[s].Rate }

@@ -17,6 +17,13 @@
 # most-loaded AP (the BenchmarkEngineFaultRepair* pair) and their
 # speedup — the wall-clock side of the ext-fault experiment.
 #
+# It also writes BENCH_scale.json next to the first output: the
+# dense-vs-sparse construction cost of wlan.NewGeometric at 1k/10k/
+# 100k users (the BenchmarkNewGeometric* pairs, -benchtime 1x so the
+# 100k dense build runs exactly once), with per-size construction
+# speedup and allocated-byte ratio. The sparse-core acceptance bar is
+# >= 10x on both at 100k users.
+#
 # It also writes BENCH_obs.json next to the first output: the trace
 # recording overhead of BenchmarkEngineIncrementalObs (shared
 # registry + live ring recorder — the assocd -serve configuration)
@@ -96,6 +103,49 @@ END {
 }' "$tmp" > "$fault_out"
 
 echo "wrote $fault_out" >&2
+
+scale_out="$(dirname "$out")/BENCH_scale.json"
+
+echo "== go test -bench NewGeometric ./internal/wlan (dense vs sparse, 1x)" >&2
+go test -run '^$' -bench 'BenchmarkNewGeometric' -benchmem -benchtime 1x ./internal/wlan | tee "$tmp2" >&2
+
+awk '
+/^BenchmarkNewGeometric/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^BenchmarkNewGeometric/, "", name)
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     nsop[name] = $i
+        if ($(i+1) == "B/op")      bop[name] = $i
+        if ($(i+1) == "allocs/op") aop[name] = $i
+    }
+}
+END {
+    split("1k 10k 100k", sizes, " ")
+    users["1k"] = 1000; users["10k"] = 10000; users["100k"] = 100000
+    printf "{\n  \"sizes\": [\n"
+    for (i = 1; i <= 3; i++) {
+        sz = sizes[i]
+        d = "Dense" sz; s = "Sparse" sz
+        if (!(d in nsop) || !(s in nsop)) {
+            print "bench.sh: missing NewGeometric pair for " sz > "/dev/stderr"
+            exit 1
+        }
+        printf "    {\"users\": %d,\n", users[sz]
+        printf "     \"dense\":  {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", nsop[d], bop[d], aop[d]
+        printf "     \"sparse\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", nsop[s], bop[s], aop[s]
+        printf "     \"construction_speedup\": %.2f,\n", nsop[d] / nsop[s]
+        printf "     \"alloc_bytes_ratio\": %.2f}%s\n", bop[d] / bop[s], (i < 3 ? "," : "")
+    }
+    printf "  ],\n"
+    printf "  \"target_speedup_100k\": 10,\n"
+    printf "  \"target_alloc_ratio_100k\": 10,\n"
+    ok = (nsop["Dense100k"] / nsop["Sparse100k"] >= 10 && bop["Dense100k"] / bop["Sparse100k"] >= 10)
+    printf "  \"within_target\": %s\n", (ok ? "true" : "false")
+    printf "}\n"
+}' "$tmp2" > "$scale_out"
+
+echo "wrote $scale_out" >&2
 
 obs_out="$(dirname "$out")/BENCH_obs.json"
 rounds="${OBS_ROUNDS:-3}"

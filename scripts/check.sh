@@ -16,6 +16,13 @@
 #   4. the promtext lint gate: the byte-format golden test for the
 #      exposition writer plus the linter over the daemon's live
 #      /metrics output
+#   5. the coverage gate: internal/wlan and internal/geom must not
+#      drop below their pre-sparse-core floors (the sparse spatial
+#      core rewrote both packages; the gate keeps later PRs from
+#      eroding the equivalence suite that pins it)
+#   6. a fuzz smoke pass: ~10s per fuzz target (events decoder,
+#      scenario loader, LP solver) so corpus regressions surface in
+#      CI, not just in long local fuzz runs
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,5 +39,32 @@ go test -race ./internal/runner ./internal/experiments ./internal/obs ./internal
 echo "== promtext lint (golden exposition + live /metrics)"
 go test -run 'TestGoldenAssocdExposition|TestLintProm' -count 1 ./internal/obs
 go test -run 'TestServeMetricsLint' -count 1 ./cmd/assocd
+
+echo "== coverage gate (internal/wlan >= 96.1%, internal/geom >= 95.6%)"
+go test -cover -count 1 ./internal/geom ./internal/wlan | awk '
+{ print }
+/coverage:/ {
+    pct = $0
+    sub(/.*coverage: /, "", pct)
+    sub(/% of statements.*/, "", pct)
+    if ($2 ~ /internal\/geom$/) { geom = pct + 0; geomSeen = 1 }
+    if ($2 ~ /internal\/wlan$/) { wlan = pct + 0; wlanSeen = 1 }
+}
+END {
+    if (!geomSeen || !wlanSeen) {
+        print "check.sh: coverage output not parsed" > "/dev/stderr"; exit 1
+    }
+    if (geom < 95.6) {
+        printf "check.sh: internal/geom coverage %.1f%% fell below the 95.6%% floor\n", geom > "/dev/stderr"; exit 1
+    }
+    if (wlan < 96.1) {
+        printf "check.sh: internal/wlan coverage %.1f%% fell below the 96.1%% floor\n", wlan > "/dev/stderr"; exit 1
+    }
+}'
+
+echo "== fuzz smoke (10s per target)"
+go test -run '^$' -fuzz 'FuzzDecodeEvents' -fuzztime 10s ./cmd/assocd
+go test -run '^$' -fuzz 'FuzzLoad' -fuzztime 10s ./internal/scenario
+go test -run '^$' -fuzz 'FuzzSolve' -fuzztime 10s ./internal/lp
 
 echo "ok: all checks passed"
