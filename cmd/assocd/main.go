@@ -14,10 +14,12 @@
 //
 // With -serve the command instead runs as a long-lived association
 // daemon: an HTTP JSON API (see serve.go) over the online incremental
-// engine in internal/engine. Ctrl-C / SIGTERM shuts it down
-// gracefully.
+// engine in internal/engine. Event batches are applied concurrently
+// across -shards spatial shard workers (default GOMAXPROCS; a
+// scenario request can override per scenario). Ctrl-C / SIGTERM shuts
+// it down gracefully.
 //
-//	assocd -serve [-addr 127.0.0.1:8700]
+//	assocd -serve [-addr 127.0.0.1:8700] [-shards N]
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -61,7 +64,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", 0, "concurrent runs with -runs (0 = all CPUs)")
 	serve := fs.Bool("serve", false, "run as a long-lived association daemon (HTTP JSON API)")
 	addr := fs.String("addr", "127.0.0.1:8700", "listen address with -serve")
+	shards := fs.Int("shards", runtime.GOMAXPROCS(0), "engine shard workers for -serve scenarios (>= 1)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *shards < 1 {
+		fmt.Fprintf(stderr, "assocd: -shards must be >= 1\n")
 		return 2
 	}
 
@@ -71,7 +80,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "assocd: %v\n", err)
 			return 1
 		}
-		if err := serveOn(ctx, ln, stderr); err != nil {
+		if err := serveOn(ctx, ln, stderr, *shards); err != nil {
 			fmt.Fprintf(stderr, "assocd: %v\n", err)
 			return 1
 		}

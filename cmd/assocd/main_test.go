@@ -50,6 +50,9 @@ func TestRunBadFlags(t *testing.T) {
 	if code := run(context.Background(), []string{"-runs", "0"}, &out, &errOut); code != 2 {
 		t.Errorf("-runs 0 exited %d, want 2", code)
 	}
+	if code := run(context.Background(), []string{"-serve", "-shards", "0"}, &out, &errOut); code != 2 {
+		t.Errorf("-shards 0 exited %d, want 2", code)
+	}
 }
 
 func TestRetryBackoff(t *testing.T) {

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -23,8 +24,10 @@ import (
 
 // server is the assocd -serve HTTP daemon: one online association
 // engine behind a JSON API. All engine access is serialized by mu —
-// the engine itself is single-threaded; the HTTP layer is the
-// concurrency boundary. Metrics live outside that boundary: the
+// the HTTP layer is the concurrency boundary. Within one request the
+// engine may still fan out: event batches go through ApplyBatch,
+// which splits the work across the engine's shard workers (-shards,
+// or per-scenario "shards"). Metrics live outside that boundary: the
 // daemon-lifetime series sit in base, each engine carries its own
 // registry of atomic instruments, and /metrics renders both without
 // ever holding mu across an engine call.
@@ -57,10 +60,14 @@ type server struct {
 	// errlog receives panic reports (default os.Stderr; tests divert
 	// it).
 	errlog io.Writer
+	// shards is the engine shard count for scenarios that do not ask
+	// for one explicitly (the -shards flag; defaults to GOMAXPROCS).
+	shards int
 
 	scenarios   *obs.Counter
 	httpLatency *obs.Histogram
 	panics      *obs.Counter
+	shardsGauge *obs.Gauge
 }
 
 // servedPaths is the label set for assocd_http_requests_total; paths
@@ -79,6 +86,7 @@ func newServer() *server {
 		base:    obs.NewRegistry(),
 		ring:    obs.NewRing(0),
 		errlog:  os.Stderr,
+		shards:  runtime.GOMAXPROCS(0),
 	}
 	// Uptime registers first so the exposition keeps opening with the
 	// family it has led with since /metrics first shipped.
@@ -87,6 +95,7 @@ func newServer() *server {
 	s.scenarios = s.base.Counter("assocd_scenarios_loaded_total", "Scenarios loaded over the daemon's lifetime.")
 	s.httpLatency = s.base.Histogram("assocd_http_request_seconds", "Wall-clock time to serve one HTTP request.", nil)
 	s.panics = s.base.Counter("assocd_panics_total", "Handler panics recovered by the HTTP middleware.")
+	s.shardsGauge = s.base.Gauge("assocd_shards", "Shard workers in the current engine (0 before a scenario loads).")
 	s.base.GaugeFunc("assocd_trace_events", "Trace events recorded over the daemon's lifetime.",
 		func() float64 { return float64(s.ring.Total()) })
 	s.base.GaugeFunc("assocd_trace_dropped", "Trace events evicted from the export ring.",
@@ -138,9 +147,12 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // client cannot pin a connection (and its goroutine) forever; the
 // write timeout still leaves room for the longest legitimate response,
 // a 30s pprof CPU profile.
-func serveOn(ctx context.Context, ln net.Listener, stderr io.Writer) error {
+func serveOn(ctx context.Context, ln net.Listener, stderr io.Writer, shards int) error {
 	h := newServer()
 	h.errlog = stderr
+	if shards > 0 {
+		h.shards = shards
+	}
 	srv := &http.Server{
 		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
@@ -183,11 +195,16 @@ type scenarioRequest struct {
 	Hysteresis    float64 `json:"hysteresis,omitempty"`
 	Mode          string  `json:"mode,omitempty"` // incremental | full (default incremental)
 	ActiveUsers   int     `json:"active_users,omitempty"`
+	// Shards overrides the daemon's -shards default for this scenario
+	// (0 = use the default; the engine clamps to 1 when the scenario
+	// has no geometry or mode is full-recompute).
+	Shards int `json:"shards,omitempty"`
 }
 
 type statusResponse struct {
 	APs         int     `json:"aps"`
 	Users       int     `json:"users"`
+	Shards      int     `json:"shards"`
 	ActiveUsers int     `json:"active_users"`
 	Satisfied   int     `json:"satisfied"`
 	TotalLoad   float64 `json:"total_load"`
@@ -258,12 +275,17 @@ func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "unknown mode %q", req.Mode)
 		return
 	}
+	shards := req.Shards
+	if shards == 0 {
+		shards = s.shards
+	}
 	eng, err := engine.New(n, engine.Config{
 		Objective:     obj,
 		EnforceBudget: req.EnforceBudget,
 		Hysteresis:    req.Hysteresis,
 		Mode:          mode,
 		ActiveUsers:   req.ActiveUsers,
+		Shards:        shards,
 		Obs:           obs.NewRegistry(),
 		Trace:         s.ring,
 	})
@@ -275,6 +297,7 @@ func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	s.eng = eng
 	s.mu.Unlock()
 	s.scenarios.Inc()
+	s.shardsGauge.Set(float64(eng.Shards()))
 	writeJSON(w, s.status(eng))
 }
 
@@ -299,20 +322,22 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, "no scenario loaded; POST /v1/scenario first")
 		return
 	}
-	resp := eventsResponse{}
-	for i, ev := range events {
-		res, err := s.eng.Apply(ev)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "event %d: %v (%d applied)", i, err, resp.Applied)
-			return
-		}
-		resp.Applied++
-		resp.Redecisions += res.Redecisions
-		resp.Moves += res.Moves
+	// ApplyBatch fans the batch out over the engine's shard workers; on
+	// error the valid prefix is applied and br.Applied is the index of
+	// the offending event — the same wire contract the old per-event
+	// loop had.
+	br, err := s.eng.ApplyBatch(events)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "event %d: %v (%d applied)", br.Applied, err, br.Applied)
+		return
 	}
-	resp.TotalLoad = s.eng.TotalLoad()
-	resp.MaxLoad = s.eng.MaxLoad()
-	writeJSON(w, resp)
+	writeJSON(w, eventsResponse{
+		Applied:     br.Applied,
+		Redecisions: br.Redecisions,
+		Moves:       br.Moves,
+		TotalLoad:   s.eng.TotalLoad(),
+		MaxLoad:     s.eng.MaxLoad(),
+	})
 }
 
 func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
@@ -331,14 +356,13 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, "no scenario loaded; POST /v1/scenario first")
 		return
 	}
-	n := s.eng.Network()
 	trace, err := engine.GenTrace(engine.TraceParams{
 		Seed:          req.Seed,
 		Events:        req.Events,
-		Area:          n.Area,
-		Users:         n.NumUsers(),
+		Area:          s.eng.Network().Area, // read-only: geometry is immutable
+		Users:         s.eng.NumUsers(),
 		InitialActive: s.eng.ActiveUsers(),
-		Sessions:      n.NumSessions(),
+		Sessions:      s.eng.NumSessions(),
 		JoinRate:      req.JoinRate,
 		LeaveRate:     req.LeaveRate,
 		MoveRate:      req.MoveRate,
@@ -355,30 +379,28 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "remap trace: %v", err)
 		return
 	}
-	resp := eventsResponse{}
-	for i, ev := range trace {
-		res, err := s.eng.Apply(ev)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "trace event %d: %v (%d applied)", i, err, resp.Applied)
-			return
-		}
-		resp.Applied++
-		resp.Redecisions += res.Redecisions
-		resp.Moves += res.Moves
+	br, err := s.eng.ApplyBatch(trace)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "trace event %d: %v (%d applied)", br.Applied, err, br.Applied)
+		return
 	}
-	resp.TotalLoad = s.eng.TotalLoad()
-	resp.MaxLoad = s.eng.MaxLoad()
-	writeJSON(w, resp)
+	writeJSON(w, eventsResponse{
+		Applied:     br.Applied,
+		Redecisions: br.Redecisions,
+		Moves:       br.Moves,
+		TotalLoad:   s.eng.TotalLoad(),
+		MaxLoad:     s.eng.MaxLoad(),
+	})
 }
 
 // remapTrace rewrites trace user ids (which index GenTrace's
 // idealized slot layout: active slots first) onto the engine's actual
 // active/free slots, preserving the trace's join/leave structure.
 func (s *server) remapTrace(trace []engine.Event) error {
-	n := s.eng.Network()
-	slot := make([]int, 0, n.NumUsers()) // slot[k] = engine user for trace slot k
+	nUsers := s.eng.NumUsers()
+	slot := make([]int, 0, nUsers) // slot[k] = engine user for trace slot k
 	var free []int
-	for u := 0; u < n.NumUsers(); u++ {
+	for u := 0; u < nUsers; u++ {
 		if s.eng.Active(u) {
 			slot = append(slot, u)
 		} else {
@@ -387,7 +409,7 @@ func (s *server) remapTrace(trace []engine.Event) error {
 	}
 	for i := range trace {
 		k := trace[i].User
-		if k < 0 || k >= n.NumUsers() {
+		if k < 0 || k >= nUsers {
 			return fmt.Errorf("trace user %d out of range", k)
 		}
 		if k < len(slot) {
@@ -436,8 +458,7 @@ func (s *server) handleAssoc(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusConflict, "no scenario loaded; POST /v1/scenario first")
 			return
 		}
-		n := s.eng.Network()
-		a, err := wlan.DecodeAssoc(body, n.NumAPs(), n.NumUsers())
+		a, err := wlan.DecodeAssoc(body, s.eng.NumAPs(), s.eng.NumUsers())
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -502,8 +523,9 @@ func (s *server) handleTraceExport(w http.ResponseWriter, r *http.Request) {
 func (s *server) status(eng *engine.Engine) statusResponse {
 	snap := eng.Snapshot()
 	return statusResponse{
-		APs:         eng.Network().NumAPs(),
-		Users:       eng.Network().NumUsers(),
+		APs:         eng.NumAPs(),
+		Users:       eng.NumUsers(),
+		Shards:      eng.Shards(),
 		ActiveUsers: eng.ActiveUsers(),
 		Satisfied:   snap.SatisfiedCount(),
 		TotalLoad:   eng.TotalLoad(),

@@ -76,6 +76,61 @@ func TestServeScenarioAndStatus(t *testing.T) {
 	if st.TotalLoad <= 0 || st.MaxLoad <= 0 {
 		t.Errorf("expected positive loads, got %+v", st)
 	}
+	if st.Shards < 1 {
+		t.Errorf("status shards = %d, want >= 1", st.Shards)
+	}
+}
+
+// TestServeShardedScenario loads a scenario with an explicit shard
+// count and checks it is honored end to end: status response, the
+// assocd_shards gauge, and event batches applied through the sharded
+// path with the same wire semantics as the serial one.
+func TestServeShardedScenario(t *testing.T) {
+	ts := testServer(t)
+	var st statusResponse
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/scenario", scenarioRequest{
+		APs: 20, Users: 50, Sessions: 3, Seed: 7, ActiveUsers: 30, Shards: 3,
+	}, &st)
+	if code != http.StatusOK {
+		t.Fatalf("POST /v1/scenario (shards=3) = %d: %s", code, raw)
+	}
+	if st.Shards != 3 {
+		t.Errorf("status shards = %d, want 3", st.Shards)
+	}
+	text := getText(t, ts.URL+"/metrics")
+	if got := metricValue(t, text, "assocd_shards"); got != 3 {
+		t.Errorf("assocd_shards = %v, want 3", got)
+	}
+
+	var ev eventsResponse
+	code, raw = doJSON(t, "POST", ts.URL+"/v1/trace", traceRequest{Seed: 11, Events: 80}, &ev)
+	if code != http.StatusOK {
+		t.Fatalf("POST /v1/trace on sharded engine = %d: %s", code, raw)
+	}
+	if ev.Applied != 80 {
+		t.Errorf("sharded trace applied %d events, want 80", ev.Applied)
+	}
+
+	// A mid-batch invalid event still reports the index and the applied
+	// prefix count, like the serial engine.
+	code, raw = doJSON(t, "POST", ts.URL+"/v1/events", []map[string]any{
+		{"kind": "ap_down", "user": -1, "ap": 3},
+		{"kind": "ap_down", "user": -1, "ap": 3},
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("invalid sharded batch = %d, want 400: %s", code, raw)
+	}
+	if !strings.Contains(raw, "event 1:") || !strings.Contains(raw, "(1 applied)") {
+		t.Errorf("sharded batch error %q lacks index/prefix info", raw)
+	}
+
+	// A negative shard count is an engine construction error → 400.
+	code, raw = doJSON(t, "POST", ts.URL+"/v1/scenario", scenarioRequest{
+		APs: 20, Users: 50, Sessions: 3, Seed: 7, Shards: -2,
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("scenario with shards=-2 = %d, want 400: %s", code, raw)
+	}
 }
 
 func TestServeEventsAndLoads(t *testing.T) {
@@ -424,7 +479,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serveOn(ctx, ln, io.Discard) }()
+	go func() { done <- serveOn(ctx, ln, io.Discard, 2) }()
 
 	url := fmt.Sprintf("http://%s/healthz", ln.Addr())
 	deadline := time.Now().Add(5 * time.Second)

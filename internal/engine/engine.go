@@ -27,7 +27,14 @@
 //     equilibrium).
 //  3. Applying the same event sequence to the same starting network
 //     yields byte-identical association snapshots at every step, for
-//     any Config.Mode.
+//     any Config.Mode — and any Config.Shards (see shard.go and
+//     DESIGN.md "Sharded engine").
+//
+// With Config.Shards > 1 the engine partitions the APs into spatially
+// independent shards (geom.Partition over the AP positions with the
+// radio range) and applies batches of events concurrently, one worker
+// per shard; shard.go holds the router, the cross-shard handoff
+// protocol, and the determinism argument.
 package engine
 
 import (
@@ -35,6 +42,7 @@ import (
 	"time"
 
 	"wlanmcast/internal/core"
+	"wlanmcast/internal/geom"
 	"wlanmcast/internal/obs"
 	"wlanmcast/internal/wlan"
 )
@@ -73,13 +81,21 @@ type Config struct {
 	MaxRedecisions int
 	// Mode selects incremental repair or the full-recompute baseline.
 	Mode Mode
+	// Shards is the number of concurrent spatial shards (0 or 1 =
+	// the serial engine). Sharding needs a geometric network and
+	// incremental mode; the engine silently clamps to 1 otherwise.
+	// Any value produces byte-identical snapshots and stats (invariant
+	// 3); more shards only buy ApplyBatch parallelism.
+	Shards int
 	// ActiveUsers, when positive, marks only the first ActiveUsers
 	// slots of the network as initially present; the rest are
 	// detached and available for UserJoin events. 0 = all users
 	// active.
 	ActiveUsers int
 	// Now supplies timestamps for the latency metrics (nil =
-	// time.Now). Decisions never depend on it.
+	// time.Now). With Shards > 1 it is called concurrently from the
+	// shard workers, so a custom clock must be safe for concurrent
+	// use. Decisions never depend on it.
 	Now func() time.Time
 	// Obs receives the engine's metrics (the assocd_* families, plus
 	// the distributed rule's algo_* families). nil gets a private
@@ -91,25 +107,74 @@ type Config struct {
 	Trace obs.Recorder
 }
 
+// netMutator is the mutation surface a shard worker applies events
+// through: the bare *wlan.Network when Shards == 1, a wlan.ShardView
+// per worker otherwise (which confines every write to the worker's
+// own shard).
+type netMutator interface {
+	MoveUser(u int, pos geom.Point) error
+	DetachUser(u int) error
+	SetUserSession(u, s int) error
+	DisableAP(a int) error
+	EnableAP(a int) error
+}
+
 // Engine is a long-lived association engine. It is not safe for
-// concurrent use; the assocd server serializes access.
+// concurrent use — the assocd server serializes access; with
+// Shards > 1 ApplyBatch fans one batch out over the shard workers
+// internally, which is the only concurrency in the engine.
 type Engine struct {
 	n    *wlan.Network
 	cfg  Config
 	rule *core.Distributed
-	tr   *wlan.Tracker
 
 	active  []bool
 	nActive int
 
-	// worklist is the pending re-decision min-heap; inList dedups.
-	worklist intHeap
-	inList   []bool
+	// Sharding state (nShards == 1: only workers[0] is set and the
+	// rest stay nil — the serial engine).
+	nShards       int
+	part          *geom.Partition
+	shardOfRegion []int
+	shardOfAP     []int32
+	// shardOfUser[u] is the shard owning user u's links and tracker
+	// row. The router updates it while routing (serial); workers only
+	// read their own users'.
+	shardOfUser []int32
+	workers     []*worker
+	// hand holds the current batch's handoff channels, indexed
+	// src*nShards+dst (nil between batches; see shard.go).
+	hand []chan handoff
 
 	reg     *obs.Registry
 	metrics metrics
 	trace   obs.Recorder
 	now     func() time.Time
+}
+
+// worker is one shard's application state: its tracker slice, its
+// repair worklist, and its mutation view. With Shards == 1 a single
+// worker owns everything and runs on the caller's goroutine.
+type worker struct {
+	e    *Engine
+	id   int
+	view netMutator
+	tr   *wlan.Tracker
+
+	// worklist is the pending re-decision min-heap; inList dedups.
+	worklist intHeap
+	inList   []bool
+
+	// dActive accumulates this worker's join/leave delta to the
+	// active-user count; the serial owner folds it into e.nActive.
+	dActive int
+	// tally buffers the batch counters so concurrent workers do not
+	// contend on the shared atomics for every event.
+	tally batchTally
+	// err is the worker's first internal error in the current batch,
+	// errGidx the batch index of the event that caused it.
+	err     error
+	errGidx int32
 }
 
 // New builds an engine over n, detaches the inactive slots, and seeds
@@ -128,6 +193,9 @@ func New(n *wlan.Network, cfg Config) (*Engine, error) {
 	if n.BasicRateOnly {
 		return nil, fmt.Errorf("engine: basic-rate-only networks are not supported (mutations can change the basic rate under a live tracker)")
 	}
+	if n.Sharded() {
+		return nil, fmt.Errorf("engine: network is already sharded")
+	}
 	if cfg.Hysteresis == 0 {
 		cfg.Hysteresis = DefaultHysteresis
 	} else if cfg.Hysteresis < 0 {
@@ -138,6 +206,20 @@ func New(n *wlan.Network, cfg Config) (*Engine, error) {
 	}
 	if cfg.ActiveUsers < 0 || cfg.ActiveUsers > n.NumUsers() {
 		return nil, fmt.Errorf("engine: ActiveUsers %d out of range for %d user slots", cfg.ActiveUsers, n.NumUsers())
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("engine: negative shard count %d", cfg.Shards)
+	}
+	// Sharding partitions by AP position and repairs incrementally per
+	// shard; without geometry there is no partition, and a full
+	// recompute is global by definition. Clamp rather than error so
+	// callers can pass one -shards value across mixed scenarios.
+	nShards := cfg.Shards
+	if nShards == 0 {
+		nShards = 1
+	}
+	if !n.Geometric() || cfg.Mode == ModeFullRecompute {
+		nShards = 1
 	}
 	reg := cfg.Obs
 	if reg == nil {
@@ -153,11 +235,11 @@ func New(n *wlan.Network, cfg Config) (*Engine, error) {
 			Obs:           reg,
 			Trace:         cfg.Trace,
 		},
-		active: make([]bool, n.NumUsers()),
-		inList: make([]bool, n.NumUsers()),
-		reg:    reg,
-		trace:  cfg.Trace,
-		now:    cfg.Now,
+		active:  make([]bool, n.NumUsers()),
+		nShards: nShards,
+		reg:     reg,
+		trace:   cfg.Trace,
+		now:     cfg.Now,
 	}
 	// Register the assocd_* families before the first distributed run
 	// so the exposition keeps its historical family order.
@@ -183,12 +265,97 @@ func New(n *wlan.Network, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.tr, err = wlan.NewTracker(n, assoc)
-	if err != nil {
+	if err := e.setupWorkers(); err != nil {
+		return nil, err
+	}
+	if err := e.seedTrackers(assoc); err != nil {
 		return nil, err
 	}
 	e.updateGauges()
 	return e, nil
+}
+
+// setupWorkers builds the shard partition and the per-shard workers.
+// With nShards == 1 the single worker mutates the bare network; with
+// more, the network flips into sharded mode and each worker gets its
+// ShardView.
+func (e *Engine) setupWorkers() error {
+	n := e.n
+	if e.nShards == 1 {
+		w := &worker{e: e, id: 0, view: n, inList: make([]bool, n.NumUsers())}
+		e.workers = []*worker{w}
+		return nil
+	}
+	apPos := make([]geom.Point, n.NumAPs())
+	for a := range apPos {
+		apPos[a] = n.APs[a].Pos
+	}
+	part, err := geom.NewPartition(apPos, n.RadioRange())
+	if err != nil {
+		return fmt.Errorf("engine: shard partition: %w", err)
+	}
+	shardOfRegion, err := part.Assign(e.nShards)
+	if err != nil {
+		return fmt.Errorf("engine: shard assignment: %w", err)
+	}
+	shardOfAP := make([]int, n.NumAPs())
+	for a := range shardOfAP {
+		shardOfAP[a] = shardOfRegion[part.RegionOfPoint(a)]
+	}
+	views, err := n.ShardViews(shardOfAP, e.nShards)
+	if err != nil {
+		return fmt.Errorf("engine: shard views: %w", err)
+	}
+	e.part = part
+	e.shardOfRegion = shardOfRegion
+	e.shardOfAP = make([]int32, len(shardOfAP))
+	for a, s := range shardOfAP {
+		e.shardOfAP[a] = int32(s)
+	}
+	e.shardOfUser = make([]int32, n.NumUsers())
+	e.workers = make([]*worker, e.nShards)
+	for s := range e.workers {
+		e.workers[s] = &worker{e: e, id: s, view: views[s], inList: make([]bool, n.NumUsers())}
+	}
+	return nil
+}
+
+// seedTrackers installs assoc into the per-shard trackers and derives
+// the user ownership map: an associated user belongs to its AP's
+// shard, an unassociated one to the shard owning the region around
+// its position (shard 0 when no AP is in range — an ownerless user
+// has no links, so any shard serves).
+func (e *Engine) seedTrackers(assoc *wlan.Assoc) error {
+	if e.nShards == 1 {
+		tr, err := wlan.NewTracker(e.n, assoc)
+		if err != nil {
+			return err
+		}
+		e.workers[0].tr = tr
+		return nil
+	}
+	for _, w := range e.workers {
+		tr, err := wlan.NewTracker(e.n, nil)
+		if err != nil {
+			return err
+		}
+		w.tr = tr
+	}
+	for u := 0; u < e.n.NumUsers(); u++ {
+		s := 0
+		if ap := assoc.APOf(u); ap != wlan.Unassociated {
+			s = int(e.shardOfAP[ap])
+			if err := e.workers[s].tr.Associate(u, ap); err != nil {
+				return err
+			}
+		} else if e.active[u] {
+			if r := e.part.RegionOf(e.n.Users[u].Pos); r >= 0 {
+				s = e.shardOfRegion[r]
+			}
+		}
+		e.shardOfUser[u] = int32(s)
+	}
+	return nil
 }
 
 // updateGauges refreshes the point-in-time gauges after any state
@@ -196,10 +363,10 @@ func New(n *wlan.Network, cfg Config) (*Engine, error) {
 // the engine lock.
 func (e *Engine) updateGauges() {
 	e.metrics.activeUsers.Set(float64(e.nActive))
-	e.metrics.apLoadTotal.Set(e.tr.TotalLoad())
-	e.metrics.apLoadMax.Set(e.tr.MaxLoad())
+	e.metrics.apLoadTotal.Set(e.TotalLoad())
+	e.metrics.apLoadMax.Set(e.MaxLoad())
 	e.metrics.apsDown.Set(float64(e.n.NumAPsDown()))
-	e.metrics.unsatisfied.Set(float64(e.nActive - e.tr.Satisfied()))
+	e.metrics.unsatisfied.Set(float64(e.nActive - e.satisfied()))
 }
 
 // Registry returns the engine's metrics registry (Config.Obs, or the
@@ -240,13 +407,44 @@ type ApplyResult struct {
 // failure returns a *InvalidEventError before any state is touched, so
 // the engine is unchanged (and the event counts in Stats.Rejected).
 func (e *Engine) Apply(ev Event) (ApplyResult, error) {
+	if e.nShards == 1 {
+		res, err := e.applyCore(ev)
+		if err != nil {
+			return res, err
+		}
+		e.updateGauges()
+		return res, nil
+	}
+	// Sharded: a single event is a one-element batch; the batch totals
+	// are exactly this event's costs.
+	start := e.now()
+	br, err := e.ApplyBatch([]Event{ev})
+	res := ApplyResult{
+		Event:       ev,
+		Redecisions: br.Redecisions,
+		Moves:       br.Moves,
+		Truncated:   br.Truncated > 0,
+		Orphaned:    br.Orphaned,
+		Elapsed:     e.now().Sub(start),
+	}
+	return res, err
+}
+
+// applyCore is the serial (Shards == 1) per-event path: validate,
+// apply, repair, account. Callers refresh the gauges afterwards —
+// per event for Apply, once per batch for ApplyBatch.
+func (e *Engine) applyCore(ev Event) (ApplyResult, error) {
+	w := e.workers[0]
 	start := e.now()
 	res := ApplyResult{Event: ev}
 	if err := e.validateEvent(ev); err != nil {
 		e.metrics.rejected.Inc()
 		return res, err
 	}
-	if err := e.applyPrimary(ev, &res); err != nil {
+	err := w.applyPrimary(ev, &res)
+	e.nActive += w.dActive
+	w.dActive = 0
+	if err != nil {
 		e.metrics.rejected.Inc()
 		return res, err
 	}
@@ -254,12 +452,11 @@ func (e *Engine) Apply(ev Event) (ApplyResult, error) {
 		if err := e.fullRepair(&res); err != nil {
 			return res, err
 		}
-	} else if err := e.repair(&res); err != nil {
+	} else if err := w.repair(&res); err != nil {
 		return res, err
 	}
 	res.Elapsed = e.now().Sub(start)
 	e.metrics.record(ev.Kind, res)
-	e.updateGauges()
 	if obs.Active(e.trace) {
 		ap := -1
 		if ev.Kind == APDown || ev.Kind == APUp {
@@ -274,70 +471,70 @@ func (e *Engine) Apply(ev Event) (ApplyResult, error) {
 // ApplyTrace applies events in order, stopping at the first error,
 // and returns the aggregate re-decision and move counts.
 func (e *Engine) ApplyTrace(events []Event) (redecisions, moves int, err error) {
-	for i, ev := range events {
-		r, err := e.Apply(ev)
-		if err != nil {
-			return redecisions, moves, fmt.Errorf("engine: event %d (%s user %d): %w", i, ev.Kind, ev.User, err)
+	br, err := e.ApplyBatch(events)
+	if err != nil {
+		if i := br.Applied; i >= 0 && i < len(events) {
+			return br.Redecisions, br.Moves, fmt.Errorf("engine: event %d (%s user %d): %w", i, events[i].Kind, events[i].User, err)
 		}
-		redecisions += r.Redecisions
-		moves += r.Moves
+		return br.Redecisions, br.Moves, err
 	}
-	return redecisions, moves, nil
+	return br.Redecisions, br.Moves, nil
 }
 
 // applyPrimary performs the event's own mutation, marking the subject
 // user and any AP whose load changed for re-decision. The event has
-// already passed validateEvent; every rate or session mutation happens
+// already passed validation; every rate or session mutation happens
 // with the subject user disassociated (invariant 1).
-func (e *Engine) applyPrimary(ev Event, res *ApplyResult) error {
+func (w *worker) applyPrimary(ev Event, res *ApplyResult) error {
+	e := w.e
 	u := ev.User
 	switch ev.Kind {
 	case UserJoin:
-		if err := e.n.SetUserSession(u, ev.Session); err != nil {
+		if err := w.view.SetUserSession(u, ev.Session); err != nil {
 			return err
 		}
-		if err := e.n.MoveUser(u, ev.Pos); err != nil {
+		if err := w.view.MoveUser(u, ev.Pos); err != nil {
 			return err
 		}
 		e.active[u] = true
-		e.nActive++
-		e.markUser(u)
+		w.dActive++
+		w.markUser(u)
 
 	case UserLeave:
-		if ap := e.tr.APOf(u); ap != wlan.Unassociated {
-			before := e.tr.APLoad(ap)
-			if err := e.tr.Disassociate(u); err != nil {
+		if ap := w.tr.APOf(u); ap != wlan.Unassociated {
+			before := w.tr.APLoad(ap)
+			if err := w.tr.Disassociate(u); err != nil {
 				return err
 			}
 			res.Moves++
 			if obs.Active(e.trace) {
 				e.trace.Record(obs.Event{Type: obs.EvHandoff, User: u, AP: wlan.Unassociated})
 			}
-			e.markAPIfChanged(ap, before)
+			w.markAPIfChanged(ap, before)
 		}
-		if err := e.n.DetachUser(u); err != nil {
+		if err := w.view.DetachUser(u); err != nil {
 			return err
 		}
 		e.active[u] = false
-		e.nActive--
+		w.dActive--
 
 	case UserMove:
-		if err := e.rehome(u, res, func() error { return e.n.MoveUser(u, ev.Pos) }); err != nil {
+		if err := w.rehome(u, res, func() error { return w.view.MoveUser(u, ev.Pos) }); err != nil {
 			return err
 		}
 
 	case DemandChange:
-		if err := e.rehome(u, res, func() error { return e.n.SetUserSession(u, ev.Session) }); err != nil {
+		if err := w.rehome(u, res, func() error { return w.view.SetUserSession(u, ev.Session) }); err != nil {
 			return err
 		}
 
 	case APDown:
-		if err := e.applyAPDown(ev, res); err != nil {
+		if err := w.applyAPDown(ev, res); err != nil {
 			return err
 		}
 
 	case APUp:
-		if err := e.applyAPUp(ev, res); err != nil {
+		if err := w.applyAPUp(ev, res); err != nil {
 			return err
 		}
 
@@ -351,12 +548,13 @@ func (e *Engine) applyPrimary(ev Event, res *ApplyResult) error {
 // change), and re-attaches u to its previous AP when that is still
 // feasible — the hysteresis rule then keeps it there unless moving is
 // a real improvement, which is what makes churn sticky.
-func (e *Engine) rehome(u int, res *ApplyResult, mutate func() error) error {
-	ap := e.tr.APOf(u)
+func (w *worker) rehome(u int, res *ApplyResult, mutate func() error) error {
+	e := w.e
+	ap := w.tr.APOf(u)
 	before := 0.0
 	if ap != wlan.Unassociated {
-		before = e.tr.APLoad(ap)
-		if err := e.tr.Disassociate(u); err != nil {
+		before = w.tr.APLoad(ap)
+		if err := w.tr.Disassociate(u); err != nil {
 			return err
 		}
 	}
@@ -364,14 +562,14 @@ func (e *Engine) rehome(u int, res *ApplyResult, mutate func() error) error {
 		// Mutations validate before touching state, so the tracker
 		// detach is the only thing to undo.
 		if ap != wlan.Unassociated {
-			if aerr := e.tr.Associate(u, ap); aerr != nil {
+			if aerr := w.tr.Associate(u, ap); aerr != nil {
 				return fmt.Errorf("%w (and could not restore association: %v)", err, aerr)
 			}
 		}
 		return err
 	}
-	if ap != wlan.Unassociated && e.n.Reachable(ap, u) && e.fitsBudget(u, ap) {
-		if err := e.tr.Associate(u, ap); err != nil {
+	if ap != wlan.Unassociated && e.n.Reachable(ap, u) && w.fitsBudget(u, ap) {
+		if err := w.tr.Associate(u, ap); err != nil {
 			return err
 		}
 	} else if ap != wlan.Unassociated {
@@ -381,20 +579,20 @@ func (e *Engine) rehome(u int, res *ApplyResult, mutate func() error) error {
 		}
 	}
 	if ap != wlan.Unassociated {
-		e.markAPIfChanged(ap, before)
+		w.markAPIfChanged(ap, before)
 	}
-	e.markUser(u)
+	w.markUser(u)
 	return nil
 }
 
 // fitsBudget reports whether u joining ap respects the budget, when
 // budget enforcement is on.
-func (e *Engine) fitsBudget(u, ap int) bool {
-	if !e.cfg.EnforceBudget {
+func (w *worker) fitsBudget(u, ap int) bool {
+	if !w.e.cfg.EnforceBudget {
 		return true
 	}
-	l, ok := e.tr.LoadIfJoin(u, ap)
-	return ok && l <= e.n.APs[ap].Budget+budgetEps
+	l, ok := w.tr.LoadIfJoin(u, ap)
+	return ok && l <= w.e.n.APs[ap].Budget+budgetEps
 }
 
 const budgetEps = 1e-9
@@ -405,21 +603,22 @@ const budgetEps = 1e-9
 // beyond the hysteresis threshold bounds the loop (each accepted move
 // decreases the objective potential by more than the threshold);
 // MaxRedecisions is a safety net.
-func (e *Engine) repair(res *ApplyResult) error {
-	for e.worklist.Len() > 0 {
+func (w *worker) repair(res *ApplyResult) error {
+	e := w.e
+	for w.worklist.Len() > 0 {
 		if res.Redecisions >= e.cfg.MaxRedecisions {
 			res.Truncated = true
-			e.drainWorklist()
+			w.drainWorklist()
 			break
 		}
-		u := e.worklist.pop()
-		e.inList[u] = false
+		u := w.worklist.pop()
+		w.inList[u] = false
 		if !e.active[u] {
 			continue
 		}
 		res.Redecisions++
-		cur := e.tr.APOf(u)
-		target, improves := e.rule.Choose(e.n, e.tr, u)
+		cur := w.tr.APOf(u)
+		target, improves := e.rule.Choose(e.n, w.tr, u)
 		moving := target != wlan.Unassociated && target != cur &&
 			(cur == wlan.Unassociated || improves)
 		if !moving {
@@ -427,10 +626,10 @@ func (e *Engine) repair(res *ApplyResult) error {
 		}
 		var beforeCur float64
 		if cur != wlan.Unassociated {
-			beforeCur = e.tr.APLoad(cur)
+			beforeCur = w.tr.APLoad(cur)
 		}
-		beforeTarget := e.tr.APLoad(target)
-		if err := e.tr.Move(u, target); err != nil {
+		beforeTarget := w.tr.APLoad(target)
+		if err := w.tr.Move(u, target); err != nil {
 			return err
 		}
 		res.Moves++
@@ -438,24 +637,26 @@ func (e *Engine) repair(res *ApplyResult) error {
 			e.trace.Record(obs.Event{Type: obs.EvHandoff, User: u, AP: target})
 		}
 		if cur != wlan.Unassociated {
-			e.markAPIfChanged(cur, beforeCur)
+			w.markAPIfChanged(cur, beforeCur)
 		}
-		e.markAPIfChanged(target, beforeTarget)
+		w.markAPIfChanged(target, beforeTarget)
 	}
 	return nil
 }
 
-// fullRepair is the ModeFullRecompute path: rebuild the association
-// from scratch with the batch sequential process.
+// fullRepair is the ModeFullRecompute path (always Shards == 1):
+// rebuild the association from scratch with the batch sequential
+// process.
 func (e *Engine) fullRepair(res *ApplyResult) error {
-	e.drainWorklist()
+	w := e.workers[0]
+	w.drainWorklist()
 	d := *e.rule
 	d.Start = nil
 	detail, err := d.RunDetailed(e.n)
 	if err != nil {
 		return err
 	}
-	e.tr, err = wlan.NewTracker(e.n, detail.Assoc)
+	w.tr, err = wlan.NewTracker(e.n, detail.Assoc)
 	if err != nil {
 		return err
 	}
@@ -465,40 +666,88 @@ func (e *Engine) fullRepair(res *ApplyResult) error {
 }
 
 // markUser queues u for re-decision.
-func (e *Engine) markUser(u int) {
-	if e.inList[u] || !e.active[u] {
+func (w *worker) markUser(u int) {
+	if w.inList[u] || !w.e.active[u] {
 		return
 	}
-	e.inList[u] = true
-	e.worklist.push(u)
+	w.inList[u] = true
+	w.worklist.push(u)
 }
 
 // markAPIfChanged queues every user covered by ap when ap's load
 // moved from before — those are exactly the users whose neighborhood
 // view changed.
-func (e *Engine) markAPIfChanged(ap int, before float64) {
-	if diff := e.tr.APLoad(ap) - before; diff < 1e-15 && diff > -1e-15 {
+func (w *worker) markAPIfChanged(ap int, before float64) {
+	if diff := w.tr.APLoad(ap) - before; diff < 1e-15 && diff > -1e-15 {
 		return
 	}
-	for _, v := range e.n.Coverage(ap) {
-		e.markUser(v)
+	for _, v := range w.e.n.Coverage(ap) {
+		w.markUser(v)
 	}
 }
 
-func (e *Engine) drainWorklist() {
-	for e.worklist.Len() > 0 {
-		e.inList[e.worklist.pop()] = false
+func (w *worker) drainWorklist() {
+	for w.worklist.Len() > 0 {
+		w.inList[w.worklist.pop()] = false
 	}
+}
+
+// trackerOf returns the tracker holding AP a's load — the single
+// tracker when serial, the owning shard's otherwise.
+func (e *Engine) trackerOf(a int) *wlan.Tracker {
+	if e.nShards == 1 {
+		return e.workers[0].tr
+	}
+	return e.workers[e.shardOfAP[a]].tr
+}
+
+// satisfied returns the number of currently associated users.
+func (e *Engine) satisfied() int {
+	s := 0
+	for _, w := range e.workers {
+		s += w.tr.Satisfied()
+	}
+	return s
 }
 
 // Snapshot returns a copy of the current association. Identical
 // (network, config, event sequence) inputs yield byte-identical
-// JSON-marshalled snapshots at every point in the stream.
-func (e *Engine) Snapshot() *wlan.Assoc { return e.tr.Assoc() }
+// JSON-marshalled snapshots at every point in the stream, for any
+// shard count.
+func (e *Engine) Snapshot() *wlan.Assoc {
+	if e.nShards == 1 {
+		return e.workers[0].tr.Assoc()
+	}
+	out := wlan.NewAssoc(e.n.NumUsers())
+	for u := 0; u < e.n.NumUsers(); u++ {
+		if ap := e.workers[e.shardOfUser[u]].tr.APOf(u); ap != wlan.Unassociated {
+			out.Associate(u, ap)
+		}
+	}
+	return out
+}
 
-// Network returns the engine's network. Callers must treat it as
-// read-only.
+// Network returns the engine's underlying network. The engine owns
+// it: callers must treat it as strictly read-only — mutating it (or
+// running another Tracker's Associate over it) silently corrupts the
+// engine's incremental state. Use Snapshot for an independent copy of
+// the association, and the NumAPs/NumUsers/NumSessions/TotalLoad/
+// MaxLoad/APLoads accessors for the common read-outs; reach for
+// Network only when a read-only API (scenario export, DecodeAssoc
+// sizing, load recomputation) genuinely needs the full model.
 func (e *Engine) Network() *wlan.Network { return e.n }
+
+// NumAPs returns the network's AP count.
+func (e *Engine) NumAPs() int { return e.n.NumAPs() }
+
+// NumUsers returns the network's user slot count.
+func (e *Engine) NumUsers() int { return e.n.NumUsers() }
+
+// NumSessions returns the network's session count.
+func (e *Engine) NumSessions() int { return e.n.NumSessions() }
+
+// Shards returns the engine's effective shard count (1 = serial).
+func (e *Engine) Shards() int { return e.nShards }
 
 // ActiveUsers returns how many user slots are currently active.
 func (e *Engine) ActiveUsers() int { return e.nActive }
@@ -506,17 +755,32 @@ func (e *Engine) ActiveUsers() int { return e.nActive }
 // Active reports whether user slot u is active.
 func (e *Engine) Active(u int) bool { return e.active[u] }
 
-// TotalLoad returns the current total multicast load.
-func (e *Engine) TotalLoad() float64 { return e.tr.TotalLoad() }
+// TotalLoad returns the current total multicast load, summed over APs
+// in ascending id order — the same float for every shard count.
+func (e *Engine) TotalLoad() float64 {
+	t := 0.0
+	for a := 0; a < e.n.NumAPs(); a++ {
+		t += e.trackerOf(a).APLoad(a)
+	}
+	return t
+}
 
 // MaxLoad returns the current maximum AP load.
-func (e *Engine) MaxLoad() float64 { return e.tr.MaxLoad() }
+func (e *Engine) MaxLoad() float64 {
+	m := 0.0
+	for a := 0; a < e.n.NumAPs(); a++ {
+		if l := e.trackerOf(a).APLoad(a); l > m {
+			m = l
+		}
+	}
+	return m
+}
 
 // APLoads returns a copy of the per-AP load vector.
 func (e *Engine) APLoads() []float64 {
 	out := make([]float64, e.n.NumAPs())
 	for ap := range out {
-		out[ap] = e.tr.APLoad(ap)
+		out[ap] = e.trackerOf(ap).APLoad(ap)
 	}
 	return out
 }
@@ -533,11 +797,9 @@ func (e *Engine) SetAssoc(a *wlan.Assoc) error {
 			return fmt.Errorf("engine: association assigns inactive user %d", u)
 		}
 	}
-	tr, err := wlan.NewTracker(e.n, a)
-	if err != nil {
+	if err := e.seedTrackers(a); err != nil {
 		return err
 	}
-	e.tr = tr
 	e.updateGauges()
 	return nil
 }

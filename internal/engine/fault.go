@@ -26,6 +26,17 @@ func (e *InvalidEventError) Error() string {
 // mutating anything. Apply rejects on the first violation, so a
 // returned *InvalidEventError implies Snapshot() is unchanged.
 func (e *Engine) validateEvent(ev Event) error {
+	return e.validateWith(ev,
+		func(u int) bool { return e.active[u] },
+		func(a int) bool { return e.n.APDown(a) })
+}
+
+// validateWith is validateEvent against a caller-supplied view of the
+// mutable state (which users are active, which APs are down). The
+// serial path passes the live state; the batch router passes an
+// overlay that accounts for the earlier events of the batch, so a
+// batch rejects exactly where replaying it serially would.
+func (e *Engine) validateWith(ev Event, activeNow func(int) bool, downNow func(int) bool) error {
 	invalid := func(format string, args ...any) error {
 		return &InvalidEventError{Event: ev, Reason: fmt.Sprintf(format, args...)}
 	}
@@ -37,7 +48,7 @@ func (e *Engine) validateEvent(ev Event) error {
 		}
 		switch ev.Kind {
 		case UserJoin:
-			if e.active[u] {
+			if activeNow(u) {
 				return invalid("user %d is already active", u)
 			}
 			if ev.Session < 0 || ev.Session >= e.n.NumSessions() {
@@ -47,18 +58,18 @@ func (e *Engine) validateEvent(ev Event) error {
 				return invalid("join needs a geometric network")
 			}
 		case UserLeave:
-			if !e.active[u] {
+			if !activeNow(u) {
 				return invalid("user %d is not active", u)
 			}
 		case UserMove:
-			if !e.active[u] {
+			if !activeNow(u) {
 				return invalid("user %d is not active", u)
 			}
 			if !e.n.Geometric() {
 				return invalid("move needs a geometric network")
 			}
 		case DemandChange:
-			if !e.active[u] {
+			if !activeNow(u) {
 				return invalid("user %d is not active", u)
 			}
 			if ev.Session < 0 || ev.Session >= e.n.NumSessions() {
@@ -69,14 +80,14 @@ func (e *Engine) validateEvent(ev Event) error {
 		if ev.AP < 0 || ev.AP >= e.n.NumAPs() {
 			return invalid("unknown AP %d", ev.AP)
 		}
-		if e.n.APDown(ev.AP) {
+		if downNow(ev.AP) {
 			return invalid("AP %d is already down", ev.AP)
 		}
 	case APUp:
 		if ev.AP < 0 || ev.AP >= e.n.NumAPs() {
 			return invalid("unknown AP %d", ev.AP)
 		}
-		if !e.n.APDown(ev.AP) {
+		if !downNow(ev.AP) {
 			return invalid("AP %d is not down", ev.AP)
 		}
 	default:
@@ -89,17 +100,20 @@ func (e *Engine) validateEvent(ev Event) error {
 // while the link still resolves, per the tracker contract), takes the
 // AP down, and queues the orphans for re-decision. Orphans no other AP
 // covers simply stay unassociated — degradation, not an error; the
-// fault_unsatisfied_users gauge tracks them.
-func (e *Engine) applyAPDown(ev Event, res *ApplyResult) error {
+// fault_unsatisfied_users gauge tracks them. In sharded mode the AP,
+// its covered users, and their tracker rows all live on this worker's
+// shard, so the whole cascade is shard-local.
+func (w *worker) applyAPDown(ev Event, res *ApplyResult) error {
+	e := w.e
 	ap := ev.AP
 	var orphans []int
 	for _, u := range e.n.Coverage(ap) {
-		if e.tr.APOf(u) == ap {
+		if w.tr.APOf(u) == ap {
 			orphans = append(orphans, u)
 		}
 	}
 	for _, u := range orphans {
-		if err := e.tr.Disassociate(u); err != nil {
+		if err := w.tr.Disassociate(u); err != nil {
 			return err
 		}
 		res.Moves++
@@ -107,15 +121,14 @@ func (e *Engine) applyAPDown(ev Event, res *ApplyResult) error {
 			e.trace.Record(obs.Event{Type: obs.EvHandoff, User: u, AP: wlan.Unassociated})
 		}
 	}
-	if err := e.n.DisableAP(ap); err != nil {
+	if err := w.view.DisableAP(ap); err != nil {
 		return err
 	}
 	res.Orphaned = len(orphans)
-	e.metrics.orphaned.Add(uint64(len(orphans)))
 	// Only the orphans can be improved by the failure: everyone else
 	// merely lost a candidate, which never makes moving attractive.
 	for _, u := range orphans {
-		e.markUser(u)
+		w.markUser(u)
 	}
 	return nil
 }
@@ -123,12 +136,12 @@ func (e *Engine) applyAPDown(ev Event, res *ApplyResult) error {
 // applyAPUp restores the AP and queues every user it now covers — the
 // recovered AP is a new candidate for all of them, and unsatisfied
 // users in its coverage re-admit through the normal repair pass.
-func (e *Engine) applyAPUp(ev Event, res *ApplyResult) error {
-	if err := e.n.EnableAP(ev.AP); err != nil {
+func (w *worker) applyAPUp(ev Event, res *ApplyResult) error {
+	if err := w.view.EnableAP(ev.AP); err != nil {
 		return err
 	}
-	for _, u := range e.n.Coverage(ev.AP) {
-		e.markUser(u)
+	for _, u := range w.e.n.Coverage(ev.AP) {
+		w.markUser(u)
 	}
 	return nil
 }

@@ -101,7 +101,64 @@ func (m *metrics) record(kind EventKind, res ApplyResult) {
 	if res.Truncated {
 		m.truncated.Inc()
 	}
+	if res.Orphaned > 0 {
+		m.orphaned.Add(uint64(res.Orphaned))
+	}
 	m.latency.Observe(res.Elapsed.Seconds())
+}
+
+// batchTally buffers one shard worker's counter increments for a
+// batch. The per-event latency histogram is observed live (its
+// buckets are atomics), but the plain counters would have every
+// worker hammering the same cache lines per event; instead each
+// worker accumulates privately and the serial batch epilogue flushes.
+type batchTally struct {
+	joins, leaves, moves, demands uint64
+	apDowns, apUps                uint64
+	orphaned                      uint64
+	redecisions                   uint64
+	handoffs                      uint64
+	truncated                     uint64
+}
+
+// count accounts one successfully applied event into the tally.
+func (t *batchTally) count(kind EventKind, res *ApplyResult) {
+	switch kind {
+	case UserJoin:
+		t.joins++
+	case UserLeave:
+		t.leaves++
+	case UserMove:
+		t.moves++
+	case DemandChange:
+		t.demands++
+	case APDown:
+		t.apDowns++
+	case APUp:
+		t.apUps++
+	}
+	t.redecisions += uint64(res.Redecisions)
+	t.handoffs += uint64(res.Moves)
+	if res.Truncated {
+		t.truncated++
+	}
+	t.orphaned += uint64(res.Orphaned)
+}
+
+// applyTally flushes a worker's tally into the live counters and
+// resets it.
+func (m *metrics) applyTally(t *batchTally) {
+	m.joins.Add(t.joins)
+	m.leaves.Add(t.leaves)
+	m.moves.Add(t.moves)
+	m.demands.Add(t.demands)
+	m.apDowns.Add(t.apDowns)
+	m.apUps.Add(t.apUps)
+	m.redecisions.Add(t.redecisions)
+	m.handoffs.Add(t.handoffs)
+	m.truncated.Add(t.truncated)
+	m.orphaned.Add(t.orphaned)
+	*t = batchTally{}
 }
 
 // snapshot copies the live counters into a Stats.

@@ -1,0 +1,212 @@
+package geom
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partition groups a fixed set of indexed points (the WLAN model's AP
+// positions) into spatially independent regions, the unit the sharded
+// online engine distributes over workers.
+//
+// Two points interact when they are within 2*radius of each other —
+// for APs with radio range `radius`, that is exactly "some user
+// position can be in range of both". A region is a connected component
+// of the interaction graph, so by construction:
+//
+//   - every point within `radius` of any query position q belongs to
+//     one single region (two such points are within 2*radius of each
+//     other, hence connected), and
+//   - influence that propagates point-to-point only across shared
+//     query positions can never leave a region.
+//
+// The components are computed conservatively on grid-cell granularity:
+// the points are bucketed into a Grid with cell side >= 2*radius, and
+// occupied cells that are 8-adjacent are unioned. Points within
+// 2*radius always land in the same or 8-adjacent cells (the Grid cell
+// invariant), so cell components over-approximate the true interaction
+// components — merging two non-interacting clusters is safe (it only
+// costs parallelism), splitting an interacting pair never happens.
+//
+// Region ids are assigned by first occurrence in row-major cell scan
+// order, so identical inputs yield identical numbering. A Partition is
+// immutable.
+type Partition struct {
+	grid   *Grid
+	pts    []Point
+	radius float64
+	// regionOfCell[c] is the region of grid cell c, -1 for empty cells.
+	regionOfCell []int32
+	// regionOfPt[i] is the region of indexed point i.
+	regionOfPt []int32
+	// sizes[r] is the number of points in region r.
+	sizes []int
+}
+
+// NewPartition indexes pts into interaction regions with the given
+// radius (must be positive and finite). The points are referenced, not
+// copied; callers must not move them afterwards.
+func NewPartition(pts []Point, radius float64) (*Partition, error) {
+	if !(radius > 0) {
+		return nil, fmt.Errorf("geom: partition radius must be positive, got %v", radius)
+	}
+	grid, err := NewGrid(pts, 2*radius)
+	if err != nil {
+		return nil, fmt.Errorf("geom: partition: %w", err)
+	}
+	p := &Partition{
+		grid:         grid,
+		pts:          pts,
+		radius:       radius,
+		regionOfCell: make([]int32, grid.NumCells()),
+		regionOfPt:   make([]int32, len(pts)),
+	}
+
+	// Union-find over occupied cells: each occupied cell unions with
+	// its occupied east / south-west / south / south-east neighbors
+	// (the symmetric closure covers all 8 directions).
+	parent := make([]int32, grid.NumCells())
+	for c := range parent {
+		parent[c] = int32(c)
+	}
+	var find func(int32) int32
+	find = func(c int32) int32 {
+		for parent[c] != c {
+			parent[c] = parent[parent[c]]
+			c = parent[c]
+		}
+		return c
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra < rb {
+				parent[rb] = ra
+			} else {
+				parent[ra] = rb
+			}
+		}
+	}
+	occupied := func(c int) bool { return grid.start[c+1] > grid.start[c] }
+	for cy := 0; cy < grid.rows; cy++ {
+		for cx := 0; cx < grid.cols; cx++ {
+			c := cy*grid.cols + cx
+			if !occupied(c) {
+				continue
+			}
+			if cx+1 < grid.cols && occupied(c+1) {
+				union(int32(c), int32(c+1))
+			}
+			if cy+1 < grid.rows {
+				for dx := -1; dx <= 1; dx++ {
+					x := cx + dx
+					if x < 0 || x >= grid.cols {
+						continue
+					}
+					if s := c + grid.cols + dx; occupied(s) {
+						union(int32(c), int32(s))
+					}
+				}
+			}
+		}
+	}
+
+	// Number regions by first occurrence in cell scan order.
+	regionOfRoot := make(map[int32]int32)
+	for c := range p.regionOfCell {
+		if !occupied(c) {
+			p.regionOfCell[c] = -1
+			continue
+		}
+		root := find(int32(c))
+		r, ok := regionOfRoot[root]
+		if !ok {
+			r = int32(len(p.sizes))
+			regionOfRoot[root] = r
+			p.sizes = append(p.sizes, 0)
+		}
+		p.regionOfCell[c] = r
+	}
+	for i, pt := range pts {
+		cx, cy := grid.cellCoords(pt)
+		r := p.regionOfCell[cy*grid.cols+cx]
+		p.regionOfPt[i] = r
+		p.sizes[r]++
+	}
+	return p, nil
+}
+
+// NumRegions returns how many regions the points form.
+func (p *Partition) NumRegions() int { return len(p.sizes) }
+
+// Radius returns the interaction radius the partition was built with.
+func (p *Partition) Radius() float64 { return p.radius }
+
+// Size returns the number of points in region r.
+func (p *Partition) Size(r int) int { return p.sizes[r] }
+
+// RegionOfPoint returns the region of indexed point i.
+func (p *Partition) RegionOfPoint(i int) int { return int(p.regionOfPt[i]) }
+
+// RegionOf returns the region that owns every indexed point within
+// `radius` of q, or -1 when no indexed point is in range. The
+// distance predicate is exactly Dist(q, pt) <= radius — byte-for-byte
+// the link predicate of a rate table whose range equals radius — so a
+// router that places q by RegionOf always agrees with link creation.
+func (p *Partition) RegionOf(q Point) int {
+	g := p.grid
+	cx, cy := g.cellCoords(q)
+	for dy := -1; dy <= 1; dy++ {
+		y := cy + dy
+		if y < 0 || y >= g.rows {
+			continue
+		}
+		for dx := -1; dx <= 1; dx++ {
+			x := cx + dx
+			if x < 0 || x >= g.cols {
+				continue
+			}
+			c := y*g.cols + x
+			for _, i := range g.ids[g.start[c]:g.start[c+1]] {
+				if p.pts[i].Dist(q) <= p.radius {
+					return int(p.regionOfCell[c])
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// Assign packs the regions onto `shards` workers with deterministic
+// greedy LPT bin-packing: regions in descending size (ties by
+// ascending region id) go to the currently lightest shard (ties to the
+// lowest shard id). The result maps region id -> shard in [0, shards).
+func (p *Partition) Assign(shards int) ([]int, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("geom: partition: need at least 1 shard, got %d", shards)
+	}
+	order := make([]int, len(p.sizes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := order[a], order[b]
+		if p.sizes[ra] != p.sizes[rb] {
+			return p.sizes[ra] > p.sizes[rb]
+		}
+		return ra < rb
+	})
+	weight := make([]int, shards)
+	out := make([]int, len(p.sizes))
+	for _, r := range order {
+		best := 0
+		for s := 1; s < shards; s++ {
+			if weight[s] < weight[best] {
+				best = s
+			}
+		}
+		out[r] = best
+		weight[best] += p.sizes[r]
+	}
+	return out, nil
+}

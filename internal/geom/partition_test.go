@@ -1,0 +1,256 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// clusteredPoints builds nClusters groups of points, cluster centers
+// separated by far, points within spread of their center.
+func clusteredPoints(rng *rand.Rand, nClusters, perCluster int, spread, far float64) []Point {
+	pts := make([]Point, 0, nClusters*perCluster)
+	for c := 0; c < nClusters; c++ {
+		cx := float64(c) * far
+		for i := 0; i < perCluster; i++ {
+			pts = append(pts, Point{
+				X: cx + rng.Float64()*spread,
+				Y: rng.Float64() * spread,
+			})
+		}
+	}
+	return pts
+}
+
+func TestPartitionRejectsBadInput(t *testing.T) {
+	pts := []Point{{X: 0, Y: 0}}
+	for _, r := range []float64{0, -5, math.NaN()} {
+		if _, err := NewPartition(pts, r); err == nil {
+			t.Errorf("NewPartition(radius=%v): want error, got nil", r)
+		}
+	}
+	// +Inf passes the positivity check but must be rejected by the
+	// grid layer (wrapped error path).
+	if _, err := NewPartition(pts, math.Inf(1)); err == nil {
+		t.Errorf("NewPartition(radius=+Inf): want error, got nil")
+	}
+	if _, err := NewPartition([]Point{{X: math.NaN(), Y: 0}}, 10); err == nil {
+		t.Errorf("NewPartition(NaN point): want error, got nil")
+	}
+}
+
+func TestPartitionEmpty(t *testing.T) {
+	p, err := NewPartition(nil, 10)
+	if err != nil {
+		t.Fatalf("NewPartition(empty): %v", err)
+	}
+	if got := p.NumRegions(); got != 0 {
+		t.Errorf("NumRegions = %d, want 0", got)
+	}
+	if got := p.RegionOf(Point{X: 3, Y: 4}); got != -1 {
+		t.Errorf("RegionOf on empty partition = %d, want -1", got)
+	}
+	asg, err := p.Assign(4)
+	if err != nil {
+		t.Fatalf("Assign on empty partition: %v", err)
+	}
+	if len(asg) != 0 {
+		t.Errorf("Assign on empty partition = %v, want empty", asg)
+	}
+}
+
+func TestPartitionClusters(t *testing.T) {
+	const radius = 100.0
+	rng := rand.New(rand.NewSource(1))
+	// Clusters spread over 300m, separated by 5000m: far beyond
+	// 2*radius even across cell rounding, so they must stay separate.
+	pts := clusteredPoints(rng, 3, 20, 300, 5000)
+	p, err := NewPartition(pts, radius)
+	if err != nil {
+		t.Fatalf("NewPartition: %v", err)
+	}
+	if got := p.NumRegions(); got != 3 {
+		t.Fatalf("NumRegions = %d, want 3", got)
+	}
+	if got := p.Radius(); got != radius {
+		t.Errorf("Radius = %v, want %v", got, radius)
+	}
+	total := 0
+	for r := 0; r < p.NumRegions(); r++ {
+		total += p.Size(r)
+	}
+	if total != len(pts) {
+		t.Errorf("region sizes sum to %d, want %d", total, len(pts))
+	}
+	for c := 0; c < 3; c++ {
+		base := p.RegionOfPoint(c * 20)
+		for i := 1; i < 20; i++ {
+			if got := p.RegionOfPoint(c*20 + i); got != base {
+				t.Errorf("cluster %d point %d: region %d, want %d", c, i, got, base)
+			}
+		}
+		for other := c + 1; other < 3; other++ {
+			if p.RegionOfPoint(other*20) == base {
+				t.Errorf("clusters %d and %d merged at separation 5000m", c, other)
+			}
+		}
+	}
+}
+
+// TestPartitionInteractionInvariant is the load-bearing property: any
+// two points within 2*radius of each other share a region, and every
+// point within radius of a query position q has region RegionOf(q).
+// The sharded engine's correctness argument reduces to exactly this.
+func TestPartitionInteractionInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		radius := 20 + rng.Float64()*200
+		n := 5 + rng.Intn(60)
+		pts := make([]Point, n)
+		for i := range pts {
+			// Mix of dense and sparse placements, including spreads
+			// that trigger the grid's cell-doubling fallback.
+			scale := []float64{500, 3000, 50000}[trial%3]
+			pts[i] = Point{X: rng.Float64() * scale, Y: rng.Float64() * scale}
+		}
+		p, err := NewPartition(pts, radius)
+		if err != nil {
+			t.Fatalf("trial %d: NewPartition: %v", trial, err)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if pts[i].Dist(pts[j]) <= 2*radius && p.RegionOfPoint(i) != p.RegionOfPoint(j) {
+					t.Fatalf("trial %d: points %d and %d within 2r in regions %d != %d",
+						trial, i, j, p.RegionOfPoint(i), p.RegionOfPoint(j))
+				}
+			}
+		}
+		for q := 0; q < 50; q++ {
+			pos := Point{X: rng.Float64()*60000 - 5000, Y: rng.Float64()*60000 - 5000}
+			reg := p.RegionOf(pos)
+			inRange := false
+			for i := range pts {
+				if pts[i].Dist(pos) <= radius {
+					inRange = true
+					if got := p.RegionOfPoint(i); got != reg {
+						t.Fatalf("trial %d: point %d in range of %v has region %d, RegionOf says %d",
+							trial, i, pos, got, reg)
+					}
+				}
+			}
+			if !inRange && reg != -1 {
+				t.Fatalf("trial %d: RegionOf(%v) = %d with no point in range", trial, pos, reg)
+			}
+		}
+	}
+}
+
+func TestPartitionRegionOfBoundaryExact(t *testing.T) {
+	const radius = 150.0
+	pts := []Point{{X: 0, Y: 0}}
+	p, err := NewPartition(pts, radius)
+	if err != nil {
+		t.Fatalf("NewPartition: %v", err)
+	}
+	// Exactly on the range circle: Dist == radius must count as
+	// in-region, matching the rate table's distance <= threshold.
+	if got := p.RegionOf(Point{X: radius, Y: 0}); got != 0 {
+		t.Errorf("RegionOf at exact radius = %d, want 0", got)
+	}
+	if got := p.RegionOf(Point{X: math.Nextafter(radius, math.Inf(1)), Y: 0}); got != -1 {
+		t.Errorf("RegionOf just past radius = %d, want -1", got)
+	}
+}
+
+func TestPartitionDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := clusteredPoints(rng, 4, 15, 400, 3000)
+	a, err := NewPartition(pts, 120)
+	if err != nil {
+		t.Fatalf("NewPartition: %v", err)
+	}
+	b, err := NewPartition(pts, 120)
+	if err != nil {
+		t.Fatalf("NewPartition: %v", err)
+	}
+	if a.NumRegions() != b.NumRegions() {
+		t.Fatalf("NumRegions differs: %d vs %d", a.NumRegions(), b.NumRegions())
+	}
+	for i := range pts {
+		if a.RegionOfPoint(i) != b.RegionOfPoint(i) {
+			t.Fatalf("point %d: region %d vs %d", i, a.RegionOfPoint(i), b.RegionOfPoint(i))
+		}
+	}
+	asgA, _ := a.Assign(3)
+	asgB, _ := b.Assign(3)
+	for r := range asgA {
+		if asgA[r] != asgB[r] {
+			t.Fatalf("region %d assigned to shard %d vs %d", r, asgA[r], asgB[r])
+		}
+	}
+}
+
+func TestPartitionAssign(t *testing.T) {
+	// Four well-separated single-point clusters with distinct sizes:
+	// sizes 4, 3, 2, 1 in region-id order.
+	var pts []Point
+	sizes := []int{4, 3, 2, 1}
+	for c, sz := range sizes {
+		for i := 0; i < sz; i++ {
+			pts = append(pts, Point{X: float64(c) * 10000, Y: float64(i)})
+		}
+	}
+	p, err := NewPartition(pts, 100)
+	if err != nil {
+		t.Fatalf("NewPartition: %v", err)
+	}
+	if p.NumRegions() != 4 {
+		t.Fatalf("NumRegions = %d, want 4", p.NumRegions())
+	}
+	for r, want := range sizes {
+		if got := p.Size(r); got != want {
+			t.Errorf("Size(%d) = %d, want %d", r, got, want)
+		}
+	}
+
+	if _, err := p.Assign(0); err == nil {
+		t.Errorf("Assign(0): want error, got nil")
+	}
+
+	one, err := p.Assign(1)
+	if err != nil {
+		t.Fatalf("Assign(1): %v", err)
+	}
+	for r, s := range one {
+		if s != 0 {
+			t.Errorf("Assign(1): region %d on shard %d, want 0", r, s)
+		}
+	}
+
+	// LPT on 2 shards: region 0 (size 4) -> shard 0; region 1
+	// (size 3) -> shard 1; region 2 (size 2) -> shard 1 (weight 3 <
+	// 4); region 3 (size 1) -> shard 0? weights now 4 vs 5 -> shard 0.
+	two, err := p.Assign(2)
+	if err != nil {
+		t.Fatalf("Assign(2): %v", err)
+	}
+	want := []int{0, 1, 1, 0}
+	for r := range want {
+		if two[r] != want[r] {
+			t.Errorf("Assign(2): region %d on shard %d, want %d (full: %v)", r, two[r], want[r], two)
+		}
+	}
+
+	// More shards than regions: each region gets its own shard in
+	// size order, and some shards stay empty.
+	six, err := p.Assign(6)
+	if err != nil {
+		t.Fatalf("Assign(6): %v", err)
+	}
+	want = []int{0, 1, 2, 3}
+	for r := range want {
+		if six[r] != want[r] {
+			t.Errorf("Assign(6): region %d on shard %d, want %d (full: %v)", r, six[r], want[r], six)
+		}
+	}
+}

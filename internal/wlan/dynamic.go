@@ -31,6 +31,9 @@ import (
 // find the candidate APs at the new position. It is only available for
 // geometric networks (NewGeometric or a geometric scenario Spec).
 func (n *Network) MoveUser(u int, pos geom.Point) error {
+	if n.sh != nil {
+		return fmt.Errorf("wlan: MoveUser on a sharded network (use a ShardView)")
+	}
 	if !n.geometric {
 		return fmt.Errorf("wlan: MoveUser on a non-geometric network")
 	}
@@ -47,7 +50,7 @@ func (n *Network) MoveUser(u int, pos geom.Point) error {
 		}
 	}
 	n.Users[u].Pos = pos
-	n.setUserLinks(u, aps, rates)
+	n.setUserLinks(u, aps, rates, -1)
 	return nil
 }
 
@@ -55,10 +58,13 @@ func (n *Network) MoveUser(u int, pos geom.Point) error {
 // every AP. The engine uses it to model users that left the network:
 // a detached user has no neighbors, so every algorithm ignores it.
 func (n *Network) DetachUser(u int) error {
+	if n.sh != nil {
+		return fmt.Errorf("wlan: DetachUser on a sharded network (use a ShardView)")
+	}
 	if u < 0 || u >= len(n.Users) {
 		return fmt.Errorf("wlan: DetachUser: unknown user %d", u)
 	}
-	n.setUserLinks(u, nil, nil)
+	n.setUserLinks(u, nil, nil, -1)
 	return nil
 }
 
@@ -80,13 +86,23 @@ func (n *Network) SetUserSession(u, s int) error {
 // Links of down APs take the physical update (their adjacency row)
 // only: the live indices and the rate multiset exclude them until
 // EnableAP restores the row wholesale.
-func (n *Network) setUserLinks(u int, aps []int, rates []radio.Mbps) {
+//
+// sh routes the rate-multiset updates: -1 means unsharded (the global
+// multiset), otherwise the calling shard's private delta account, so
+// concurrent shard workers never touch a shared map. In sharded mode
+// u's links — old and new — are all owned by shard sh, so every
+// adjacency row touched here is shard-local too.
+func (n *Network) setUserLinks(u int, aps []int, rates []radio.Mbps, sh int) {
 	oldAPs, oldRates := n.neighborAPs[u], n.nbrRates[u]
-	if n.numDown > 0 {
+	if (sh < 0 && n.numDown > 0) || (sh >= 0 && len(n.sh.accts[sh].downAPs) > 0) {
 		// The live list omits down APs, but the diff below must see the
 		// full physical set or it would re-add a link that already
 		// exists in a dark AP's row.
-		oldAPs, oldRates = n.physLinks(u)
+		oldAPs, oldRates = n.physLinks(u, sh)
+	}
+	var delta map[radio.Mbps]int
+	if sh >= 0 {
+		delta = n.sh.accts[sh].rateDelta
 	}
 	rateSetDirty := false
 	i, j := 0, 0
@@ -97,7 +113,11 @@ func (n *Network) setUserLinks(u int, aps []int, rates []radio.Mbps) {
 			a := oldAPs[i]
 			n.adjUsers[a], n.adjRates[a] = removePair(n.adjUsers[a], n.adjRates[a], u)
 			if !n.APDown(a) {
-				rateSetDirty = n.decRate(oldRates[i]) || rateSetDirty
+				if delta != nil {
+					delta[oldRates[i]]--
+				} else {
+					rateSetDirty = n.decRate(oldRates[i]) || rateSetDirty
+				}
 			}
 			i++
 		case i == len(oldAPs) || aps[j] < oldAPs[i]:
@@ -105,7 +125,11 @@ func (n *Network) setUserLinks(u int, aps []int, rates []radio.Mbps) {
 			a := aps[j]
 			n.adjUsers[a], n.adjRates[a] = insertPair(n.adjUsers[a], n.adjRates[a], u, rates[j])
 			if !n.APDown(a) {
-				rateSetDirty = n.incRate(rates[j]) || rateSetDirty
+				if delta != nil {
+					delta[rates[j]]++
+				} else {
+					rateSetDirty = n.incRate(rates[j]) || rateSetDirty
+				}
 			}
 			j++
 		default:
@@ -114,8 +138,13 @@ func (n *Network) setUserLinks(u int, aps []int, rates []radio.Mbps) {
 			if oldRates[i] != rates[j] {
 				setPairRate(n.adjUsers[a], n.adjRates[a], u, rates[j])
 				if !n.APDown(a) {
-					rateSetDirty = n.decRate(oldRates[i]) || rateSetDirty
-					rateSetDirty = n.incRate(rates[j]) || rateSetDirty
+					if delta != nil {
+						delta[oldRates[i]]--
+						delta[rates[j]]++
+					} else {
+						rateSetDirty = n.decRate(oldRates[i]) || rateSetDirty
+						rateSetDirty = n.incRate(rates[j]) || rateSetDirty
+					}
 				}
 			}
 			i++
@@ -140,16 +169,31 @@ func (n *Network) setUserLinks(u int, aps []int, rates []radio.Mbps) {
 // physLinks returns user u's full physical link set — the live list
 // merged with any links sitting in down APs' adjacency rows — as
 // freshly allocated sorted slices. O(down APs x log coverage).
-func (n *Network) physLinks(u int) ([]int, []radio.Mbps) {
+// sh >= 0 restricts the dark-AP scan to that shard's down list (a
+// sharded user's links never leave its shard); -1 scans all down APs.
+func (n *Network) physLinks(u int, sh int) ([]int, []radio.Mbps) {
 	var darkAPs []int
 	var darkRates []radio.Mbps
-	for a, d := range n.down {
-		if !d {
-			continue
-		}
+	scanDark := func(a int) {
 		if i := sort.SearchInts(n.adjUsers[a], u); i < len(n.adjUsers[a]) && n.adjUsers[a][i] == u {
 			darkAPs = append(darkAPs, a)
 			darkRates = append(darkRates, n.adjRates[a][i])
+		}
+	}
+	if sh >= 0 {
+		// A sharded user's links never leave its shard, so only the
+		// shard's own down list can hold dark links — and scanning it
+		// keeps concurrent workers off other shards' flags.
+		for _, a := range n.sh.accts[sh].downAPs {
+			scanDark(a)
+		}
+	} else {
+		// The down flags stay accurate in sharded mode too, so serial
+		// merged reads (sh == -1) can scan them directly.
+		for a, d := range n.down {
+			if d {
+				scanDark(a)
+			}
 		}
 	}
 	live, liveRates := n.neighborAPs[u], n.nbrRates[u]

@@ -1,0 +1,240 @@
+package wlan
+
+import (
+	"fmt"
+
+	"wlanmcast/internal/geom"
+	"wlanmcast/internal/radio"
+)
+
+// Shard-local views.
+//
+// The sharded online engine (internal/engine) partitions the APs into
+// spatially independent shards — every user's candidate APs lie in a
+// single shard (the geom.Partition invariant) — and applies events
+// from different shards on concurrent goroutines over ONE shared
+// Network. That is safe for the per-entity state (a user's links, an
+// AP's adjacency row and down flag are touched only by their owning
+// shard), but the network also keeps two global accumulators that
+// every mutation updates: the live rate multiset behind
+// RateSet/BasicRate, and the down-AP count behind NumAPsDown. In
+// sharded mode those move into per-shard accounts that serial readers
+// merge on demand.
+//
+// Protocol:
+//
+//   - ShardViews flips the network into sharded mode and returns one
+//     ShardView per shard. From then on the bare mutators (MoveUser,
+//     DetachUser, DisableAP, EnableAP) refuse to run; each shard's
+//     worker mutates exclusively through its own view.
+//   - Concurrent view mutations are safe iff the shard assignment
+//     respects the partition invariant: ShardViews validates that
+//     every user's physical links land in one shard, and
+//     ShardView.MoveUser re-checks each candidate AP at the new
+//     position, so a routing bug fails loudly instead of corrupting
+//     a neighboring shard.
+//   - The merged read accessors (RateSet, BasicRate, NumAPsDown,
+//     DownAPs, NumLinks) and everything else that spans shards are
+//     serial-only: call them when no view mutation is in flight
+//     (the engine does so between batches).
+type shardState struct {
+	// shardOfAP[a] is the shard that owns AP a.
+	shardOfAP []int32
+	// accts[s] is shard s's private accounting.
+	accts []shardAcct
+}
+
+// shardAcct is one shard's slice of the global accumulators. Only the
+// owning shard's goroutine touches it during a batch.
+type shardAcct struct {
+	// rateDelta is this shard's delta against the rateCount baseline
+	// frozen at ShardViews time (counts may go negative per shard; the
+	// merged sum never does).
+	rateDelta map[radio.Mbps]int
+	// downAPs is the ascending list of this shard's down APs.
+	downAPs []int
+}
+
+// ShardView is one shard's mutation handle onto a sharded Network.
+// It is value-copyable; all state lives in the Network.
+type ShardView struct {
+	n  *Network
+	sh int
+}
+
+// ShardViews switches n into sharded mode under the given AP→shard
+// assignment and returns the per-shard mutation views. It validates
+// the partition invariant — every user's physical links must fall in
+// exactly one shard — and refuses basic-rate-only networks (their
+// tracked loads depend on the global basic rate, which concurrent
+// mutation would invalidate). Sharding is one-way and happens while
+// the caller is still serial.
+func (n *Network) ShardViews(shardOfAP []int, nShards int) ([]ShardView, error) {
+	if n.sh != nil {
+		return nil, fmt.Errorf("wlan: network is already sharded")
+	}
+	if n.BasicRateOnly {
+		return nil, fmt.Errorf("wlan: cannot shard a basic-rate-only network")
+	}
+	if nShards < 1 {
+		return nil, fmt.Errorf("wlan: need at least 1 shard, got %d", nShards)
+	}
+	if len(shardOfAP) != len(n.APs) {
+		return nil, fmt.Errorf("wlan: shard assignment covers %d APs, network has %d", len(shardOfAP), len(n.APs))
+	}
+	asg := make([]int32, len(shardOfAP))
+	for a, s := range shardOfAP {
+		if s < 0 || s >= nShards {
+			return nil, fmt.Errorf("wlan: AP %d assigned to shard %d, want [0,%d)", a, s, nShards)
+		}
+		asg[a] = int32(s)
+	}
+	for u := range n.Users {
+		aps, _ := n.physLinks(u, -1)
+		for _, a := range aps {
+			if asg[a] != asg[aps[0]] {
+				return nil, fmt.Errorf("wlan: user %d links APs %d (shard %d) and %d (shard %d): partition invariant violated",
+					u, aps[0], asg[aps[0]], a, asg[a])
+			}
+		}
+	}
+	// Preallocate the down array: workers read n.down != nil
+	// concurrently, so the slice header must never change again.
+	if n.down == nil {
+		n.down = make([]bool, len(n.APs))
+	}
+	accts := make([]shardAcct, nShards)
+	for s := range accts {
+		accts[s].rateDelta = make(map[radio.Mbps]int)
+	}
+	for a, d := range n.down {
+		if d {
+			s := asg[a]
+			accts[s].downAPs = append(accts[s].downAPs, a)
+		}
+	}
+	n.sh = &shardState{shardOfAP: asg, accts: accts}
+	views := make([]ShardView, nShards)
+	for s := range views {
+		views[s] = ShardView{n: n, sh: s}
+	}
+	return views, nil
+}
+
+// Sharded reports whether the network is in sharded mode.
+func (n *Network) Sharded() bool { return n.sh != nil }
+
+// APShard returns the shard owning AP a (0 when not sharded).
+func (n *Network) APShard(a int) int {
+	if n.sh == nil {
+		return 0
+	}
+	return int(n.sh.shardOfAP[a])
+}
+
+// Shard returns the view's shard index.
+func (v ShardView) Shard() int { return v.sh }
+
+// Network returns the underlying shared network (serial accessors
+// only from worker goroutines; see the package contract above).
+func (v ShardView) Network() *Network { return v.n }
+
+// MoveUser is the shard-scoped Network.MoveUser. It additionally
+// verifies that every candidate AP at the new position belongs to this
+// view's shard, so a cross-shard routing bug errors out before any
+// state is shared-written.
+func (v ShardView) MoveUser(u int, pos geom.Point) error {
+	n := v.n
+	if !n.geometric {
+		return fmt.Errorf("wlan: MoveUser on a non-geometric network")
+	}
+	if u < 0 || u >= len(n.Users) {
+		return fmt.Errorf("wlan: MoveUser: unknown user %d", u)
+	}
+	cand := n.grid.Near(pos, nil)
+	aps := cand[:0]
+	rates := make([]radio.Mbps, 0, len(cand))
+	for _, a := range cand {
+		if r, ok := n.table.RateFor(n.APs[a].Pos.Dist(pos)); ok {
+			if int(n.sh.shardOfAP[a]) != v.sh {
+				return fmt.Errorf("wlan: MoveUser: user %d at %v reaches AP %d of shard %d, routed to shard %d",
+					u, pos, a, n.sh.shardOfAP[a], v.sh)
+			}
+			aps = append(aps, a)
+			rates = append(rates, r)
+		}
+	}
+	n.Users[u].Pos = pos
+	n.setUserLinks(u, aps, rates, v.sh)
+	return nil
+}
+
+// DetachUser is the shard-scoped Network.DetachUser. The user's links
+// must live in this shard (they do when the engine routes by owner).
+func (v ShardView) DetachUser(u int) error {
+	if u < 0 || u >= len(v.n.Users) {
+		return fmt.Errorf("wlan: DetachUser: unknown user %d", u)
+	}
+	v.n.setUserLinks(u, nil, nil, v.sh)
+	return nil
+}
+
+// SetUserSession is the shard-scoped Network.SetUserSession.
+func (v ShardView) SetUserSession(u, s int) error {
+	n := v.n
+	if u < 0 || u >= len(n.Users) {
+		return fmt.Errorf("wlan: SetUserSession: unknown user %d", u)
+	}
+	if s < 0 || s >= len(n.Sessions) {
+		return fmt.Errorf("wlan: SetUserSession: unknown session %d", s)
+	}
+	n.Users[u].Session = s
+	return nil
+}
+
+// DisableAP is the shard-scoped Network.DisableAP; a must belong to
+// this shard.
+func (v ShardView) DisableAP(a int) error {
+	if err := v.checkOwnAP("DisableAP", a); err != nil {
+		return err
+	}
+	return v.n.disableAP(a, v.sh)
+}
+
+// EnableAP is the shard-scoped Network.EnableAP; a must belong to
+// this shard.
+func (v ShardView) EnableAP(a int) error {
+	if err := v.checkOwnAP("EnableAP", a); err != nil {
+		return err
+	}
+	return v.n.enableAP(a, v.sh)
+}
+
+func (v ShardView) checkOwnAP(op string, a int) error {
+	if a < 0 || a >= len(v.n.APs) {
+		return fmt.Errorf("wlan: %s: unknown AP %d", op, a)
+	}
+	if got := int(v.n.sh.shardOfAP[a]); got != v.sh {
+		return fmt.Errorf("wlan: %s: AP %d belongs to shard %d, not %d", op, a, got, v.sh)
+	}
+	return nil
+}
+
+// mergedRateCounts folds every shard's delta over the baseline
+// multiset. Serial-only; O(shards x distinct rates), i.e. tiny.
+func (n *Network) mergedRateCounts() map[radio.Mbps]int {
+	out := make(map[radio.Mbps]int, len(n.rateCount))
+	for r, c := range n.rateCount {
+		out[r] = c
+	}
+	for s := range n.sh.accts {
+		for r, d := range n.sh.accts[s].rateDelta {
+			if c := out[r] + d; c != 0 {
+				out[r] = c
+			} else {
+				delete(out, r)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+package wlan
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wlanmcast/internal/geom"
+	"wlanmcast/internal/radio"
+)
+
+// twoClusterNet builds a geometric network with two AP/user clusters
+// separated far beyond twice the radio range, so {cluster 0} and
+// {cluster 1} are a valid two-shard partition. Returns the network and
+// the AP→shard assignment. Users 0..usersPer-1 live in cluster 0,
+// the rest in cluster 1.
+func twoClusterNet(t *testing.T, seed int64, apsPer, usersPer int) (*Network, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	table := radio.Table1()
+	const spread = 400.0
+	const gap = 5000.0
+	var apPos, userPos []geom.Point
+	var userSess []int
+	for c := 0; c < 2; c++ {
+		off := float64(c) * gap
+		for i := 0; i < apsPer; i++ {
+			apPos = append(apPos, geom.Point{X: off + rng.Float64()*spread, Y: rng.Float64() * spread})
+		}
+		for i := 0; i < usersPer; i++ {
+			userPos = append(userPos, geom.Point{X: off + rng.Float64()*spread, Y: rng.Float64() * spread})
+			userSess = append(userSess, rng.Intn(2))
+		}
+	}
+	sessions := []Session{{Rate: 2}, {Rate: 4}}
+	area := geom.Rect{Width: gap + spread, Height: spread}
+	n, err := NewGeometric(area, apPos, userPos, userSess, sessions, table, DefaultBudget)
+	if err != nil {
+		t.Fatalf("NewGeometric: %v", err)
+	}
+	asg := make([]int, len(apPos))
+	for a := apsPer; a < 2*apsPer; a++ {
+		asg[a] = 1
+	}
+	return n, asg
+}
+
+// clusterPoint returns a random position inside cluster c's spread.
+func clusterPoint(rng *rand.Rand, c int) geom.Point {
+	return geom.Point{X: float64(c)*5000 + rng.Float64()*400, Y: rng.Float64() * 400}
+}
+
+func TestShardViewsValidation(t *testing.T) {
+	n, asg := twoClusterNet(t, 1, 6, 20)
+
+	if _, err := n.ShardViews(asg, 0); err == nil {
+		t.Errorf("ShardViews(nShards=0): want error")
+	}
+	if _, err := n.ShardViews(asg[:3], 2); err == nil {
+		t.Errorf("ShardViews(short assignment): want error")
+	}
+	bad := append([]int(nil), asg...)
+	bad[0] = 7
+	if _, err := n.ShardViews(bad, 2); err == nil {
+		t.Errorf("ShardViews(out-of-range shard): want error")
+	}
+	// Splitting one cluster across shards breaks the partition
+	// invariant: some user reaches APs of both halves.
+	split := append([]int(nil), asg...)
+	split[0] = 1
+	if _, err := n.ShardViews(split, 2); err == nil {
+		t.Errorf("ShardViews(invariant-violating assignment): want error")
+	}
+
+	views, err := n.ShardViews(asg, 2)
+	if err != nil {
+		t.Fatalf("ShardViews: %v", err)
+	}
+	if len(views) != 2 {
+		t.Fatalf("got %d views, want 2", len(views))
+	}
+	if !n.Sharded() {
+		t.Errorf("Sharded() = false after ShardViews")
+	}
+	if views[1].Shard() != 1 || views[1].Network() != n {
+		t.Errorf("view 1 identity wrong")
+	}
+	if got := n.APShard(6); got != 1 {
+		t.Errorf("APShard(6) = %d, want 1", got)
+	}
+	if _, err := n.ShardViews(asg, 2); err == nil {
+		t.Errorf("double ShardViews: want error")
+	}
+
+	// Bare mutators refuse while sharded.
+	if err := n.MoveUser(0, clusterPoint(rand.New(rand.NewSource(2)), 0)); err == nil {
+		t.Errorf("bare MoveUser on sharded network: want error")
+	}
+	if err := n.DetachUser(0); err == nil {
+		t.Errorf("bare DetachUser on sharded network: want error")
+	}
+	if err := n.DisableAP(0); err == nil {
+		t.Errorf("bare DisableAP on sharded network: want error")
+	}
+	if err := n.EnableAP(0); err == nil {
+		t.Errorf("bare EnableAP on sharded network: want error")
+	}
+}
+
+func TestShardViewsRefusesBasicRateOnly(t *testing.T) {
+	n, asg := twoClusterNet(t, 3, 4, 10)
+	n.BasicRateOnly = true
+	if _, err := n.ShardViews(asg, 2); err == nil {
+		t.Errorf("ShardViews on BasicRateOnly network: want error")
+	}
+}
+
+func TestShardViewCrossShardGuards(t *testing.T) {
+	n, asg := twoClusterNet(t, 4, 6, 20)
+	views, err := n.ShardViews(asg, 2)
+	if err != nil {
+		t.Fatalf("ShardViews: %v", err)
+	}
+	rng := rand.New(rand.NewSource(5))
+
+	// Moving a user to the OTHER cluster through the wrong view must
+	// fail the candidate ownership check.
+	if err := views[0].MoveUser(0, clusterPoint(rng, 1)); err == nil {
+		t.Errorf("cross-shard MoveUser through shard 0 view: want error")
+	}
+	if err := views[0].MoveUser(-1, clusterPoint(rng, 0)); err == nil {
+		t.Errorf("MoveUser(unknown user): want error")
+	}
+	if err := views[0].DetachUser(-1); err == nil {
+		t.Errorf("DetachUser(unknown user): want error")
+	}
+	if err := views[0].SetUserSession(-1, 0); err == nil {
+		t.Errorf("SetUserSession(unknown user): want error")
+	}
+	if err := views[0].SetUserSession(0, 99); err == nil {
+		t.Errorf("SetUserSession(unknown session): want error")
+	}
+	if err := views[0].DisableAP(6); err == nil {
+		t.Errorf("DisableAP of other shard's AP: want error")
+	}
+	if err := views[0].DisableAP(-1); err == nil {
+		t.Errorf("DisableAP(unknown AP): want error")
+	}
+	if err := views[0].EnableAP(6); err == nil {
+		t.Errorf("EnableAP of other shard's AP: want error")
+	}
+	if err := views[1].SetUserSession(25, 1); err != nil {
+		t.Errorf("SetUserSession via owner view: %v", err)
+	}
+}
+
+// TestShardViewEquivalence is the wlan-layer differential: a random
+// mix of moves (including cross-cluster rehomes), detaches, session
+// switches, and AP failures applied through ShardViews must leave the
+// network byte-equal — links, rate set, basic rate, fault state — to
+// the same operations applied through the bare API on an identically
+// built network.
+func TestShardViewEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		const apsPer, usersPer = 6, 24
+		bare, _ := twoClusterNet(t, 10+seed, apsPer, usersPer)
+		sharded, asg := twoClusterNet(t, 10+seed, apsPer, usersPer)
+		views, err := sharded.ShardViews(asg, 2)
+		if err != nil {
+			t.Fatalf("seed %d: ShardViews: %v", seed, err)
+		}
+
+		// cluster[u] tracks which cluster each user currently lives
+		// in, so ops route through the owning view.
+		cluster := make([]int, 2*usersPer)
+		for u := usersPer; u < 2*usersPer; u++ {
+			cluster[u] = 1
+		}
+		downAt := make([]bool, 2*apsPer)
+
+		rng := rand.New(rand.NewSource(100 + seed))
+		for step := 0; step < 300; step++ {
+			switch op := rng.Intn(10); {
+			case op < 4: // same-cluster move
+				u := rng.Intn(2 * usersPer)
+				pos := clusterPoint(rng, cluster[u])
+				if err := bare.MoveUser(u, pos); err != nil {
+					t.Fatalf("seed %d step %d: bare MoveUser: %v", seed, step, err)
+				}
+				if err := views[cluster[u]].MoveUser(u, pos); err != nil {
+					t.Fatalf("seed %d step %d: view MoveUser: %v", seed, step, err)
+				}
+			case op < 6: // cross-cluster move: detach at src, move at dst
+				u := rng.Intn(2 * usersPer)
+				dst := 1 - cluster[u]
+				pos := clusterPoint(rng, dst)
+				if err := bare.MoveUser(u, pos); err != nil {
+					t.Fatalf("seed %d step %d: bare cross MoveUser: %v", seed, step, err)
+				}
+				if err := views[cluster[u]].DetachUser(u); err != nil {
+					t.Fatalf("seed %d step %d: view DetachUser: %v", seed, step, err)
+				}
+				if err := views[dst].MoveUser(u, pos); err != nil {
+					t.Fatalf("seed %d step %d: view arrive MoveUser: %v", seed, step, err)
+				}
+				cluster[u] = dst
+			case op < 7: // detach on both
+				u := rng.Intn(2 * usersPer)
+				if err := bare.DetachUser(u); err != nil {
+					t.Fatalf("seed %d step %d: bare DetachUser: %v", seed, step, err)
+				}
+				if err := views[cluster[u]].DetachUser(u); err != nil {
+					t.Fatalf("seed %d step %d: view DetachUser: %v", seed, step, err)
+				}
+			case op < 8: // session switch
+				u := rng.Intn(2 * usersPer)
+				s := rng.Intn(2)
+				if err := bare.SetUserSession(u, s); err != nil {
+					t.Fatalf("seed %d step %d: bare SetUserSession: %v", seed, step, err)
+				}
+				if err := views[cluster[u]].SetUserSession(u, s); err != nil {
+					t.Fatalf("seed %d step %d: view SetUserSession: %v", seed, step, err)
+				}
+			default: // toggle an AP
+				a := rng.Intn(2 * apsPer)
+				sh := 0
+				if a >= apsPer {
+					sh = 1
+				}
+				if downAt[a] {
+					if err := bare.EnableAP(a); err != nil {
+						t.Fatalf("seed %d step %d: bare EnableAP: %v", seed, step, err)
+					}
+					if err := views[sh].EnableAP(a); err != nil {
+						t.Fatalf("seed %d step %d: view EnableAP: %v", seed, step, err)
+					}
+				} else {
+					if err := bare.DisableAP(a); err != nil {
+						t.Fatalf("seed %d step %d: bare DisableAP: %v", seed, step, err)
+					}
+					if err := views[sh].DisableAP(a); err != nil {
+						t.Fatalf("seed %d step %d: view DisableAP: %v", seed, step, err)
+					}
+				}
+				downAt[a] = !downAt[a]
+			}
+		}
+
+		// Full structural comparison.
+		if got, want := sharded.NumLinks(), bare.NumLinks(); got != want {
+			t.Errorf("seed %d: NumLinks %d != %d", seed, got, want)
+		}
+		if got, want := sharded.RateSet(), bare.RateSet(); !reflect.DeepEqual(got, want) {
+			t.Errorf("seed %d: RateSet %v != %v", seed, got, want)
+		}
+		if got, want := sharded.BasicRate(), bare.BasicRate(); got != want {
+			t.Errorf("seed %d: BasicRate %v != %v", seed, got, want)
+		}
+		if got, want := sharded.NumAPsDown(), bare.NumAPsDown(); got != want {
+			t.Errorf("seed %d: NumAPsDown %d != %d", seed, got, want)
+		}
+		if got, want := sharded.DownAPs(), bare.DownAPs(); !reflect.DeepEqual(got, want) {
+			t.Errorf("seed %d: DownAPs %v != %v", seed, got, want)
+		}
+		for u := 0; u < 2*usersPer; u++ {
+			if got, want := sharded.NeighborAPs(u), bare.NeighborAPs(u); !reflect.DeepEqual(got, want) {
+				t.Errorf("seed %d: NeighborAPs(%d) %v != %v", seed, u, got, want)
+			}
+		}
+		for a := 0; a < 2*apsPer; a++ {
+			if got, want := sharded.Coverage(a), bare.Coverage(a); !reflect.DeepEqual(got, want) {
+				t.Errorf("seed %d: Coverage(%d) %v != %v", seed, a, got, want)
+			}
+			if got, want := sharded.APDown(a), bare.APDown(a); got != want {
+				t.Errorf("seed %d: APDown(%d) %v != %v", seed, a, got, want)
+			}
+			for u := 0; u < 2*usersPer; u++ {
+				if got, want := sharded.LinkRate(a, u), bare.LinkRate(a, u); got != want {
+					t.Errorf("seed %d: LinkRate(%d,%d) %v != %v", seed, a, u, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRadioRange(t *testing.T) {
+	n, _ := twoClusterNet(t, 20, 4, 8)
+	if got, want := n.RadioRange(), radio.Table1().Range(); got != want {
+		t.Errorf("RadioRange = %v, want %v", got, want)
+	}
+	flat, err := NewFromRates([][]radio.Mbps{{6, 0}, {0, 12}}, []int{0, 0}, []Session{{Rate: 1}}, DefaultBudget)
+	if err != nil {
+		t.Fatalf("NewFromRates: %v", err)
+	}
+	if got := flat.RadioRange(); got != 0 {
+		t.Errorf("RadioRange on explicit-rate network = %v, want 0", got)
+	}
+}

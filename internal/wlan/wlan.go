@@ -129,10 +129,17 @@ type Network struct {
 	// basicRate is the lowest rate of the rate set.
 	basicRate radio.Mbps
 	// down[a] marks AP a as failed (fault.go); nil until the first
-	// DisableAP. Down APs keep their physical adjacency rows but are
-	// excluded from every derived index and accessor.
+	// DisableAP (preallocated when the network shards). Down APs keep
+	// their physical adjacency rows but are excluded from every
+	// derived index and accessor.
 	down    []bool
 	numDown int
+
+	// sh is non-nil while the network is in sharded mode (shard.go):
+	// per-shard workers mutate through ShardViews, and the global
+	// accumulators (rate multiset, down count) split into per-shard
+	// accounts that serial readers merge.
+	sh *shardState
 }
 
 // parallelChunk is the per-task user count for parallel construction:
@@ -448,7 +455,9 @@ func (n *Network) TxRate(a, u int) (radio.Mbps, bool) {
 }
 
 // RateSet returns the distinct usable rates in ascending order. In
-// basic-rate-only mode that is just the basic rate. The slice is a copy.
+// basic-rate-only mode that is just the basic rate. The slice is a
+// copy. Serial-only on a sharded network (it merges the per-shard
+// rate accounts).
 func (n *Network) RateSet() []radio.Mbps {
 	if n.BasicRateOnly {
 		if n.basicRate == 0 {
@@ -456,11 +465,32 @@ func (n *Network) RateSet() []radio.Mbps {
 		}
 		return []radio.Mbps{n.basicRate}
 	}
+	if n.sh != nil {
+		merged := n.mergedRateCounts()
+		out := make([]radio.Mbps, 0, len(merged))
+		for r := range merged {
+			out = append(out, r)
+		}
+		sortRates(out)
+		return out
+	}
 	return append([]radio.Mbps(nil), n.rateSet...)
 }
 
-// BasicRate returns the lowest usable rate (0 if no link exists at all).
-func (n *Network) BasicRate() radio.Mbps { return n.basicRate }
+// BasicRate returns the lowest usable rate (0 if no link exists at
+// all). Serial-only on a sharded network.
+func (n *Network) BasicRate() radio.Mbps {
+	if n.sh != nil {
+		var min radio.Mbps
+		for r, c := range n.mergedRateCounts() {
+			if c > 0 && (min == 0 || r < min) {
+				min = r
+			}
+		}
+		return min
+	}
+	return n.basicRate
+}
 
 // NeighborAPs returns the APs within range of user u, ascending by ID.
 // The slice is shared; callers must not modify it.
@@ -488,6 +518,17 @@ func (n *Network) Coverable(u int) bool { return len(n.neighborAPs[u]) > 0 }
 // Geometric reports whether node positions are meaningful (the network
 // was built from geometry rather than an explicit rate matrix).
 func (n *Network) Geometric() bool { return n.geometric }
+
+// RadioRange returns the maximum radio range in meters of the rate
+// table the network was built from (0 for explicit-rate networks).
+// Any AP-user pair farther apart than this has no link; the sharded
+// engine derives its spatial partition from it.
+func (n *Network) RadioRange() float64 {
+	if n.table == nil {
+		return 0
+	}
+	return n.table.Range()
+}
 
 // Distance returns the AP-user distance in meters for geometric
 // networks (0 otherwise).

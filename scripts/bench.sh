@@ -7,10 +7,16 @@
 # Runs the BenchmarkEngine* set (internal/engine/bench_test.go) and
 # writes BENCH_engine.json (or the given path): one record per
 # benchmark with ns/op, ns/event, B/op and allocs/op, plus the
-# incremental-vs-full speedup. The figure-quality comparison of the
-# two modes lives in the ext-churn experiment; this script owns the
-# wall-clock side, which has no place in the byte-deterministic
-# figure pipeline.
+# incremental-vs-full speedup and the events/sec-vs-shards curve
+# from the BenchmarkEngineShards{1,2,4,8} family (ApplyBatch on a
+# 100k-user, 4800-AP, 16-zone campus). The recorded gomaxprocs makes
+# the curve honest: sharded throughput can only exceed the serial
+# engine when the host has real cores — on a single-CPU box the
+# S>1 points pay goroutine-scheduling overhead for no parallelism,
+# and the JSON shows exactly that rather than an extrapolation.
+# The figure-quality comparison of the two modes lives in the
+# ext-churn experiment; this script owns the wall-clock side, which
+# has no place in the byte-deterministic figure pipeline.
 #
 # It also writes BENCH_fault.json next to the first output: the
 # incremental-vs-full repair cost of one AP failure + recovery on the
@@ -47,11 +53,18 @@ bin="$(mktemp)"
 trap 'rm -f "$tmp" "$tmp2" "$bin"' EXIT
 
 echo "== go test -bench Engine ./internal/engine" >&2
-go test -run '^$' -bench 'BenchmarkEngine' -benchmem -count 1 ./internal/engine | tee "$tmp" >&2
+go test -run '^$' -bench 'BenchmarkEngine([^S]|$)' -benchmem -count 1 ./internal/engine | tee "$tmp" >&2
+
+# The shards family replays a 100k-user campus; -benchtime 3x bounds
+# the cost (setup is outside the timer, each pass is the full 20k
+# events).
+echo "== go test -bench EngineShards ./internal/engine (100k users, 3 passes each)" >&2
+go test -run '^$' -bench 'BenchmarkEngineShards' -benchmem -benchtime 3x -timeout 30m ./internal/engine | tee -a "$tmp" >&2
 
 awk '
 /^BenchmarkEngine/ {
     name = $1
+    if (match(name, /-[0-9]+$/)) procs = substr(name, RSTART + 1)
     sub(/-[0-9]+$/, "", name)
     for (i = 2; i < NF; i++) {
         if ($(i+1) == "ns/op")     nsop[name] = $i
@@ -63,6 +76,7 @@ awk '
 }
 END {
     if (n == 0) { print "bench.sh: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    if (procs == "") procs = 1   # go omits the -N suffix when GOMAXPROCS=1
     printf "{\n  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) {
         name = order[i]
@@ -74,6 +88,19 @@ END {
     full = nsev["BenchmarkEngineFullRecompute"]
     if (inc > 0 && full > 0)
         printf ",\n  \"incremental_speedup\": %.2f", full / inc
+    printf ",\n  \"gomaxprocs\": %d", procs
+    if (nsev["BenchmarkEngineShards1"] > 0) {
+        split("1 2 4 8", sc, " ")
+        printf ",\n  \"shards_curve\": [\n"
+        for (i = 1; i <= 4; i++) {
+            v = nsev["BenchmarkEngineShards" sc[i]]
+            if (v <= 0) { print "bench.sh: missing BenchmarkEngineShards" sc[i] > "/dev/stderr"; exit 1 }
+            printf "    {\"shards\": %s, \"ns_per_event\": %s, \"events_per_sec\": %.0f}%s\n", \
+                sc[i], v, 1e9 / v, (i < 4 ? "," : "")
+        }
+        printf "  ]"
+        printf ",\n  \"shards_speedup_8x\": %.2f", nsev["BenchmarkEngineShards1"] / nsev["BenchmarkEngineShards8"]
+    }
     printf "\n}\n"
 }' "$tmp" > "$out"
 

@@ -11,8 +11,11 @@
 #      evaluations over a goroutine pool, internal/obs, whose
 #      lock-free instruments are written and exposed concurrently,
 #      internal/fault, whose schedules feed the parallel sweeps,
-#      plus internal/engine and cmd/assocd, whose HTTP daemon serves
-#      one engine to many connections)
+#      internal/engine, whose sharded ApplyBatch fans event batches
+#      over shard workers with channel handoffs (the 26-seed
+#      differential suite runs under -race here), and cmd/assocd,
+#      whose HTTP daemon serves one sharded engine to many
+#      connections)
 #   4. the promtext lint gate: the byte-format golden test for the
 #      exposition writer plus the linter over the daemon's live
 #      /metrics output
