@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The serve benchmark pair behind BENCH_serve.json: the same move
+// workload pushed through the per-request /v1/events path (one HTTP
+// round trip per event) and the /v1/events/stream path (one
+// connection, windowed acks). Both run over a real TCP listener so
+// the comparison includes everything a client pays: connection
+// handling, HTTP framing, JSON decode, engine apply. The acceptance
+// bar for the streaming subsystem is stream >= 10x per-request
+// events/s; scripts/bench.sh records both and checks the ratio.
+
+// benchServeUsers/benchServeActive shape the benchmark scenario: small
+// enough that the engine's per-event cost does not drown the wire
+// cost under test, dense enough that every move still re-decides.
+const (
+	benchServeAPs    = 20
+	benchServeUsers  = 80
+	benchServeActive = 60
+)
+
+func benchServeSetup(b *testing.B) *httptest.Server {
+	b.Helper()
+	s := newServer()
+	s.errlog = io.Discard
+	ts := httptest.NewServer(s)
+	b.Cleanup(ts.Close)
+	body := fmt.Sprintf(`{"aps":%d,"users":%d,"sessions":3,"seed":3,"active_users":%d}`,
+		benchServeAPs, benchServeUsers, benchServeActive)
+	resp, err := http.Post(ts.URL+"/v1/scenario", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("load scenario: %s: %s", resp.Status, raw)
+	}
+	return ts
+}
+
+// benchServeEvent renders the i-th move event: the first
+// benchServeActive users are active, positions sweep the default
+// 1200x1000 area deterministically.
+func benchServeEvent(i int) string {
+	return fmt.Sprintf(`{"kind":"move","user":%d,"pos":{"x":%d,"y":%d}}`,
+		i%benchServeActive, 30+(i*37)%1140, 30+(i*53)%940)
+}
+
+func BenchmarkServeEventsPerRequest(b *testing.B) {
+	ts := benchServeSetup(b)
+	client := ts.Client()
+	// Pre-render the request bodies: the client's encode cost is not
+	// the daemon's throughput, and on a small box it would steal CPU
+	// from the server inside the timed section.
+	bodies := make([]string, b.N)
+	for i := range bodies {
+		bodies[i] = benchServeEvent(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/v1/events", "application/json",
+			strings.NewReader(bodies[i]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("event %d: %s", i, resp.Status)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkServeEventsStream(b *testing.B) {
+	ts := benchServeSetup(b)
+	// Pre-render the whole NDJSON request body (see per-request twin).
+	var body strings.Builder
+	for i := 0; i < b.N; i++ {
+		body.WriteString(benchServeEvent(i))
+		body.WriteByte('\n')
+	}
+	b.ResetTimer()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/events/stream?window=512",
+		strings.NewReader(body.String()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("stream rejected: %s", resp.Status)
+	}
+	frames := readFrames(b, resp.Body)
+	last := frames[len(frames)-1]
+	if last.Done == nil || last.Done.Events != b.N {
+		b.Fatalf("stream ended with %+v, want done{events:%d}", last, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"wlanmcast/internal/engine"
@@ -80,6 +85,97 @@ func FuzzDecodeEvents(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzStreamEvents pins the /v1/events/stream contract: any byte
+// stream pushed through the real handler yields a well-formed NDJSON
+// frame sequence — zero or more acks with strictly increasing seq,
+// terminated by exactly one done or error frame — never a panic, and
+// a stream that applied nothing leaves the association untouched.
+func FuzzStreamEvents(f *testing.F) {
+	valid := `{"kind":"move","user":0,"pos":{"x":50,"y":60}}` + "\n"
+	f.Add([]byte(valid + valid + valid))
+	f.Add([]byte(valid + `{"kind":"join","user":0,"session":1}` + "\n" + valid))
+	f.Add([]byte("\n\n" + valid + "\n"))
+	f.Add([]byte(`{"kind":"warp"}` + "\n"))
+	f.Add([]byte(`{not json}` + "\n" + valid))
+	f.Add([]byte(`[{"kind":"leave","user":0}]` + "\n")) // array is not a stream line
+	f.Add([]byte(valid[:20]))                           // truncated line, no newline
+	f.Add([]byte(``))
+	f.Add([]byte{0xff, 0xfe, 0x00, '\n'})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		s := newServer()
+		s.errlog = io.Discard
+		screq := httptest.NewRequest("POST", "/v1/scenario",
+			strings.NewReader(`{"aps":6,"users":10,"sessions":2,"seed":42,"active_users":6}`))
+		srec := httptest.NewRecorder()
+		s.ServeHTTP(srec, screq)
+		if srec.Code != 200 {
+			t.Fatalf("scenario load failed: %d %s", srec.Code, srec.Body)
+		}
+		assocBefore := recordGet(s, "/v1/assoc")
+
+		req := httptest.NewRequest("POST", "/v1/events/stream?window=4", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Fatalf("stream status = %d, want 200 once headers are sent", rec.Code)
+		}
+
+		lines := strings.Split(strings.TrimRight(rec.Body.String(), "\n"), "\n")
+		applied, lastSeq, terminal := 0, 0, false
+		for i, line := range lines {
+			if line == "" && len(lines) == 1 {
+				t.Fatal("stream produced no frames; want at least done or error")
+			}
+			if terminal {
+				t.Fatalf("frame %d %q after the terminal frame", i, line)
+			}
+			var fr streamFrame
+			if err := json.Unmarshal([]byte(line), &fr); err != nil {
+				t.Fatalf("frame %d %q is not JSON: %v", i, line, err)
+			}
+			switch {
+			case fr.Ack != nil:
+				if fr.Ack.Seq <= lastSeq {
+					t.Fatalf("ack seq %d after %d is not increasing", fr.Ack.Seq, lastSeq)
+				}
+				lastSeq = fr.Ack.Seq
+				applied += fr.Ack.Applied
+			case fr.Done != nil:
+				terminal = true
+				applied = fr.Done.Events
+			case fr.Error != "":
+				terminal = true
+				// Engine rejections carry "(k applied)": that window
+				// prefix is applied without an ack frame.
+				if p := strings.LastIndex(fr.Error, "("); p >= 0 {
+					var k int
+					if n, _ := fmt.Sscanf(fr.Error[p:], "(%d applied)", &k); n == 1 {
+						applied += k
+					}
+				}
+			default:
+				t.Fatalf("frame %d %q is neither ack, done, nor error", i, line)
+			}
+		}
+		if !terminal {
+			t.Fatalf("stream ended without a done or error frame: %q", rec.Body.String())
+		}
+		if applied == 0 {
+			if after := recordGet(s, "/v1/assoc"); after != assocBefore {
+				t.Fatalf("stream applied nothing but the association changed:\nbefore: %s\nafter:  %s", assocBefore, after)
+			}
+		}
+	})
+}
+
+// recordGet issues an in-process GET and returns the body.
+func recordGet(s *server, path string) string {
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Body.String()
 }
 
 // TestDecodeEventsForms pins the two accepted wire forms and the error

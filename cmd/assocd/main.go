@@ -102,7 +102,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		// should not kill a 40-run batch, so retry briefly before giving
 		// up for real.
 		var n *wlan.Network
-		if err := retryBackoff(ctx, 3, 50*time.Millisecond, func() error {
+		if err := retryBackoff(ctx, 3, 50*time.Millisecond, 2*time.Second, func() error {
 			var err error
 			n, err = loadNetwork(*scenarioPath, scenario.Params{
 				NumAPs:      *aps,
@@ -221,11 +221,16 @@ func objectiveByName(name string) (core.Objective, error) {
 }
 
 // retryBackoff runs fn up to attempts times, doubling the wait from
-// base between failures and respecting ctx cancellation. It returns
-// nil on the first success, ctx's error if cancelled, and otherwise
-// the last fn error once the attempts are spent.
-func retryBackoff(ctx context.Context, attempts int, base time.Duration, fn func() error) error {
+// base between failures and respecting ctx cancellation. maxWait caps
+// the total time spent sleeping (<= 0 means uncapped): a backoff that
+// would overrun the cap is trimmed to the remainder, and once the
+// budget is spent the last error returns without further attempts —
+// exponential doubling must not quietly turn a bounded retry into an
+// unbounded stall. Returns nil on the first success, ctx's error if
+// cancelled, and otherwise the last fn error.
+func retryBackoff(ctx context.Context, attempts int, base, maxWait time.Duration, fn func() error) error {
 	var err error
+	waited := time.Duration(0)
 	for i := 0; i < attempts; i++ {
 		if cerr := ctx.Err(); cerr != nil {
 			return cerr
@@ -236,11 +241,22 @@ func retryBackoff(ctx context.Context, attempts int, base time.Duration, fn func
 		if i == attempts-1 {
 			break
 		}
+		d := base << i
+		if maxWait > 0 {
+			remain := maxWait - waited
+			if remain <= 0 {
+				break
+			}
+			if d > remain {
+				d = remain
+			}
+		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(base << i):
+		case <-time.After(d):
 		}
+		waited += d
 	}
 	return err
 }

@@ -60,7 +60,7 @@ func TestRetryBackoff(t *testing.T) {
 
 	// Succeeds on the last allowed attempt.
 	calls := 0
-	err := retryBackoff(ctx, 3, time.Millisecond, func() error {
+	err := retryBackoff(ctx, 3, time.Millisecond, 0, func() error {
 		calls++
 		if calls < 3 {
 			return errors.New("transient")
@@ -74,7 +74,7 @@ func TestRetryBackoff(t *testing.T) {
 	// Exhausts its attempts and reports the last error.
 	calls = 0
 	last := errors.New("still broken")
-	err = retryBackoff(ctx, 3, time.Millisecond, func() error {
+	err = retryBackoff(ctx, 3, time.Millisecond, 0, func() error {
 		calls++
 		return last
 	})
@@ -85,13 +85,29 @@ func TestRetryBackoff(t *testing.T) {
 	// A cancelled context stops the retries between attempts.
 	cctx, cancel := context.WithCancel(ctx)
 	calls = 0
-	err = retryBackoff(cctx, 5, time.Minute, func() error {
+	err = retryBackoff(cctx, 5, time.Minute, 0, func() error {
 		calls++
 		cancel()
 		return errors.New("nope")
 	})
 	if !errors.Is(err, context.Canceled) || calls != 1 {
 		t.Errorf("cancelled ctx: err=%v after %d calls, want context.Canceled after 1", err, calls)
+	}
+
+	// The total-wait cap bounds exponential backoff: base 20ms with a
+	// 30ms budget sleeps 20ms, then the trimmed 10ms remainder, then
+	// stops — 3 calls, not 10, and well under a second of wall clock.
+	calls = 0
+	start := time.Now()
+	err = retryBackoff(ctx, 10, 20*time.Millisecond, 30*time.Millisecond, func() error {
+		calls++
+		return last
+	})
+	if !errors.Is(err, last) || calls != 3 {
+		t.Errorf("capped retries: err=%v after %d calls, want %v after 3", err, calls, last)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Errorf("capped retries slept %v, want ~30ms", el)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wlanmcast/internal/core"
@@ -36,6 +37,7 @@ import (
 //
 //	POST /v1/scenario      load or generate a scenario, build the engine
 //	POST /v1/events        apply churn events (one object or an array)
+//	POST /v1/events/stream apply an NDJSON event stream with windowed acks
 //	POST /v1/trace         generate + apply a seeded Poisson churn trace
 //	GET  /v1/assoc         association snapshot
 //	PUT  /v1/assoc         force-install an association (validated)
@@ -68,15 +70,25 @@ type server struct {
 	httpLatency *obs.Histogram
 	panics      *obs.Counter
 	shardsGauge *obs.Gauge
+
+	// streamSlot is the /v1/events/stream single-flight guard: one
+	// stream at a time, extras get 429 + Retry-After.
+	streamSlot    atomic.Bool
+	streamConns   *obs.Counter
+	streamActive  *obs.Gauge
+	streamEvents  *obs.Counter
+	streamWindows *obs.Counter
+	streamErrors  *obs.Counter
+	streamBusy    *obs.Counter
 }
 
 // servedPaths is the label set for assocd_http_requests_total; paths
 // outside it (scanners, typos) collapse into "other" to bound series
 // cardinality.
 var servedPaths = map[string]bool{
-	"/v1/scenario": true, "/v1/events": true, "/v1/trace": true,
-	"/v1/assoc": true, "/v1/loads": true, "/v1/trace/export": true,
-	"/metrics": true, "/healthz": true,
+	"/v1/scenario": true, "/v1/events": true, "/v1/events/stream": true,
+	"/v1/trace": true, "/v1/assoc": true, "/v1/loads": true,
+	"/v1/trace/export": true, "/metrics": true, "/healthz": true,
 }
 
 func newServer() *server {
@@ -96,12 +108,19 @@ func newServer() *server {
 	s.httpLatency = s.base.Histogram("assocd_http_request_seconds", "Wall-clock time to serve one HTTP request.", nil)
 	s.panics = s.base.Counter("assocd_panics_total", "Handler panics recovered by the HTTP middleware.")
 	s.shardsGauge = s.base.Gauge("assocd_shards", "Shard workers in the current engine (0 before a scenario loads).")
+	s.streamConns = s.base.Counter("assocd_stream_connections_total", "Event streams accepted on /v1/events/stream.")
+	s.streamActive = s.base.Gauge("assocd_stream_active", "Event streams currently open (0 or 1; the endpoint is single-flight).")
+	s.streamEvents = s.base.Counter("assocd_stream_events_total", "Events applied via the streaming endpoint.")
+	s.streamWindows = s.base.Counter("assocd_stream_windows_total", "Ack windows completed on the streaming endpoint.")
+	s.streamErrors = s.base.Counter("assocd_stream_errors_total", "Error frames sent on the streaming endpoint.")
+	s.streamBusy = s.base.Counter("assocd_stream_busy_total", "Streams rejected with 429 because another stream was active.")
 	s.base.GaugeFunc("assocd_trace_events", "Trace events recorded over the daemon's lifetime.",
 		func() float64 { return float64(s.ring.Total()) })
 	s.base.GaugeFunc("assocd_trace_dropped", "Trace events evicted from the export ring.",
 		func() float64 { return float64(s.ring.Dropped()) })
 	s.mux.HandleFunc("/v1/scenario", s.handleScenario)
 	s.mux.HandleFunc("/v1/events", s.handleEvents)
+	s.mux.HandleFunc("/v1/events/stream", s.handleEventsStream)
 	s.mux.HandleFunc("/v1/trace", s.handleTrace)
 	s.mux.HandleFunc("/v1/trace/export", s.handleTraceExport)
 	s.mux.HandleFunc("/v1/assoc", s.handleAssoc)

@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"wlanmcast/internal/engine"
+)
+
+// POST /v1/events/stream — the streaming ingest endpoint.
+//
+// One long-lived connection carries an NDJSON request body (one churn
+// event per line, same JSON shape as /v1/events) and an NDJSON
+// response of acknowledgement frames. The handler decodes incrementally
+// into a pooled window of at most `window` events (?window=N, default
+// 512, cap 8192), applies each window through engine.ApplyStream under
+// the engine lock, and writes one ack frame per window:
+//
+//	{"ack":{"seq":2048,"applied":512,"redecisions":63,"moves":12}}
+//
+// seq is the total number of events consumed since the stream started,
+// so the client always knows how far the daemon has gotten.
+//
+// Backpressure is structural: the daemon reads at most one window
+// ahead of the engine, so a client that outruns it fills the TCP
+// buffers and blocks on write — no daemon-side queue can grow without
+// bound — and the windowed acks give the client live progress to pace
+// against. Overload across connections is explicit: the endpoint
+// serves one stream at a time, and a second concurrent stream gets
+// 429 with Retry-After rather than queueing behind an unbounded
+// competitor.
+//
+// Errors are in-band frames that preserve the /v1/events wire shape
+// ("event %d: ... (%d applied)"), with the index global to the stream
+// and an explicit event field:
+//
+//	{"event":731,"error":"event 731: engine: invalid \"join\" event: user 9 is already active (219 applied)"}
+//
+// A rejected event terminates the stream after the frame: the window's
+// valid prefix is applied (exactly the ApplyBatch contract), the
+// remainder is dropped, and the engine is untouched past the rejection
+// — the client replays or repairs from seq. Undecodable lines and
+// oversized lines (> 1 MiB) terminate the same way. A clean EOF gets a
+// final summary frame:
+//
+//	{"done":{"events":100000,"redecisions":12040,"moves":3011,"total_load":12.5,"max_load":0.71}}
+
+const (
+	streamDefaultWindow = 512
+	streamMaxWindow     = 8192
+	// maxStreamLine bounds one NDJSON line; a single event is tens of
+	// bytes, so 1 MiB is generous without letting a hostile client
+	// balloon the scanner buffer.
+	maxStreamLine = 1 << 20
+	// streamIdleTimeout is the rolling per-window read deadline: the
+	// server's absolute ReadTimeout would kill any stream longer than
+	// 30s, so the handler re-arms a generous idle deadline instead —
+	// a client that sends nothing for this long is gone.
+	streamIdleTimeout = 120 * time.Second
+	// streamWriteTimeout is the per-frame write deadline, re-armed
+	// before every flush for the same reason.
+	streamWriteTimeout = 30 * time.Second
+)
+
+// streamBuf is one connection's reusable decode window, pooled across
+// connections so a steady stream of reconnects does not churn the
+// heap. Capacity is bounded by streamMaxWindow.
+type streamBuf struct {
+	events []engine.Event
+}
+
+var streamBufs = sync.Pool{New: func() any { return new(streamBuf) }}
+
+// streamAck acknowledges one applied window.
+type streamAck struct {
+	// Seq is the total events consumed since the stream started.
+	Seq int `json:"seq"`
+	// Applied/Redecisions/Moves are this window's costs.
+	Applied     int `json:"applied"`
+	Redecisions int `json:"redecisions"`
+	Moves       int `json:"moves"`
+}
+
+// streamDone summarizes a cleanly finished stream.
+type streamDone struct {
+	Events      int     `json:"events"`
+	Redecisions int     `json:"redecisions"`
+	Moves       int     `json:"moves"`
+	TotalLoad   float64 `json:"total_load"`
+	MaxLoad     float64 `json:"max_load"`
+}
+
+// streamFrame is one NDJSON response line: exactly one of ack, done,
+// or error is present.
+type streamFrame struct {
+	Ack  *streamAck  `json:"ack,omitempty"`
+	Done *streamDone `json:"done,omitempty"`
+	// Event is the stream-global index of the offending event on an
+	// error frame.
+	Event int    `json:"event,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+func (s *server) handleEventsStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	window := streamDefaultWindow
+	if q := r.URL.Query().Get("window"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			httpError(w, http.StatusBadRequest, "invalid window %q", q)
+			return
+		}
+		window = min(v, streamMaxWindow)
+	}
+	s.mu.Lock()
+	eng := s.eng
+	s.mu.Unlock()
+	if eng == nil {
+		httpError(w, http.StatusConflict, "no scenario loaded; POST /v1/scenario first")
+		return
+	}
+	// Single-flight: a second stream would interleave windows with the
+	// first on one engine, destroying both clients' seq accounting.
+	// 429 + Retry-After is honest overload, not a queue.
+	if !s.streamSlot.CompareAndSwap(false, true) {
+		s.streamBusy.Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "another event stream is active; retry later")
+		return
+	}
+	defer s.streamSlot.Store(false)
+	s.streamConns.Inc()
+	s.streamActive.Set(1)
+	defer s.streamActive.Set(0)
+
+	buf := streamBufs.Get().(*streamBuf)
+	defer streamBufs.Put(buf)
+
+	rc := http.NewResponseController(w)
+	// Acks flow while the request body is still streaming in; without
+	// full duplex net/http/1.x closes the body on the first response
+	// write. Best-effort: writers that do not support the call (HTTP/2
+	// is duplex natively, test recorders have no connection) still
+	// stream correctly.
+	_ = rc.EnableFullDuplex()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc.Flush() // release the headers so the client can read acks early
+	enc := json.NewEncoder(w)
+
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64<<10), maxStreamLine)
+
+	var done streamDone
+	consumed := 0 // events decoded off the wire so far
+	events := buf.events
+	for {
+		// Rolling idle deadline: each window gets a fresh read budget
+		// (the server-wide absolute ReadTimeout is overridden here).
+		rc.SetReadDeadline(time.Now().Add(streamIdleTimeout))
+		events = events[:0]
+		eof := false
+		for len(events) < window {
+			if !sc.Scan() {
+				eof = true
+				break
+			}
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			// Grow-then-zero so json.Unmarshal writes into the pooled
+			// slot: omitted fields must not inherit the previous
+			// window's values.
+			events = append(events, engine.Event{})
+			k := len(events) - 1
+			if err := json.Unmarshal(line, &events[k]); err != nil {
+				s.streamError(enc, rc, consumed+k, fmt.Sprintf("event %d: decode: %v", consumed+k, err))
+				buf.events = events
+				return
+			}
+		}
+		if len(events) > 0 {
+			br, err := s.applyStreamWindow(eng, events)
+			done.Redecisions += br.Redecisions
+			done.Moves += br.Moves
+			done.Events += br.Applied
+			s.streamEvents.Add(uint64(br.Applied))
+			if err != nil {
+				gidx := consumed + br.Applied
+				s.streamError(enc, rc, gidx, fmt.Sprintf("event %d: %v (%d applied)", gidx, err, br.Applied))
+				buf.events = events
+				return
+			}
+			consumed += len(events)
+			s.streamWindows.Inc()
+			if !s.writeFrame(enc, rc, streamFrame{Ack: &streamAck{
+				Seq:         consumed,
+				Applied:     br.Applied,
+				Redecisions: br.Redecisions,
+				Moves:       br.Moves,
+			}}) {
+				buf.events = events
+				return
+			}
+		}
+		if eof {
+			break
+		}
+	}
+	buf.events = events
+	if err := sc.Err(); err != nil {
+		s.streamError(enc, rc, consumed, fmt.Sprintf("event %d: read: %v", consumed, err))
+		return
+	}
+	s.mu.Lock()
+	if s.eng == eng {
+		done.TotalLoad = eng.TotalLoad()
+		done.MaxLoad = eng.MaxLoad()
+	}
+	s.mu.Unlock()
+	s.writeFrame(enc, rc, streamFrame{Done: &done})
+}
+
+// applyStreamWindow applies one window under the engine lock,
+// defending against a concurrent scenario swap: applying to a replaced
+// engine would silently stream into an object no reader can see.
+func (s *server) applyStreamWindow(eng *engine.Engine, events []engine.Event) (engine.BatchResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng != eng {
+		return engine.BatchResult{}, fmt.Errorf("scenario replaced mid-stream")
+	}
+	return eng.ApplyStream(events)
+}
+
+// streamError emits an in-band error frame; the caller terminates the
+// stream afterwards.
+func (s *server) streamError(enc *json.Encoder, rc *http.ResponseController, gidx int, msg string) {
+	s.streamErrors.Inc()
+	s.writeFrame(enc, rc, streamFrame{Event: gidx, Error: msg})
+}
+
+// writeFrame writes one NDJSON frame and flushes it, under a fresh
+// write deadline. A false return means the client is gone.
+func (s *server) writeFrame(enc *json.Encoder, rc *http.ResponseController, f streamFrame) bool {
+	rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+	if err := enc.Encode(f); err != nil {
+		return false
+	}
+	rc.Flush()
+	return true
+}

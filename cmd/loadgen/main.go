@@ -1,0 +1,370 @@
+// Command loadgen drives an assocd daemon over the streaming ingest
+// endpoint: it loads a scenario, generates the same seeded
+// Poisson/mobility churn (plus an optional fault schedule) the
+// offline experiments use, replays it over one long-lived
+// /v1/events/stream connection at a target rate, and reports what the
+// daemon achieved — events/s plus the p50/p99 per-event re-decision
+// latency taken from the daemon's own assocd_event_latency_seconds
+// histogram (diffed around the run, so a shared daemon reports only
+// this replay's cost).
+//
+// Example, 50k events as fast as the daemon accepts them:
+//
+//	assocd -serve -addr :8080 &
+//	loadgen -addr http://127.0.0.1:8080 -events 50000
+//
+// and paced with AP faults layered in:
+//
+//	loadgen -addr http://127.0.0.1:8080 -events 50000 -rate 5000 -mtbf 40
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"wlanmcast/internal/engine"
+	"wlanmcast/internal/fault"
+	"wlanmcast/internal/obs"
+	"wlanmcast/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the run summary, written as JSON to stdout (and -out).
+type report struct {
+	Events      int     `json:"events"`
+	Applied     int     `json:"applied"`
+	Windows     int     `json:"windows"`
+	Redecisions int     `json:"redecisions"`
+	Moves       int     `json:"moves"`
+	ElapsedSec  float64 `json:"elapsed_s"`
+	TargetEPS   float64 `json:"target_eps,omitempty"`
+	AchievedEPS float64 `json:"achieved_eps"`
+	// P50/P99 are per-event apply latencies from the daemon's
+	// histogram, interpolated within buckets (0 when the daemon
+	// recorded nothing, e.g. a zero-event run).
+	P50Sec    float64 `json:"p50_s"`
+	P99Sec    float64 `json:"p99_s"`
+	TotalLoad float64 `json:"total_load"`
+	MaxLoad   float64 `json:"max_load"`
+}
+
+// The daemon's stream frame shapes (mirrored here; cmd packages do
+// not import each other).
+type wireAck struct {
+	Seq         int `json:"seq"`
+	Applied     int `json:"applied"`
+	Redecisions int `json:"redecisions"`
+	Moves       int `json:"moves"`
+}
+
+type wireDone struct {
+	Events      int     `json:"events"`
+	Redecisions int     `json:"redecisions"`
+	Moves       int     `json:"moves"`
+	TotalLoad   float64 `json:"total_load"`
+	MaxLoad     float64 `json:"max_load"`
+}
+
+type wireFrame struct {
+	Ack   *wireAck  `json:"ack"`
+	Done  *wireDone `json:"done"`
+	Event int       `json:"event"`
+	Error string    `json:"error"`
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "http://127.0.0.1:8080", "assocd base URL")
+		aps      = fs.Int("aps", 50, "scenario AP count")
+		users    = fs.Int("users", 200, "scenario user slots")
+		sessions = fs.Int("sessions", 4, "scenario session count")
+		active   = fs.Int("active", 150, "initially active users")
+		shards   = fs.Int("shards", 0, "engine shards (0 = daemon default)")
+		seed     = fs.Int64("seed", 1, "trace and scenario seed")
+		events   = fs.Int("events", 10000, "churn events to stream")
+		rate     = fs.Float64("rate", 0, "target events/s (0 = unpaced)")
+		window   = fs.Int("window", 512, "stream ack window")
+		mtbf     = fs.Float64("mtbf", 0, "mean AP up-time in trace seconds (0 = no faults)")
+		mttr     = fs.Float64("mttr", 15, "mean AP down-time in trace seconds")
+		group    = fs.Int("group", 1, "correlated AP failure group size")
+		flap     = fs.Float64("flap", 0, "probability a recovered AP flaps back down")
+		out      = fs.String("out", "", "also write the JSON report to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// The scenario mirrors what the daemon will build from the same
+	// request, so GenTrace's slot model (slots [0,active) start
+	// active) matches the engine exactly and the trace needs no
+	// remapping.
+	base := strings.TrimSuffix(*addr, "/")
+	var st struct {
+		APs       int     `json:"aps"`
+		Users     int     `json:"users"`
+		Shards    int     `json:"shards"`
+		Active    int     `json:"active_users"`
+		TotalLoad float64 `json:"total_load"`
+	}
+	screq := map[string]any{
+		"aps": *aps, "users": *users, "sessions": *sessions,
+		"seed": *seed, "active_users": *active, "shards": *shards,
+	}
+	if err := postJSON(base+"/v1/scenario", screq, &st); err != nil {
+		return fmt.Errorf("load scenario: %w", err)
+	}
+	fmt.Fprintf(stderr, "loadgen: scenario loaded: %d APs, %d users (%d active), %d shards\n",
+		st.APs, st.Users, st.Active, st.Shards)
+
+	trace, err := engine.GenTrace(engine.TraceParams{
+		Seed:          *seed,
+		Events:        *events,
+		Area:          scenario.PaperDefaults().Area,
+		Users:         *users,
+		InitialActive: *active,
+		Sessions:      *sessions,
+	})
+	if err != nil {
+		return fmt.Errorf("generate trace: %w", err)
+	}
+	if *mtbf > 0 {
+		horizon := 1.0
+		if len(trace) > 0 {
+			horizon = trace[len(trace)-1].At + 1e-9
+		}
+		sched, err := fault.Gen(fault.Params{
+			Seed: *seed + 1, APs: *aps, Horizon: horizon,
+			MTBF: *mtbf, MTTR: *mttr, GroupSize: *group, FlapProb: *flap,
+		})
+		if err != nil {
+			return fmt.Errorf("generate faults: %w", err)
+		}
+		trace = engine.MergeFaults(trace, sched)
+		fmt.Fprintf(stderr, "loadgen: merged %d fault actions into the trace\n", len(sched))
+	}
+
+	before, err := scrapeHistogram(base, "assocd_event_latency_seconds")
+	if err != nil {
+		return fmt.Errorf("scrape /metrics before run: %w", err)
+	}
+
+	rep, err := stream(base, trace, *window, *rate, stderr)
+	if err != nil {
+		return err
+	}
+	rep.TargetEPS = *rate
+
+	after, err := scrapeHistogram(base, "assocd_event_latency_seconds")
+	if err != nil {
+		return fmt.Errorf("scrape /metrics after run: %w", err)
+	}
+	delta := after.Sub(before)
+	if delta.Count > 0 {
+		rep.P50Sec = delta.Quantile(0.50)
+		rep.P99Sec = delta.Quantile(0.99)
+	}
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if *out != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write report: %w", err)
+		}
+	}
+	return nil
+}
+
+// stream replays the trace over one /v1/events/stream connection,
+// pacing writes to rate (events/s; 0 = as fast as the connection
+// drains) while a reader consumes ack frames concurrently.
+func stream(base string, trace []engine.Event, window int, rate float64, stderr io.Writer) (report, error) {
+	rep := report{Events: len(trace)}
+	pr, pw := io.Pipe()
+	writeErr := make(chan error, 1)
+	go func() {
+		enc := json.NewEncoder(pw)
+		start := time.Now()
+		for i := range trace {
+			if rate > 0 {
+				at := start.Add(time.Duration(float64(i) / rate * float64(time.Second)))
+				time.Sleep(time.Until(at))
+			}
+			if err := enc.Encode(trace[i]); err != nil {
+				writeErr <- err
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		writeErr <- nil
+		pw.Close()
+	}()
+
+	url := base + "/v1/events/stream?window=" + strconv.Itoa(window)
+	req, err := http.NewRequest("POST", url, pr)
+	if err != nil {
+		return rep, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return rep, fmt.Errorf("open stream: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return rep, fmt.Errorf("stream rejected: %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		var f wireFrame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			return rep, fmt.Errorf("bad frame %q: %v", sc.Text(), err)
+		}
+		switch {
+		case f.Ack != nil:
+			rep.Applied = f.Ack.Seq
+			rep.Windows++
+		case f.Done != nil:
+			rep.Applied = f.Done.Events
+			rep.Redecisions = f.Done.Redecisions
+			rep.Moves = f.Done.Moves
+			rep.TotalLoad = f.Done.TotalLoad
+			rep.MaxLoad = f.Done.MaxLoad
+		case f.Error != "":
+			return rep, fmt.Errorf("daemon rejected stream at event %d: %s", f.Event, f.Error)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return rep, fmt.Errorf("read acks: %w", err)
+	}
+	if err := <-writeErr; err != nil {
+		return rep, fmt.Errorf("write events: %w", err)
+	}
+	rep.ElapsedSec = time.Since(start).Seconds()
+	if rep.ElapsedSec > 0 {
+		rep.AchievedEPS = float64(rep.Applied) / rep.ElapsedSec
+	}
+	fmt.Fprintf(stderr, "loadgen: %d events in %.2fs (%.0f events/s)\n",
+		rep.Applied, rep.ElapsedSec, rep.AchievedEPS)
+	return rep, nil
+}
+
+func postJSON(url string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(string(b)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// scrapeHistogram fetches /metrics and rebuilds one histogram family
+// as an obs.HistogramSnapshot (cumulative bucket counts, like the
+// exposition). A daemon without the family yet (no scenario loaded)
+// yields an empty snapshot rather than an error.
+func scrapeHistogram(base, name string) (obs.HistogramSnapshot, error) {
+	var s obs.HistogramSnapshot
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return s, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, name+"_bucket{"):
+			rest := line[len(name)+8:]
+			le, val, ok := promBucket(rest)
+			if !ok {
+				return s, fmt.Errorf("unparseable bucket line %q", line)
+			}
+			if le == "+Inf" {
+				continue // mirrors Count; Snapshot stores it separately
+			}
+			b, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return s, fmt.Errorf("bad le %q in %q", le, line)
+			}
+			s.Bounds = append(s.Bounds, b)
+			s.Counts = append(s.Counts, val)
+		case strings.HasPrefix(line, name+"_sum "):
+			s.Sum, err = strconv.ParseFloat(strings.TrimSpace(line[len(name)+5:]), 64)
+			if err != nil {
+				return s, fmt.Errorf("bad sum line %q", line)
+			}
+		case strings.HasPrefix(line, name+"_count "):
+			s.Count, err = strconv.ParseUint(strings.TrimSpace(line[len(name)+7:]), 10, 64)
+			if err != nil {
+				return s, fmt.Errorf("bad count line %q", line)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return s, err
+	}
+	if len(s.Bounds) > 0 {
+		s.Counts = append(s.Counts, s.Count) // the +Inf slot
+	}
+	return s, nil
+}
+
+// promBucket parses `le="X"} N` into (X, N).
+func promBucket(rest string) (le string, val uint64, ok bool) {
+	if !strings.HasPrefix(rest, `le="`) {
+		return "", 0, false
+	}
+	rest = rest[4:]
+	q := strings.Index(rest, `"`)
+	if q < 0 {
+		return "", 0, false
+	}
+	le = rest[:q]
+	rest = strings.TrimPrefix(rest[q+1:], "}")
+	v, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return le, v, true
+}

@@ -146,6 +146,10 @@ type Engine struct {
 	// src*nShards+dst (nil between batches; see shard.go).
 	hand []chan handoff
 
+	// vAct/vDwn are ApplyStream's reusable prevalidation overlay maps
+	// (cleared per batch, buckets retained — see stream.go).
+	vAct, vDwn map[int]bool
+
 	reg     *obs.Registry
 	metrics metrics
 	trace   obs.Recorder
@@ -175,6 +179,10 @@ type worker struct {
 	// errGidx the batch index of the event that caused it.
 	err     error
 	errGidx int32
+
+	// orphans is applyAPDown's reusable victim buffer (zero-alloc hot
+	// path; worker-owned, so sharded workers never share it).
+	orphans []int
 }
 
 // New builds an engine over n, detaches the inactive slots, and seeds
@@ -434,13 +442,20 @@ func (e *Engine) Apply(ev Event) (ApplyResult, error) {
 // apply, repair, account. Callers refresh the gauges afterwards —
 // per event for Apply, once per batch for ApplyBatch.
 func (e *Engine) applyCore(ev Event) (ApplyResult, error) {
+	if err := e.validateEvent(ev); err != nil {
+		e.metrics.rejected.Inc()
+		return ApplyResult{Event: ev}, err
+	}
+	return e.applyValidated(ev)
+}
+
+// applyValidated is applyCore after validation: the event is known
+// good against the current state (either validateEvent just ran, or an
+// ApplyStream prevalidation pass covered it via the batch overlay).
+func (e *Engine) applyValidated(ev Event) (ApplyResult, error) {
 	w := e.workers[0]
 	start := e.now()
 	res := ApplyResult{Event: ev}
-	if err := e.validateEvent(ev); err != nil {
-		e.metrics.rejected.Inc()
-		return res, err
-	}
 	err := w.applyPrimary(ev, &res)
 	e.nActive += w.dActive
 	w.dActive = 0
@@ -518,13 +533,8 @@ func (w *worker) applyPrimary(ev Event, res *ApplyResult) error {
 		e.active[u] = false
 		w.dActive--
 
-	case UserMove:
-		if err := w.rehome(u, res, func() error { return w.view.MoveUser(u, ev.Pos) }); err != nil {
-			return err
-		}
-
-	case DemandChange:
-		if err := w.rehome(u, res, func() error { return w.view.SetUserSession(u, ev.Session) }); err != nil {
+	case UserMove, DemandChange:
+		if err := w.rehome(ev, res); err != nil {
 			return err
 		}
 
@@ -544,12 +554,16 @@ func (w *worker) applyPrimary(ev Event, res *ApplyResult) error {
 	return nil
 }
 
-// rehome detaches user u from its AP, runs mutate (a rate or session
-// change), and re-attaches u to its previous AP when that is still
-// feasible — the hysteresis rule then keeps it there unless moving is
-// a real improvement, which is what makes churn sticky.
-func (w *worker) rehome(u int, res *ApplyResult, mutate func() error) error {
+// rehome detaches user u from its AP, applies the event's mutation (a
+// rate or session change), and re-attaches u to its previous AP when
+// that is still feasible — the hysteresis rule then keeps it there
+// unless moving is a real improvement, which is what makes churn
+// sticky. The mutation dispatch is a switch on the event kind rather
+// than a caller-supplied closure so the per-event path stays
+// allocation-free.
+func (w *worker) rehome(ev Event, res *ApplyResult) error {
 	e := w.e
+	u := ev.User
 	ap := w.tr.APOf(u)
 	before := 0.0
 	if ap != wlan.Unassociated {
@@ -558,7 +572,16 @@ func (w *worker) rehome(u int, res *ApplyResult, mutate func() error) error {
 			return err
 		}
 	}
-	if err := mutate(); err != nil {
+	var err error
+	switch ev.Kind {
+	case UserMove:
+		err = w.view.MoveUser(u, ev.Pos)
+	case DemandChange:
+		err = w.view.SetUserSession(u, ev.Session)
+	default:
+		err = fmt.Errorf("engine: rehome on %q event", ev.Kind)
+	}
+	if err != nil {
 		// Mutations validate before touching state, so the tracker
 		// detach is the only thing to undo.
 		if ap != wlan.Unassociated {

@@ -143,9 +143,9 @@ func TestEngineRejectsInvalidEvents(t *testing.T) {
 		{Kind: "bogus", User: 0},
 		{Kind: UserLeave, User: -1},
 		{Kind: UserLeave, User: 1000},
-		{Kind: APDown, User: -1, AP: -1},   // negative AP
-		{Kind: APDown, User: -1, AP: 99},   // unknown AP
-		{Kind: APUp, User: -1, AP: 0},      // AP is not down
+		{Kind: APDown, User: -1, AP: -1}, // negative AP
+		{Kind: APDown, User: -1, AP: 99}, // unknown AP
+		{Kind: APUp, User: -1, AP: 0},    // AP is not down
 	}
 	before := e.Snapshot()
 	for _, ev := range cases {

@@ -26,17 +26,30 @@ func (e *InvalidEventError) Error() string {
 // mutating anything. Apply rejects on the first violation, so a
 // returned *InvalidEventError implies Snapshot() is unchanged.
 func (e *Engine) validateEvent(ev Event) error {
-	return e.validateWith(ev,
-		func(u int) bool { return e.active[u] },
-		func(a int) bool { return e.n.APDown(a) })
+	return e.validateWith(ev, nil, nil)
 }
 
-// validateWith is validateEvent against a caller-supplied view of the
-// mutable state (which users are active, which APs are down). The
-// serial path passes the live state; the batch router passes an
-// overlay that accounts for the earlier events of the batch, so a
-// batch rejects exactly where replaying it serially would.
-func (e *Engine) validateWith(ev Event, activeNow func(int) bool, downNow func(int) bool) error {
+// validateWith is validateEvent against an overlay of the mutable
+// state: act/dwn record which users went (in)active and which APs went
+// (un)down earlier in the batch, falling through to the live state for
+// everything untouched (nil maps = pure live state, the serial path).
+// The batch router and ApplyStream's prevalidation pass the overlay
+// they maintain, so a batch rejects exactly where replaying it
+// serially would. Overlay maps rather than closures: this runs once
+// per event and must not allocate.
+func (e *Engine) validateWith(ev Event, act, dwn map[int]bool) error {
+	activeNow := func(u int) bool {
+		if v, ok := act[u]; ok {
+			return v
+		}
+		return e.active[u]
+	}
+	downNow := func(a int) bool {
+		if v, ok := dwn[a]; ok {
+			return v
+		}
+		return e.n.APDown(a)
+	}
 	invalid := func(format string, args ...any) error {
 		return &InvalidEventError{Event: ev, Reason: fmt.Sprintf(format, args...)}
 	}
@@ -106,12 +119,13 @@ func (e *Engine) validateWith(ev Event, activeNow func(int) bool, downNow func(i
 func (w *worker) applyAPDown(ev Event, res *ApplyResult) error {
 	e := w.e
 	ap := ev.AP
-	var orphans []int
+	orphans := w.orphans[:0]
 	for _, u := range e.n.Coverage(ap) {
 		if w.tr.APOf(u) == ap {
 			orphans = append(orphans, u)
 		}
 	}
+	w.orphans = orphans // keep the grown buffer for the next failure
 	for _, u := range orphans {
 		if err := w.tr.Disassociate(u); err != nil {
 			return err

@@ -174,22 +174,10 @@ func (e *Engine) route(events []Event) (queues [][]shardOp, routed int, verr err
 	// change what later ones may do, before any worker has run.
 	act := make(map[int]bool)
 	dwn := make(map[int]bool)
-	activeNow := func(u int) bool {
-		if v, ok := act[u]; ok {
-			return v
-		}
-		return e.active[u]
-	}
-	downNow := func(a int) bool {
-		if v, ok := dwn[a]; ok {
-			return v
-		}
-		return e.n.APDown(a)
-	}
 	handCnt := make(map[int]int)
 	routed = len(events)
 	for i, ev := range events {
-		if err := e.validateWith(ev, activeNow, downNow); err != nil {
+		if err := e.validateWith(ev, act, dwn); err != nil {
 			// The routed prefix still runs (and still needs its
 			// handoff channels below), exactly like a shorter batch.
 			e.metrics.rejected.Inc()

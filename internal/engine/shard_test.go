@@ -165,7 +165,22 @@ func compareStats(t *testing.T, ref, sh *Engine, ctx string) {
 // byte-identical snapshots, bit-identical loads, and equal stats at
 // every batch boundary.
 func TestEngineShardDifferential(t *testing.T) {
-	shardCounts := []int{2, 3, 8}
+	runDifferential(t, []int{2, 3, 8}, (*Engine).ApplyBatch)
+}
+
+// TestEngineStreamDifferential runs the same 26-seed suite against
+// ApplyStream — the streaming-ingest entry point must preserve the
+// byte-identical-snapshot invariant for any shard count, including
+// Shards=1 where it takes the amortized-prevalidation path ApplyBatch
+// does not have.
+func TestEngineStreamDifferential(t *testing.T) {
+	runDifferential(t, []int{1, 2, 8}, (*Engine).ApplyStream)
+}
+
+// runDifferential replays 26 seeded zoned scenarios on an event-by-
+// event serial reference and on a batch engine driven through apply,
+// comparing state and totals at every chunk boundary.
+func runDifferential(t *testing.T, shardCounts []int, apply func(*Engine, []Event) (BatchResult, error)) {
 	const chunk = 16
 	for seed := int64(1); seed <= 26; seed++ {
 		shards := shardCounts[int(seed)%len(shardCounts)]
@@ -196,7 +211,7 @@ func TestEngineShardDifferential(t *testing.T) {
 					rbr.Truncated++
 				}
 			}
-			br, err := sh.ApplyBatch(batch)
+			br, err := apply(sh, batch)
 			if err != nil {
 				t.Fatalf("seed %d: sharded batch at %d: %v", seed, start, err)
 			}
@@ -244,6 +259,40 @@ func TestEngineShardRejectionParity(t *testing.T) {
 	}
 	compareEngines(t, ref, sh, "after rejection")
 	compareStats(t, ref, sh, "after rejection")
+}
+
+// TestEngineStreamRejectionParity pins ApplyStream's rejection
+// contract against ApplyBatch on the serial engine: same typed error,
+// same Applied index and partial totals, identical state — the
+// prevalidation overlay must reject exactly where per-event
+// validation would.
+func TestEngineStreamRejectionParity(t *testing.T) {
+	n1, trace, initial := zonedSetup(t, 99, 4, 12, 40, 60)
+	ref := newEngine(t, n1, Config{ActiveUsers: initial})
+	n2, _, _ := zonedSetup(t, 99, 4, 12, 40, 60)
+	st := newEngine(t, n2, Config{ActiveUsers: initial})
+
+	batch := append([]Event{}, trace[:10]...)
+	batch = append(batch, Event{Kind: UserJoin, User: 0, Pos: zoneOrigin(0), Session: 0})
+	batch = append(batch, trace[10:20]...)
+
+	rbr, rerr := ref.ApplyBatch(batch)
+	sbr, serr := st.ApplyStream(batch)
+	var rinv, sinv *InvalidEventError
+	if !errors.As(rerr, &rinv) || !errors.As(serr, &sinv) {
+		t.Fatalf("errors not InvalidEventError: batch %v, stream %v", rerr, serr)
+	}
+	if rerr.Error() != serr.Error() {
+		t.Fatalf("error mismatch:\nbatch:  %v\nstream: %v", rerr, serr)
+	}
+	if rbr != sbr {
+		t.Fatalf("partial results differ: batch %+v, stream %+v", rbr, sbr)
+	}
+	if rbr.Applied != 10 {
+		t.Fatalf("Applied = %d, want 10", rbr.Applied)
+	}
+	compareEngines(t, ref, st, "after stream rejection")
+	compareStats(t, ref, st, "after stream rejection")
 }
 
 // twoRegionEngines builds matching serial and sharded engines over a

@@ -30,9 +30,9 @@ import (
 // A Grid is immutable; the indexed points never move (APs are fixed —
 // moving users query the grid, they are not in it).
 type Grid struct {
-	cell         float64
-	cols, rows   int
-	minX, minY   float64
+	cell       float64
+	cols, rows int
+	minX, minY float64
 	// CSR bucket layout: ids[start[c]:start[c+1]] are the point ids in
 	// cell c = cy*cols + cx, ascending. A flat layout costs one slice
 	// header total instead of one per cell.

@@ -25,10 +25,10 @@ import (
 func LintProm(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	types := make(map[string]string)   // family -> TYPE
-	helped := make(map[string]bool)    // family -> HELP seen
-	sampled := make(map[string]bool)   // family -> sample seen
-	seen := make(map[string]bool)      // name+labels -> dup check
+	types := make(map[string]string) // family -> TYPE
+	helped := make(map[string]bool)  // family -> HELP seen
+	sampled := make(map[string]bool) // family -> sample seen
+	seen := make(map[string]bool)    // name+labels -> dup check
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++

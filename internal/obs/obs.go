@@ -388,6 +388,56 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Sub returns the snapshot of observations that landed between prev
+// and s — the tool for "what did this run cost" deltas against a
+// live histogram (loadgen diffs the daemon's latency histogram around
+// a replay this way). Both snapshots must come from the same
+// histogram; mismatched bounds panic rather than mis-bucket.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	if len(prev.Bounds) != len(s.Bounds) {
+		panic("obs: HistogramSnapshot.Sub on snapshots with different bounds")
+	}
+	d := HistogramSnapshot{
+		Bounds: append([]float64(nil), s.Bounds...),
+		Counts: make([]uint64, len(s.Counts)),
+		Sum:    s.Sum - prev.Sum,
+		Count:  s.Count - prev.Count,
+	}
+	for i := range s.Counts {
+		d.Counts[i] = s.Counts[i] - prev.Counts[i]
+	}
+	return d
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucketed
+// counts, Prometheus histogram_quantile style: find the bucket the
+// rank lands in and interpolate linearly inside it (from 0 for the
+// first bucket). Observations beyond the last finite bound clamp to
+// that bound — a bucketed histogram cannot say more. Returns NaN for
+// an empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || q < 0 || q > 1 || len(s.Bounds) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(s.Count)
+	for i, b := range s.Bounds {
+		c := float64(s.Counts[i])
+		if c < rank {
+			continue
+		}
+		lo, lc := 0.0, 0.0
+		if i > 0 {
+			lo, lc = s.Bounds[i-1], float64(s.Counts[i-1])
+		}
+		if c == lc {
+			return b
+		}
+		return lo + (b-lo)*(rank-lc)/(c-lc)
+	}
+	// rank fell in the +Inf bucket.
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 func (h *Histogram) writeProm(w io.Writer, name, labels string) error {
 	s := h.Snapshot()
 	for i, b := range s.Bounds {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -71,6 +72,61 @@ func TestHistogramObserve(t *testing.T) {
 	if s.Sum < 100.5 || s.Sum > 100.6 {
 		t.Fatalf("sum = %v", s.Sum)
 	}
+}
+
+// TestHistogramQuantile pins the interpolation contract Quantile
+// promises (Prometheus histogram_quantile semantics) on a hand-checked
+// histogram: bounds {1,2,4}, 4 observations in (1,2] and 4 in (2,4].
+func TestHistogramQuantile(t *testing.T) {
+	s := HistogramSnapshot{
+		Bounds: []float64{1, 2, 4},
+		Counts: []uint64{0, 4, 8, 8},
+		Count:  8,
+	}
+	cases := []struct{ q, want float64 }{
+		{0.5, 2},    // rank 4 is exactly the le=2 boundary
+		{0.25, 1.5}, // rank 2, halfway through (1,2]
+		{0.75, 3},   // rank 6, halfway through (2,4]
+		{1, 4},      // top of the last occupied bucket
+		{0.05, 1.1}, // rank 0.4 interpolates from the bucket's lower bound
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN((HistogramSnapshot{Bounds: []float64{1}, Counts: []uint64{0, 0}}).Quantile(0.5)) {
+		t.Error("Quantile of empty snapshot should be NaN")
+	}
+	// Mass beyond the last finite bound clamps to that bound.
+	inf := HistogramSnapshot{Bounds: []float64{1}, Counts: []uint64{0, 3}, Count: 3}
+	if got := inf.Quantile(0.99); got != 1 {
+		t.Errorf("Quantile in +Inf bucket = %v, want clamp to 1", got)
+	}
+}
+
+// TestHistogramSnapshotSub checks the before/after delta loadgen uses
+// to isolate one replay's latency distribution from a live daemon.
+func TestHistogramSnapshotSub(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "H.", []float64{1, 2})
+	h.Observe(0.5)
+	before := h.Snapshot()
+	h.Observe(0.5)
+	h.Observe(1.5)
+	d := h.Snapshot().Sub(before)
+	if d.Count != 2 || d.Sum != 2 {
+		t.Fatalf("delta count/sum = %d/%v, want 2/2", d.Count, d.Sum)
+	}
+	if d.Counts[0] != 1 || d.Counts[1] != 2 || d.Counts[2] != 2 {
+		t.Fatalf("delta cumulative counts = %v, want [1 2 2]", d.Counts)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Sub with mismatched bounds should panic")
+		}
+	}()
+	d.Sub(HistogramSnapshot{})
 }
 
 func TestLabelEscaping(t *testing.T) {

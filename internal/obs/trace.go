@@ -90,7 +90,7 @@ var Disabled Recorder = disabled{}
 
 type disabled struct{}
 
-func (disabled) Record(Event) {}
+func (disabled) Record(Event)  {}
 func (disabled) Enabled() bool { return false }
 
 // Ring is a fixed-capacity in-memory Recorder: the newest events are
@@ -237,8 +237,8 @@ type Sampler struct {
 	n     uint64
 	inner Recorder
 
-	mu    sync.Mutex
-	seen  map[string]uint64
+	mu   sync.Mutex
+	seen map[string]uint64
 }
 
 // NewSampler wraps inner with 1-in-n per-type sampling.

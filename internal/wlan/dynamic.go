@@ -40,9 +40,12 @@ func (n *Network) MoveUser(u int, pos geom.Point) error {
 	if u < 0 || u >= len(n.Users) {
 		return fmt.Errorf("wlan: MoveUser: unknown user %d", u)
 	}
-	cand := n.grid.Near(pos, nil)
+	// The candidate and rate buffers are per-network scratch: Near
+	// appends into the reused backing array and setUserLinks does not
+	// retain its arguments, so steady-state moves allocate nothing.
+	cand := n.grid.Near(pos, n.mvAPs[:0])
 	aps := cand[:0]
-	rates := make([]radio.Mbps, 0, len(cand))
+	rates := n.mvRates[:0]
 	for _, a := range cand {
 		if r, ok := n.table.RateFor(n.APs[a].Pos.Dist(pos)); ok {
 			aps = append(aps, a)
@@ -51,6 +54,8 @@ func (n *Network) MoveUser(u int, pos geom.Point) error {
 	}
 	n.Users[u].Pos = pos
 	n.setUserLinks(u, aps, rates, -1)
+	// aps is a prefix of cand, so cand carries the grown capacity.
+	n.mvAPs, n.mvRates = cand[:0], rates[:0]
 	return nil
 }
 

@@ -53,6 +53,11 @@ type shardAcct struct {
 	rateDelta map[radio.Mbps]int
 	// downAPs is the ascending list of this shard's down APs.
 	downAPs []int
+	// mvAPs/mvRates are this shard's MoveUser candidate scratch; only
+	// the owning shard's goroutine touches it during a batch, so the
+	// sharded move path is allocation-free too.
+	mvAPs   []int
+	mvRates []radio.Mbps
 }
 
 // ShardView is one shard's mutation handle onto a sharded Network.
@@ -151,9 +156,12 @@ func (v ShardView) MoveUser(u int, pos geom.Point) error {
 	if u < 0 || u >= len(n.Users) {
 		return fmt.Errorf("wlan: MoveUser: unknown user %d", u)
 	}
-	cand := n.grid.Near(pos, nil)
+	// Same scratch-buffer discipline as the serial Network.MoveUser,
+	// but against the shard's private buffers.
+	acct := &n.sh.accts[v.sh]
+	cand := n.grid.Near(pos, acct.mvAPs[:0])
 	aps := cand[:0]
-	rates := make([]radio.Mbps, 0, len(cand))
+	rates := acct.mvRates[:0]
 	for _, a := range cand {
 		if r, ok := n.table.RateFor(n.APs[a].Pos.Dist(pos)); ok {
 			if int(n.sh.shardOfAP[a]) != v.sh {
@@ -166,6 +174,7 @@ func (v ShardView) MoveUser(u int, pos geom.Point) error {
 	}
 	n.Users[u].Pos = pos
 	n.setUserLinks(u, aps, rates, v.sh)
+	acct.mvAPs, acct.mvRates = cand[:0], rates[:0]
 	return nil
 }
 

@@ -10,12 +10,20 @@ import (
 // disassociate. The distributed algorithms evaluate many hypothetical
 // "what if I joined AP a / left my AP" loads per decision; recomputing
 // from scratch would be O(users) each time, the tracker answers in
-// O(rates) using per-AP per-session rate multisets.
+// O(rate levels) using a dense per-AP per-session rate occupancy cube.
 type Tracker struct {
 	n *Network
-	// counts[ap][session][txRate] = number of associated users of that
-	// session whose multicast transmission rate from ap is txRate.
-	counts []map[int]map[radio.Mbps]int
+	// counts[(ap*nSess+s)*nLev+l] = number of associated session-s
+	// users whose multicast transmission rate from ap is levels[l].
+	// Dense over the network's fixed rate-level universe (Network.
+	// rateLevels) rather than nested maps, so the per-event hot path
+	// never allocates — the engine's zero-alloc contract depends on
+	// Associate/Disassociate/Move/LoadIf* staying allocation-free.
+	counts []uint32
+	// levels is the network's frozen ascending rate universe; nLev its
+	// length, nSess the session count (both fixed at construction).
+	levels      []radio.Mbps
+	nSess, nLev int
 	// load[ap] is the cached multicast load of ap.
 	load []float64
 	// total is the cached sum of load.
@@ -31,13 +39,13 @@ type Tracker struct {
 func NewTracker(n *Network, a *Assoc) (*Tracker, error) {
 	t := &Tracker{
 		n:      n,
-		counts: make([]map[int]map[radio.Mbps]int, n.NumAPs()),
+		levels: n.rateLevels,
+		nSess:  n.NumSessions(),
+		nLev:   len(n.rateLevels),
 		load:   make([]float64, n.NumAPs()),
 		apOf:   make([]int, n.NumUsers()),
 	}
-	for ap := range t.counts {
-		t.counts[ap] = make(map[int]map[radio.Mbps]int)
-	}
+	t.counts = make([]uint32, n.NumAPs()*t.nSess*t.nLev)
 	for u := range t.apOf {
 		t.apOf[u] = Unassociated
 	}
@@ -84,16 +92,30 @@ func (t *Tracker) Assoc() *Assoc {
 	return &Assoc{apOf: append([]int(nil), t.apOf...)}
 }
 
-// sessionMin returns the minimum rate present in a session multiset,
-// or 0 when the multiset is empty.
-func sessionMin(m map[radio.Mbps]int) radio.Mbps {
-	var min radio.Mbps
-	for r, c := range m {
-		if c > 0 && (min == 0 || r < min) {
-			min = r
+// base returns the offset of (ap, s)'s level row in counts.
+func (t *Tracker) base(ap, s int) int { return (ap*t.nSess + s) * t.nLev }
+
+// minLevel returns the minimum occupied rate of the level row at base,
+// or 0 when the row is empty (no user of that session on that AP).
+func (t *Tracker) minLevel(base int) radio.Mbps {
+	for l, c := range t.counts[base : base+t.nLev] {
+		if c > 0 {
+			return t.levels[l]
 		}
 	}
-	return min
+	return 0
+}
+
+// levelOf returns r's index in the rate-level universe, or -1. Linear
+// scan: the universe is a handful of PHY rates, and the list is sorted
+// ascending while lookups skew low, so this beats a binary search.
+func (t *Tracker) levelOf(r radio.Mbps) int {
+	for i, v := range t.levels {
+		if v == r {
+			return i
+		}
+	}
+	return -1
 }
 
 // Associate adds user u to AP ap, updating loads incrementally.
@@ -106,15 +128,15 @@ func (t *Tracker) Associate(u, ap int) error {
 	if !ok {
 		return fmt.Errorf("wlan: tracker: user %d out of range of AP %d", u, ap)
 	}
-	s := t.n.UserSession(u)
-	ss := t.counts[ap][s]
-	if ss == nil {
-		ss = make(map[radio.Mbps]int)
-		t.counts[ap][s] = ss
+	lv := t.levelOf(r)
+	if lv < 0 {
+		return fmt.Errorf("wlan: tracker: link %d→%d rate %v outside the network's rate levels", ap, u, r)
 	}
-	old := sessionMin(ss)
-	ss[r]++
-	now := sessionMin(ss)
+	s := t.n.UserSession(u)
+	b := t.base(ap, s)
+	old := t.minLevel(b)
+	t.counts[b+lv]++
+	now := t.minLevel(b)
 	t.bump(ap, s, old, now)
 	t.apOf[u] = ap
 	t.satisfied++
@@ -128,14 +150,15 @@ func (t *Tracker) Disassociate(u int) error {
 		return fmt.Errorf("wlan: tracker: user %d is not associated", u)
 	}
 	r, _ := t.n.TxRate(ap, u)
-	s := t.n.UserSession(u)
-	ss := t.counts[ap][s]
-	old := sessionMin(ss)
-	ss[r]--
-	if ss[r] == 0 {
-		delete(ss, r)
+	lv := t.levelOf(r)
+	if lv < 0 {
+		return fmt.Errorf("wlan: tracker: link %d→%d rate %v outside the network's rate levels", ap, u, r)
 	}
-	now := sessionMin(ss)
+	s := t.n.UserSession(u)
+	b := t.base(ap, s)
+	old := t.minLevel(b)
+	t.counts[b+lv]--
+	now := t.minLevel(b)
 	t.bump(ap, s, old, now)
 	t.apOf[u] = Unassociated
 	t.satisfied--
@@ -178,8 +201,7 @@ func (t *Tracker) LoadIfJoin(u, ap int) (float64, bool) {
 		return 0, false
 	}
 	s := t.n.UserSession(u)
-	ss := t.counts[ap][s]
-	old := sessionMin(ss)
+	old := t.minLevel(t.base(ap, s))
 	now := old
 	if old == 0 || r < old {
 		now = r
@@ -201,18 +223,20 @@ func (t *Tracker) LoadIfLeave(u int) (float64, int) {
 		return 0, Unassociated
 	}
 	r, _ := t.n.TxRate(ap, u)
+	lv := t.levelOf(r)
 	s := t.n.UserSession(u)
-	ss := t.counts[ap][s]
-	old := sessionMin(ss)
+	b := t.base(ap, s)
+	old := t.minLevel(b)
 	// Minimum after removing one copy of r.
 	var now radio.Mbps
-	for rr, c := range ss {
-		cc := c
-		if rr == r {
+	for l, c := range t.counts[b : b+t.nLev] {
+		cc := int(c)
+		if l == lv {
 			cc--
 		}
-		if cc > 0 && (now == 0 || rr < now) {
-			now = rr
+		if cc > 0 {
+			now = t.levels[l]
+			break
 		}
 	}
 	l := t.load[ap]

@@ -128,6 +128,19 @@ type Network struct {
 	rateCount map[radio.Mbps]int
 	// basicRate is the lowest rate of the rate set.
 	basicRate radio.Mbps
+	// rateLevels is the fixed ascending universe of rates a link can
+	// ever carry: the rate table's rows (for geometric networks, the
+	// only rates MoveUser can rederive) unioned with every physical
+	// link rate present at construction. Mutations only produce table
+	// rates (MoveUser) or restore construction rates (EnableAP), so
+	// the list is immutable after finish. Tracker indexes its dense
+	// per-(AP, session) occupancy counts by position in it.
+	rateLevels []radio.Mbps
+	// mvAPs/mvRates are MoveUser's reusable candidate scratch (serial
+	// mode only; sharded moves use the per-shard scratch in shardAcct),
+	// keeping the per-event hot path allocation-free.
+	mvAPs   []int
+	mvRates []radio.Mbps
 	// down[a] marks AP a as failed (fault.go); nil until the first
 	// DisableAP (preallocated when the network shards). Down APs keep
 	// their physical adjacency rows but are excluded from every
@@ -375,8 +388,29 @@ func (n *Network) finish() error {
 		}
 	}
 	n.rebuildRateSet()
+	// Freeze the rate-level universe (see the field comment). A map
+	// dedups the union; the sorted result is what Tracker scans.
+	seen := make(map[radio.Mbps]bool, len(n.rateCount)+8)
+	for r := range n.rateCount {
+		seen[r] = true
+	}
+	if n.table != nil {
+		for _, r := range n.table.Rates() {
+			seen[r] = true
+		}
+	}
+	n.rateLevels = make([]radio.Mbps, 0, len(seen))
+	for r := range seen {
+		n.rateLevels = append(n.rateLevels, r)
+	}
+	sortRates(n.rateLevels)
 	return nil
 }
+
+// RateLevels returns the fixed ascending universe of rates a link can
+// ever carry in this network. The slice is shared and immutable —
+// callers must not modify it.
+func (n *Network) RateLevels() []radio.Mbps { return n.rateLevels }
 
 func sortRates(rs []radio.Mbps) {
 	for i := 1; i < len(rs); i++ {

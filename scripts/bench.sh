@@ -42,6 +42,17 @@
 # measured), and the pair runs interleaved (base, obs, base, obs,
 # ...) over OBS_ROUNDS rounds (default 3) compared on minimum
 # ns/event, so monotone load drift cannot masquerade as overhead.
+# It also writes BENCH_serve.json next to the first output: the
+# daemon-side event throughput of the per-request /v1/events path vs
+# the /v1/events/stream NDJSON path (the BenchmarkServeEvents* pair in
+# cmd/assocd, over a real listener), with the stream/per-request
+# speedup. The streaming-ingest acceptance bar is >= 10x.
+#
+# Every summary records host_cpus and gomaxprocs so a reader can tell
+# single-core container numbers from real-parallelism numbers.
+#
+# BENCH_ONLY=engine|scale|obs|serve runs just that section (the full
+# run takes tens of minutes; the serve section alone takes seconds).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -52,6 +63,15 @@ tmp2="$(mktemp)"
 bin="$(mktemp)"
 trap 'rm -f "$tmp" "$tmp2" "$bin"' EXIT
 
+host_cpus="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+gomaxprocs="${GOMAXPROCS:-$host_cpus}"
+
+run_section() {
+    [ -z "${BENCH_ONLY:-}" ] || [ "${BENCH_ONLY}" = "$1" ]
+}
+
+if run_section engine; then
+
 echo "== go test -bench Engine ./internal/engine" >&2
 go test -run '^$' -bench 'BenchmarkEngine([^S]|$)' -benchmem -count 1 ./internal/engine | tee "$tmp" >&2
 
@@ -61,7 +81,7 @@ go test -run '^$' -bench 'BenchmarkEngine([^S]|$)' -benchmem -count 1 ./internal
 echo "== go test -bench EngineShards ./internal/engine (100k users, 3 passes each)" >&2
 go test -run '^$' -bench 'BenchmarkEngineShards' -benchmem -benchtime 3x -timeout 30m ./internal/engine | tee -a "$tmp" >&2
 
-awk '
+awk -v host_cpus="$host_cpus" '
 /^BenchmarkEngine/ {
     name = $1
     if (match(name, /-[0-9]+$/)) procs = substr(name, RSTART + 1)
@@ -89,6 +109,7 @@ END {
     if (inc > 0 && full > 0)
         printf ",\n  \"incremental_speedup\": %.2f", full / inc
     printf ",\n  \"gomaxprocs\": %d", procs
+    printf ",\n  \"host_cpus\": %d", host_cpus
     if (nsev["BenchmarkEngineShards1"] > 0) {
         split("1 2 4 8", sc, " ")
         printf ",\n  \"shards_curve\": [\n"
@@ -100,6 +121,8 @@ END {
         }
         printf "  ]"
         printf ",\n  \"shards_speedup_8x\": %.2f", nsev["BenchmarkEngineShards1"] / nsev["BenchmarkEngineShards8"]
+        if (host_cpus + 0 == 1)
+            printf ",\n  \"shards_curve_note\": \"measured in a 1-CPU container: S>1 points pay scheduling overhead with no real parallelism\""
     }
     printf "\n}\n"
 }' "$tmp" > "$out"
@@ -108,7 +131,7 @@ echo "wrote $out" >&2
 
 fault_out="$(dirname "$out")/BENCH_fault.json"
 
-awk '
+awk -v host_cpus="$host_cpus" -v gomaxprocs="$gomaxprocs" '
 /^BenchmarkEngineFaultRepair/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -125,18 +148,24 @@ END {
     printf "{\n"
     printf "  \"incremental_ns_per_event\": %s,\n", inc
     printf "  \"full_recompute_ns_per_event\": %s,\n", full
-    printf "  \"repair_speedup\": %.2f\n", full / inc
+    printf "  \"repair_speedup\": %.2f,\n", full / inc
+    printf "  \"gomaxprocs\": %d,\n", gomaxprocs
+    printf "  \"host_cpus\": %d\n", host_cpus
     printf "}\n"
 }' "$tmp" > "$fault_out"
 
 echo "wrote $fault_out" >&2
+
+fi # engine
+
+if run_section scale; then
 
 scale_out="$(dirname "$out")/BENCH_scale.json"
 
 echo "== go test -bench NewGeometric ./internal/wlan (dense vs sparse, 1x)" >&2
 go test -run '^$' -bench 'BenchmarkNewGeometric' -benchmem -benchtime 1x ./internal/wlan | tee "$tmp2" >&2
 
-awk '
+awk -v host_cpus="$host_cpus" -v gomaxprocs="$gomaxprocs" '
 /^BenchmarkNewGeometric/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -168,11 +197,17 @@ END {
     printf "  \"target_speedup_100k\": 10,\n"
     printf "  \"target_alloc_ratio_100k\": 10,\n"
     ok = (nsop["Dense100k"] / nsop["Sparse100k"] >= 10 && bop["Dense100k"] / bop["Sparse100k"] >= 10)
-    printf "  \"within_target\": %s\n", (ok ? "true" : "false")
+    printf "  \"within_target\": %s,\n", (ok ? "true" : "false")
+    printf "  \"gomaxprocs\": %d,\n", gomaxprocs
+    printf "  \"host_cpus\": %d\n", host_cpus
     printf "}\n"
 }' "$tmp2" > "$scale_out"
 
 echo "wrote $scale_out" >&2
+
+fi # scale
+
+if run_section obs; then
 
 obs_out="$(dirname "$out")/BENCH_obs.json"
 rounds="${OBS_ROUNDS:-3}"
@@ -187,7 +222,7 @@ while [ "$i" -lt "$rounds" ]; do
     i=$((i + 1))
 done
 
-awk '
+awk -v host_cpus="$host_cpus" -v gomaxprocs="$gomaxprocs" '
 /^BenchmarkEngineIncremental/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -208,8 +243,48 @@ END {
     printf "  \"instrumented_ns_per_event\": %s,\n", inst
     printf "  \"overhead_fraction\": %.4f,\n", frac
     printf "  \"target_fraction\": 0.05,\n"
-    printf "  \"within_target\": %s\n", (frac < 0.05 ? "true" : "false")
+    printf "  \"within_target\": %s,\n", (frac < 0.05 ? "true" : "false")
+    printf "  \"gomaxprocs\": %d,\n", gomaxprocs
+    printf "  \"host_cpus\": %d\n", host_cpus
     printf "}\n"
 }' "$tmp2" > "$obs_out"
 
 echo "wrote $obs_out" >&2
+
+fi # obs
+
+if run_section serve; then
+
+serve_out="$(dirname "$out")/BENCH_serve.json"
+
+echo "== go test -bench ServeEvents ./cmd/assocd (per-request vs stream)" >&2
+go test -run '^$' -bench 'BenchmarkServeEvents' -benchtime "${SERVE_BENCHTIME:-2s}" ./cmd/assocd | tee "$tmp2" >&2
+
+awk -v host_cpus="$host_cpus" -v gomaxprocs="$gomaxprocs" '
+/^BenchmarkServeEvents/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i < NF; i++)
+        if ($(i+1) == "events/s") eps[name] = $i
+}
+END {
+    pr = eps["BenchmarkServeEventsPerRequest"]
+    st = eps["BenchmarkServeEventsStream"]
+    if (pr <= 0 || st <= 0) {
+        print "bench.sh: missing ServeEventsPerRequest/Stream pair" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n"
+    printf "  \"per_request_events_per_sec\": %.0f,\n", pr
+    printf "  \"stream_events_per_sec\": %.0f,\n", st
+    printf "  \"stream_speedup\": %.2f,\n", st / pr
+    printf "  \"target_speedup\": 10,\n"
+    printf "  \"within_target\": %s,\n", (st / pr >= 10 ? "true" : "false")
+    printf "  \"gomaxprocs\": %d,\n", gomaxprocs
+    printf "  \"host_cpus\": %d\n", host_cpus
+    printf "}\n"
+}' "$tmp2" > "$serve_out"
+
+echo "wrote $serve_out" >&2
+
+fi # serve

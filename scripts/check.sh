@@ -23,9 +23,12 @@
 #      drop below their pre-sparse-core floors (the sparse spatial
 #      core rewrote both packages; the gate keeps later PRs from
 #      eroding the equivalence suite that pins it)
-#   6. a fuzz smoke pass: ~10s per fuzz target (events decoder,
-#      scenario loader, LP solver) so corpus regressions surface in
-#      CI, not just in long local fuzz runs
+#   6. the allocation gate: the engine's steady-state incremental
+#      event path must stay <= 2 allocs/event (it measures ~0; the
+#      streaming ingest subsystem depends on this not rotting)
+#   7. a fuzz smoke pass: ~10s per fuzz target (events decoder,
+#      NDJSON stream handler, scenario loader, LP solver) so corpus
+#      regressions surface in CI, not just in long local fuzz runs
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -65,8 +68,12 @@ END {
     }
 }'
 
+echo "== allocation gate (engine event path <= 2 allocs/event)"
+go test -run 'TestEngineEventAllocGate' -count 1 ./internal/engine
+
 echo "== fuzz smoke (10s per target)"
 go test -run '^$' -fuzz 'FuzzDecodeEvents' -fuzztime 10s ./cmd/assocd
+go test -run '^$' -fuzz 'FuzzStreamEvents' -fuzztime 10s ./cmd/assocd
 go test -run '^$' -fuzz 'FuzzLoad' -fuzztime 10s ./internal/scenario
 go test -run '^$' -fuzz 'FuzzSolve' -fuzztime 10s ./internal/lp
 
