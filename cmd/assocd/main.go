@@ -17,9 +17,10 @@
 // engine in internal/engine. Event batches are applied concurrently
 // across -shards spatial shard workers (default GOMAXPROCS; a
 // scenario request can override per scenario). Ctrl-C / SIGTERM shuts
-// it down gracefully.
+// it down gracefully; SIGQUIT dumps the engine's flight recorder to
+// stderr without stopping it.
 //
-//	assocd -serve [-addr 127.0.0.1:8700] [-shards N]
+//	assocd -serve [-addr 127.0.0.1:8700] [-shards N] [-stall-timeout 30s]
 package main
 
 import (
@@ -65,6 +66,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	serve := fs.Bool("serve", false, "run as a long-lived association daemon (HTTP JSON API)")
 	addr := fs.String("addr", "127.0.0.1:8700", "listen address with -serve")
 	shards := fs.Int("shards", runtime.GOMAXPROCS(0), "engine shard workers for -serve scenarios (>= 1)")
+	stall := fs.Duration("stall-timeout", 30*time.Second, "with -serve, dump the flight recorder when a shard worker makes no progress this long (0 disables the watchdog)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -80,7 +82,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "assocd: %v\n", err)
 			return 1
 		}
-		if err := serveOn(ctx, ln, stderr, *shards); err != nil {
+		if err := serveOn(ctx, ln, stderr, *shards, *stall); err != nil {
 			fmt.Fprintf(stderr, "assocd: %v\n", err)
 			return 1
 		}

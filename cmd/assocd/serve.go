@@ -10,10 +10,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"wlanmcast/internal/core"
@@ -39,13 +41,19 @@ import (
 //	POST /v1/events        apply churn events (one object or an array)
 //	POST /v1/events/stream apply an NDJSON event stream with windowed acks
 //	POST /v1/trace         generate + apply a seeded Poisson churn trace
+//	GET  /v1/status        engine summary + per-shard breakdown
 //	GET  /v1/assoc         association snapshot
 //	PUT  /v1/assoc         force-install an association (validated)
 //	GET  /v1/loads         per-AP load vector, total, max
 //	GET  /v1/trace/export  ring-buffered trace events as JSONL
+//	GET  /v1/debug/flightrecord  flight-recorder span dump (JSON)
 //	GET  /metrics          Prometheus-style text exposition
 //	GET  /debug/pprof/*    runtime profiles
 //	GET  /healthz          liveness
+//
+// SIGQUIT also dumps the flight recorder to the error log, the
+// classic "what is the daemon doing right now" lever when the HTTP
+// plane itself is wedged.
 type server struct {
 	mu      sync.Mutex
 	eng     *engine.Engine
@@ -65,11 +73,18 @@ type server struct {
 	// shards is the engine shard count for scenarios that do not ask
 	// for one explicitly (the -shards flag; defaults to GOMAXPROCS).
 	shards int
+	// stallTimeout arms the engine watchdog on every loaded scenario
+	// (the -stall-timeout flag; 0 leaves it off).
+	stallTimeout time.Duration
+	// logmu serializes multi-line diagnostics (stall + SIGQUIT flight
+	// dumps) on errlog so concurrent dumps do not interleave.
+	logmu sync.Mutex
 
-	scenarios   *obs.Counter
-	httpLatency *obs.Histogram
-	panics      *obs.Counter
-	shardsGauge *obs.Gauge
+	scenarios     *obs.Counter
+	httpLatency   *obs.Histogram
+	panics        *obs.Counter
+	shardsGauge   *obs.Gauge
+	watchdogDumps *obs.Counter
 
 	// streamSlot is the /v1/events/stream single-flight guard: one
 	// stream at a time, extras get 429 + Retry-After.
@@ -87,8 +102,9 @@ type server struct {
 // cardinality.
 var servedPaths = map[string]bool{
 	"/v1/scenario": true, "/v1/events": true, "/v1/events/stream": true,
-	"/v1/trace": true, "/v1/assoc": true, "/v1/loads": true,
-	"/v1/trace/export": true, "/metrics": true, "/healthz": true,
+	"/v1/trace": true, "/v1/status": true, "/v1/assoc": true, "/v1/loads": true,
+	"/v1/trace/export": true, "/v1/debug/flightrecord": true,
+	"/metrics": true, "/healthz": true,
 }
 
 func newServer() *server {
@@ -114,6 +130,7 @@ func newServer() *server {
 	s.streamWindows = s.base.Counter("assocd_stream_windows_total", "Ack windows completed on the streaming endpoint.")
 	s.streamErrors = s.base.Counter("assocd_stream_errors_total", "Error frames sent on the streaming endpoint.")
 	s.streamBusy = s.base.Counter("assocd_stream_busy_total", "Streams rejected with 429 because another stream was active.")
+	s.watchdogDumps = s.base.Counter("assocd_watchdog_dumps_total", "Flight-recorder dumps triggered by the shard-stall watchdog.")
 	s.base.GaugeFunc("assocd_trace_events", "Trace events recorded over the daemon's lifetime.",
 		func() float64 { return float64(s.ring.Total()) })
 	s.base.GaugeFunc("assocd_trace_dropped", "Trace events evicted from the export ring.",
@@ -123,8 +140,10 @@ func newServer() *server {
 	s.mux.HandleFunc("/v1/events/stream", s.handleEventsStream)
 	s.mux.HandleFunc("/v1/trace", s.handleTrace)
 	s.mux.HandleFunc("/v1/trace/export", s.handleTraceExport)
+	s.mux.HandleFunc("/v1/status", s.handleStatus)
 	s.mux.HandleFunc("/v1/assoc", s.handleAssoc)
 	s.mux.HandleFunc("/v1/loads", s.handleLoads)
+	s.mux.HandleFunc("/v1/debug/flightrecord", s.handleFlightRecord)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -166,12 +185,28 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // client cannot pin a connection (and its goroutine) forever; the
 // write timeout still leaves room for the longest legitimate response,
 // a 30s pprof CPU profile.
-func serveOn(ctx context.Context, ln net.Listener, stderr io.Writer, shards int) error {
+func serveOn(ctx context.Context, ln net.Listener, stderr io.Writer, shards int, stall time.Duration) error {
 	h := newServer()
 	h.errlog = stderr
 	if shards > 0 {
 		h.shards = shards
 	}
+	h.stallTimeout = stall
+	// SIGQUIT dumps the flight recorder to stderr without stopping the
+	// daemon — usable even when the HTTP plane is wedged.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGQUIT)
+	defer signal.Stop(sigc)
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-sigc:
+				h.dumpFlight("SIGQUIT")
+			}
+		}
+	}()
 	srv := &http.Server{
 		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
@@ -228,6 +263,19 @@ type statusResponse struct {
 	Satisfied   int     `json:"satisfied"`
 	TotalLoad   float64 `json:"total_load"`
 	MaxLoad     float64 `json:"max_load"`
+	// ShardStats breaks the engine down per shard: cumulative events,
+	// handoffs and busy time, the last batch's queue depth, current
+	// load and users.
+	ShardStats []engine.ShardStat `json:"shard_stats,omitempty"`
+	// Flight summarizes the flight recorder (absent when disabled).
+	Flight *flightSummary `json:"flight,omitempty"`
+}
+
+// flightSummary is the /v1/status view of the flight recorder; the
+// full span dump lives on /v1/debug/flightrecord.
+type flightSummary struct {
+	Spans    uint64 `json:"spans"`    // spans ever recorded
+	Capacity int    `json:"capacity"` // ring size
 }
 
 type traceRequest struct {
@@ -307,6 +355,8 @@ func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		Shards:        shards,
 		Obs:           obs.NewRegistry(),
 		Trace:         s.ring,
+		StallTimeout:  s.stallTimeout,
+		OnStall:       s.onStall,
 	})
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "build engine: %v", err)
@@ -451,6 +501,76 @@ func (s *server) remapTrace(trace []engine.Event) error {
 	return nil
 }
 
+// handleStatus reports the engine summary plus the per-shard
+// breakdown — the operator's first stop before reaching for the
+// flight recorder or pprof.
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng == nil {
+		httpError(w, http.StatusConflict, "no scenario loaded; POST /v1/scenario first")
+		return
+	}
+	writeJSON(w, s.status(s.eng))
+}
+
+// handleFlightRecord dumps the engine's flight recorder: the last N
+// completed pipeline spans plus any open span per shard worker. With
+// the recorder disabled (flight_spans < 0) the dump is empty.
+func (s *server) handleFlightRecord(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	eng := s.eng
+	s.mu.Unlock()
+	if eng == nil {
+		httpError(w, http.StatusConflict, "no scenario loaded; POST /v1/scenario first")
+		return
+	}
+	// Snapshot is lock-free on the engine side: safe while a batch is
+	// mid-flight, which is exactly when a dump is wanted.
+	writeJSON(w, eng.Flight().Snapshot())
+}
+
+// onStall is the engine watchdog callback: count the dump and write
+// it to the error log. The engine has already rate-limited episodes;
+// this must stay panic-free and cheap.
+func (s *server) onStall(si engine.StallInfo) {
+	s.watchdogDumps.Inc()
+	b, err := json.Marshal(si)
+	if err != nil {
+		b = []byte(fmt.Sprintf(`{"worker": %d}`, si.Worker))
+	}
+	s.logmu.Lock()
+	defer s.logmu.Unlock()
+	fmt.Fprintf(s.errlog, "assocd: shard worker %d stalled %v; flight dump: %s\n", si.Worker, si.Stalled, b)
+}
+
+// dumpFlight writes the current engine's flight-recorder dump to the
+// error log (the SIGQUIT path).
+func (s *server) dumpFlight(why string) {
+	s.mu.Lock()
+	eng := s.eng
+	s.mu.Unlock()
+	s.logmu.Lock()
+	defer s.logmu.Unlock()
+	if eng == nil {
+		fmt.Fprintf(s.errlog, "assocd: %s flight dump: no scenario loaded\n", why)
+		return
+	}
+	b, err := json.Marshal(eng.Flight().Snapshot())
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(s.errlog, "assocd: %s flight dump: %s\n", why, b)
+}
+
 func (s *server) handleAssoc(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
@@ -541,7 +661,7 @@ func (s *server) handleTraceExport(w http.ResponseWriter, r *http.Request) {
 // status must be called with mu held (or on a fresh engine).
 func (s *server) status(eng *engine.Engine) statusResponse {
 	snap := eng.Snapshot()
-	return statusResponse{
+	resp := statusResponse{
 		APs:         eng.NumAPs(),
 		Users:       eng.NumUsers(),
 		Shards:      eng.Shards(),
@@ -549,7 +669,12 @@ func (s *server) status(eng *engine.Engine) statusResponse {
 		Satisfied:   snap.SatisfiedCount(),
 		TotalLoad:   eng.TotalLoad(),
 		MaxLoad:     eng.MaxLoad(),
+		ShardStats:  eng.ShardStats(),
 	}
+	if f := eng.Flight(); f != nil {
+		resp.Flight = &flightSummary{Spans: f.Total(), Capacity: f.Capacity()}
+	}
+	return resp
 }
 
 // --- plumbing ---

@@ -1,0 +1,317 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"wlanmcast/internal/obs"
+)
+
+// TestServeStatus pins GET /v1/status: 409 before a scenario, then
+// the engine summary with a per-shard breakdown that partitions the
+// applied-event total, and a flight-recorder summary.
+func TestServeStatus(t *testing.T) {
+	ts := testServer(t)
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/status", nil, nil); code != http.StatusConflict {
+		t.Fatalf("GET /v1/status before scenario = %d, want 409", code)
+	}
+
+	var st statusResponse
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/scenario", scenarioRequest{
+		APs: 20, Users: 50, Sessions: 3, Seed: 7, ActiveUsers: 30, Shards: 3,
+	}, &st)
+	if code != http.StatusOK {
+		t.Fatalf("POST /v1/scenario = %d: %s", code, raw)
+	}
+	var ev eventsResponse
+	if code, raw := doJSON(t, "POST", ts.URL+"/v1/trace", traceRequest{Seed: 11, Events: 80}, &ev); code != http.StatusOK {
+		t.Fatalf("POST /v1/trace = %d: %s", code, raw)
+	}
+
+	st = statusResponse{}
+	if code, raw := doJSON(t, "GET", ts.URL+"/v1/status", nil, &st); code != http.StatusOK {
+		t.Fatalf("GET /v1/status = %d: %s", code, raw)
+	}
+	if len(st.ShardStats) != st.Shards || st.Shards != 3 {
+		t.Fatalf("status has %d shard stats for %d shards, want 3", len(st.ShardStats), st.Shards)
+	}
+	var events uint64
+	var users int
+	for i, ss := range st.ShardStats {
+		if ss.Shard != i {
+			t.Errorf("shard_stats[%d].shard = %d", i, ss.Shard)
+		}
+		if ss.QueueDepth != 0 {
+			t.Errorf("shard %d queue depth %d at rest, want 0", i, ss.QueueDepth)
+		}
+		events += ss.Events
+		users += ss.Users
+	}
+	if events != 80 {
+		t.Errorf("sum shard events = %d, want 80", events)
+	}
+	if users != st.ActiveUsers {
+		t.Errorf("sum shard users = %d, want %d", users, st.ActiveUsers)
+	}
+	if st.Flight == nil || st.Flight.Spans == 0 || st.Flight.Capacity != obs.DefaultFlightSpans {
+		t.Errorf("flight summary = %+v, want spans > 0 and capacity %d", st.Flight, obs.DefaultFlightSpans)
+	}
+}
+
+// TestServeFlightRecord pins GET /v1/debug/flightrecord: a JSON
+// flight dump whose spans carry resolved stage names.
+func TestServeFlightRecord(t *testing.T) {
+	ts := testServer(t)
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/debug/flightrecord", nil, nil); code != http.StatusConflict {
+		t.Fatalf("GET /v1/debug/flightrecord before scenario = %d, want 409", code)
+	}
+	loadScenario(t, ts)
+	var ev eventsResponse
+	if code, raw := doJSON(t, "POST", ts.URL+"/v1/trace", traceRequest{Seed: 5, Events: 60}, &ev); code != http.StatusOK {
+		t.Fatalf("POST /v1/trace = %d: %s", code, raw)
+	}
+	var dump obs.FlightDump
+	if code, raw := doJSON(t, "GET", ts.URL+"/v1/debug/flightrecord", nil, &dump); code != http.StatusOK {
+		t.Fatalf("GET /v1/debug/flightrecord = %d: %s", code, raw)
+	}
+	if dump.Total == 0 || len(dump.Spans) == 0 {
+		t.Fatalf("empty flight dump after 60 events: %+v", dump)
+	}
+	if dump.Capacity != obs.DefaultFlightSpans {
+		t.Errorf("dump capacity = %d, want %d", dump.Capacity, obs.DefaultFlightSpans)
+	}
+	stages := map[string]bool{
+		"validate": true, "queue_wait": true, "apply": true,
+		"handoff_depart": true, "handoff_arrive": true, "reduce": true,
+	}
+	for _, sp := range dump.Spans {
+		if !stages[sp.Stage] {
+			t.Fatalf("span with unknown stage %q: %+v", sp.Stage, sp)
+		}
+	}
+	if len(dump.Open) != 0 {
+		t.Errorf("open spans at rest: %+v", dump.Open)
+	}
+}
+
+// syncWriter is a mutex-guarded buffer for capturing errlog output
+// written from daemon goroutines.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestServeSIGQUITDump sends the daemon a real SIGQUIT and checks the
+// flight-recorder dump lands on the error log, without stopping the
+// server.
+func TestServeSIGQUITDump(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	log := &syncWriter{}
+	done := make(chan error, 1)
+	go func() { done <- serveOn(ctx, ln, log, 2, 0) }()
+
+	base := fmt.Sprintf("http://%s", ln.Addr())
+	waitFor := func(what string, ok func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !ok() {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never happened; log:\n%s", what, log.String())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitFor("server up", func() bool {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			return false
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return true
+	})
+
+	// Before a scenario loads, the dump reports that instead of a
+	// recorder.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGQUIT); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("no-scenario dump", func() bool {
+		return strings.Contains(log.String(), "SIGQUIT flight dump: no scenario loaded")
+	})
+
+	if code, raw := doJSON(t, "POST", base+"/v1/scenario", scenarioRequest{
+		APs: 20, Users: 50, Sessions: 3, Seed: 7, ActiveUsers: 30,
+	}, nil); code != http.StatusOK {
+		t.Fatalf("POST /v1/scenario = %d: %s", code, raw)
+	}
+	if code, raw := doJSON(t, "POST", base+"/v1/trace", traceRequest{Seed: 5, Events: 40}, nil); code != http.StatusOK {
+		t.Fatalf("POST /v1/trace = %d: %s", code, raw)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGQUIT); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("flight dump", func() bool {
+		i := strings.LastIndex(log.String(), "SIGQUIT flight dump: {")
+		if i < 0 {
+			return false
+		}
+		line := log.String()[i+len("SIGQUIT flight dump: "):]
+		if j := strings.IndexByte(line, '\n'); j >= 0 {
+			line = line[:j]
+		}
+		var dump obs.FlightDump
+		if err := json.Unmarshal([]byte(line), &dump); err != nil {
+			t.Fatalf("SIGQUIT dump is not a FlightDump: %v\n%s", err, line)
+		}
+		return dump.Total > 0
+	})
+
+	// Still serving after two SIGQUITs.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("daemon gone after SIGQUIT: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveOn returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveOn did not shut down")
+	}
+}
+
+// TestServeStreamMetricsConsistency holds a stream open mid-flight
+// and asserts the assocd_stream_* and per-shard series stay
+// consistent through 429 contention and a mid-stream error frame:
+// connections count only admitted streams, busy counts the rejected
+// one, error frames count once, and the per-shard event series sum to
+// exactly the stream's applied events.
+func TestServeStreamMetricsConsistency(t *testing.T) {
+	ts := testServer(t)
+	var st statusResponse
+	if code, raw := doJSON(t, "POST", ts.URL+"/v1/scenario", scenarioRequest{
+		APs: 20, Users: 50, Sessions: 3, Seed: 7, ActiveUsers: 30, Shards: 3,
+	}, &st); code != http.StatusOK {
+		t.Fatalf("POST /v1/scenario = %d: %s", code, raw)
+	}
+
+	// Open a window=1 stream over a pipe so it stays live between
+	// events.
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/events/stream?window=1", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("stream = %d: %s", resp.StatusCode, raw)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	nextFrame := func() streamFrame {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("stream ended early: %v", sc.Err())
+		}
+		var f streamFrame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			t.Fatalf("bad frame %q: %v", sc.Text(), err)
+		}
+		return f
+	}
+
+	// Two valid events, acked one window each.
+	for i, line := range []string{
+		`{"kind":"join","user":30,"session":1,"pos":{"x":100,"y":100}}`,
+		`{"kind":"move","user":30,"pos":{"x":600,"y":500}}`,
+	} {
+		if _, err := io.WriteString(pw, line+"\n"); err != nil {
+			t.Fatal(err)
+		}
+		f := nextFrame()
+		if f.Ack == nil || f.Ack.Seq != i+1 {
+			t.Fatalf("event %d: frame %+v, want ack with seq %d", i, f, i+1)
+		}
+	}
+
+	// A second stream while the first holds the slot: honest 429.
+	if code, frames := postStream(t, ts.URL+"/v1/events/stream", ""); code != http.StatusTooManyRequests {
+		t.Fatalf("concurrent stream = %d (%+v), want 429", code, frames)
+	}
+
+	// An invalid event (join of an active user) terminates the stream
+	// with one in-band error frame.
+	if _, err := io.WriteString(pw, `{"kind":"join","user":0,"session":0,"pos":{"x":100,"y":100}}`+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	f := nextFrame()
+	if f.Error == "" || f.Event != 2 {
+		t.Fatalf("frame %+v, want error frame for event 2", f)
+	}
+	pw.Close()
+
+	text := getText(t, ts.URL+"/metrics")
+	for series, want := range map[string]float64{
+		"assocd_stream_connections_total": 1,
+		"assocd_stream_busy_total":        1,
+		"assocd_stream_errors_total":      1,
+		"assocd_stream_events_total":      2,
+		"assocd_stream_windows_total":     2,
+		"assocd_stream_active":            0,
+		"assocd_watchdog_dumps_total":     0,
+	} {
+		if got := metricValue(t, text, series); got != want {
+			t.Errorf("%s = %v, want %v", series, got, want)
+		}
+	}
+	var shardSum float64
+	for s := 0; s < st.Shards; s++ {
+		shardSum += metricValue(t, text, fmt.Sprintf(`assocd_shard_events_total{shard="%d"}`, s))
+	}
+	if shardSum != 2 {
+		t.Errorf("per-shard events sum = %v, want 2 (the stream's applied events)", shardSum)
+	}
+	if err := obs.LintProm(strings.NewReader(text)); err != nil {
+		t.Errorf("exposition lint after stream churn: %v", err)
+	}
+}

@@ -6,7 +6,9 @@
 // daemon achieved — events/s plus the p50/p99 per-event re-decision
 // latency taken from the daemon's own assocd_event_latency_seconds
 // histogram (diffed around the run, so a shared daemon reports only
-// this replay's cost).
+// this replay's cost), and a per-stage p50/p99 breakdown
+// (queue-wait, apply, reduce, ...) diffed the same way from the
+// daemon's labeled assocd_stage_seconds family.
 //
 // Example, 50k events as fast as the daemon accepts them:
 //
@@ -60,6 +62,20 @@ type report struct {
 	P99Sec    float64 `json:"p99_s"`
 	TotalLoad float64 `json:"total_load"`
 	MaxLoad   float64 `json:"max_load"`
+	// Stages breaks the daemon-side cost down by pipeline stage
+	// (queue-wait, apply, reduce, ...), diffed around the run from
+	// the daemon's labeled assocd_stage_seconds family. Empty when
+	// the daemon does not expose the family (older daemon) or
+	// recorded nothing.
+	Stages []stageLatency `json:"stages,omitempty"`
+}
+
+// stageLatency is one row of the per-stage breakdown.
+type stageLatency struct {
+	Stage  string  `json:"stage"`
+	Count  uint64  `json:"count"`
+	P50Sec float64 `json:"p50_s"`
+	P99Sec float64 `json:"p99_s"`
 }
 
 // The daemon's stream frame shapes (mirrored here; cmd packages do
@@ -163,6 +179,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("scrape /metrics before run: %w", err)
 	}
+	stagesBefore, _, err := scrapeHistogramVec(base, "assocd_stage_seconds", "stage")
+	if err != nil {
+		return fmt.Errorf("scrape /metrics before run: %w", err)
+	}
 
 	rep, err := stream(base, trace, *window, *rate, stderr)
 	if err != nil {
@@ -178,6 +198,35 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if delta.Count > 0 {
 		rep.P50Sec = delta.Quantile(0.50)
 		rep.P99Sec = delta.Quantile(0.99)
+	}
+	stagesAfter, stageOrder, err := scrapeHistogramVec(base, "assocd_stage_seconds", "stage")
+	if err != nil {
+		return fmt.Errorf("scrape /metrics after run: %w", err)
+	}
+	for _, stg := range stageOrder {
+		cur := stagesAfter[stg]
+		// A stage family that appeared mid-run (or changed shape)
+		// cannot be diffed; attribute its whole history to this run
+		// rather than panicking in Sub.
+		d := cur
+		if prev, ok := stagesBefore[stg]; ok && len(prev.Bounds) == len(cur.Bounds) {
+			d = cur.Sub(prev)
+		}
+		if d.Count == 0 {
+			continue
+		}
+		rep.Stages = append(rep.Stages, stageLatency{
+			Stage: stg, Count: d.Count,
+			P50Sec: d.Quantile(0.50), P99Sec: d.Quantile(0.99),
+		})
+	}
+	if len(rep.Stages) > 0 {
+		fmt.Fprintf(stderr, "loadgen: per-stage latency (daemon-side, this run):\n")
+		fmt.Fprintf(stderr, "  %-16s %10s %12s %12s\n", "stage", "count", "p50", "p99")
+		for _, s := range rep.Stages {
+			fmt.Fprintf(stderr, "  %-16s %10d %12s %12s\n",
+				s.Stage, s.Count, fmtSeconds(s.P50Sec), fmtSeconds(s.P99Sec))
+		}
 	}
 
 	enc := json.NewEncoder(stdout)
@@ -348,6 +397,108 @@ func scrapeHistogram(base, name string) (obs.HistogramSnapshot, error) {
 		s.Counts = append(s.Counts, s.Count) // the +Inf slot
 	}
 	return s, nil
+}
+
+// scrapeHistogramVec fetches /metrics and rebuilds a one-key labeled
+// histogram family (series like `name_bucket{key="v",le="0.001"} 3`)
+// as one HistogramSnapshot per label value, plus the label values in
+// exposition order. A daemon without the family yields an empty map.
+func scrapeHistogramVec(base, name, key string) (map[string]obs.HistogramSnapshot, []string, error) {
+	snaps := map[string]*obs.HistogramSnapshot{}
+	var order []string
+	get := func(val string) *obs.HistogramSnapshot {
+		s, ok := snaps[val]
+		if !ok {
+			s = &obs.HistogramSnapshot{}
+			snaps[val] = s
+			order = append(order, val)
+		}
+		return s
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	labelStart := "{" + key + `="`
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		switch {
+		case strings.HasPrefix(rest, "_bucket"+labelStart):
+			rest = rest[len("_bucket")+len(labelStart):]
+			val, tail, ok := promQuoted(rest)
+			if !ok || !strings.HasPrefix(tail, ",") {
+				return nil, nil, fmt.Errorf("unparseable bucket line %q", line)
+			}
+			le, n, ok := promBucket(tail[1:])
+			if !ok {
+				return nil, nil, fmt.Errorf("unparseable bucket line %q", line)
+			}
+			if le == "+Inf" {
+				continue // mirrors Count; Snapshot stores it separately
+			}
+			b, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad le %q in %q", le, line)
+			}
+			s := get(val)
+			s.Bounds = append(s.Bounds, b)
+			s.Counts = append(s.Counts, n)
+		case strings.HasPrefix(rest, "_sum"+labelStart):
+			rest = rest[len("_sum")+len(labelStart):]
+			val, tail, ok := promQuoted(rest)
+			if !ok || !strings.HasPrefix(tail, "} ") {
+				return nil, nil, fmt.Errorf("unparseable sum line %q", line)
+			}
+			f, err := strconv.ParseFloat(strings.TrimSpace(tail[2:]), 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad sum line %q", line)
+			}
+			get(val).Sum = f
+		case strings.HasPrefix(rest, "_count"+labelStart):
+			rest = rest[len("_count")+len(labelStart):]
+			val, tail, ok := promQuoted(rest)
+			if !ok || !strings.HasPrefix(tail, "} ") {
+				return nil, nil, fmt.Errorf("unparseable count line %q", line)
+			}
+			n, err := strconv.ParseUint(strings.TrimSpace(tail[2:]), 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad count line %q", line)
+			}
+			get(val).Count = n
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	out := make(map[string]obs.HistogramSnapshot, len(snaps))
+	for val, s := range snaps {
+		if len(s.Bounds) > 0 {
+			s.Counts = append(s.Counts, s.Count) // the +Inf slot
+		}
+		out[val] = *s
+	}
+	return out, order, nil
+}
+
+// promQuoted splits `v"<tail>` at the closing quote.
+func promQuoted(rest string) (val, tail string, ok bool) {
+	q := strings.Index(rest, `"`)
+	if q < 0 {
+		return "", "", false
+	}
+	return rest[:q], rest[q+1:], true
+}
+
+// fmtSeconds renders a latency in seconds as a human duration.
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Nanosecond).String()
 }
 
 // promBucket parses `le="X"} N` into (X, N).

@@ -22,6 +22,7 @@ import (
 type mockDaemon struct {
 	reg      *obs.Registry
 	lat      *obs.Histogram
+	stages   *obs.HistogramVec
 	events   atomic.Int64
 	scenario atomic.Int64
 }
@@ -29,6 +30,8 @@ type mockDaemon struct {
 func newMockDaemon() *mockDaemon {
 	d := &mockDaemon{reg: obs.NewRegistry()}
 	d.lat = d.reg.Histogram("assocd_event_latency_seconds", "Wall-clock time to apply one event.", obs.DefaultLatencyBounds())
+	d.stages = d.reg.HistogramVec("assocd_stage_seconds", "Pipeline stage cost.", obs.DefaultLatencyBounds(),
+		"stage", []string{"queue_wait", "apply", "reduce"})
 	return d
 }
 
@@ -54,6 +57,8 @@ func (d *mockDaemon) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			d.lat.Observe(0.0001) // pretend each event took 100µs
+			d.stages.With("queue_wait").Observe(0.00001)
+			d.stages.With("apply").Observe(0.0001)
 			n++
 			inWindow++
 			if inWindow == window {
@@ -116,6 +121,73 @@ func TestLoadgenEndToEnd(t *testing.T) {
 	}
 	if d.scenario.Load() != 1 {
 		t.Errorf("scenario loaded %d times, want 1", d.scenario.Load())
+	}
+	// The per-stage breakdown: exposition order, diffed counts, and
+	// quantiles landing in the right buckets (queue_wait at 10µs,
+	// apply at 100µs; the mock never touches reduce, so it is
+	// dropped).
+	if len(rep.Stages) != 2 {
+		t.Fatalf("stage breakdown = %+v, want queue_wait and apply rows", rep.Stages)
+	}
+	qw, ap := rep.Stages[0], rep.Stages[1]
+	if qw.Stage != "queue_wait" || ap.Stage != "apply" {
+		t.Fatalf("stage order = [%s %s], want exposition order [queue_wait apply]", qw.Stage, ap.Stage)
+	}
+	if qw.Count != 200 || ap.Count != 200 {
+		t.Errorf("stage counts = %d/%d, want 200/200", qw.Count, ap.Count)
+	}
+	if qw.P50Sec <= 0 || qw.P50Sec >= ap.P50Sec {
+		t.Errorf("queue_wait p50 %v should be positive and below apply p50 %v", qw.P50Sec, ap.P50Sec)
+	}
+	if ap.P50Sec <= 6.4e-05 || ap.P50Sec > 0.000256 {
+		t.Errorf("apply p50 %v outside its 100µs bucket", ap.P50Sec)
+	}
+	if !strings.Contains(stderr.String(), "per-stage latency") || !strings.Contains(stderr.String(), "queue_wait") {
+		t.Errorf("stderr lacks the per-stage table:\n%s", stderr.String())
+	}
+}
+
+// TestScrapeHistogramVec pins the labeled scrape against the real
+// exposition writer, including the before/after diff path.
+func TestScrapeHistogramVec(t *testing.T) {
+	d := newMockDaemon()
+	d.stages.With("apply").Observe(0.0001)
+	d.stages.With("apply").Observe(2.0)
+	d.stages.With("reduce").Observe(0.001)
+	ts := httptest.NewServer(d)
+	defer ts.Close()
+
+	snaps, order, err := scrapeHistogramVec(ts.URL, "assocd_stage_seconds", "stage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []string{"queue_wait", "apply", "reduce"}
+	if fmt.Sprint(order) != fmt.Sprint(wantOrder) {
+		t.Fatalf("label order = %v, want %v", order, wantOrder)
+	}
+	for _, stg := range wantOrder {
+		want := d.stages.With(stg).Snapshot()
+		got := snaps[stg]
+		if got.Count != want.Count || got.Sum != want.Sum {
+			t.Errorf("%s count/sum = %d/%v, want %d/%v", stg, got.Count, got.Sum, want.Count, want.Sum)
+		}
+		if len(got.Bounds) != len(want.Bounds) || len(got.Counts) != len(want.Counts) {
+			t.Fatalf("%s shape = %d bounds/%d counts, want %d/%d", stg, len(got.Bounds), len(got.Counts), len(want.Bounds), len(want.Counts))
+		}
+		for i := range want.Counts {
+			if got.Counts[i] != want.Counts[i] {
+				t.Errorf("%s cumulative count[%d] = %d, want %d", stg, i, got.Counts[i], want.Counts[i])
+			}
+		}
+	}
+	before := snaps["apply"]
+	d.stages.With("apply").Observe(0.0001)
+	after, _, err := scrapeHistogramVec(ts.URL, "assocd_stage_seconds", "stage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta := after["apply"].Sub(before); delta.Count != 1 {
+		t.Errorf("apply delta count = %d, want 1", delta.Count)
 	}
 }
 

@@ -47,7 +47,7 @@ func benchTrace(b *testing.B) (scenario.Params, []Event) {
 	return p, trace
 }
 
-func benchEngine(b *testing.B, mode Mode, obsCfg func() (*obs.Registry, obs.Recorder)) {
+func benchEngine(b *testing.B, mode Mode, cfgMod func(*Config)) {
 	p, trace := benchTrace(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -57,8 +57,8 @@ func benchEngine(b *testing.B, mode Mode, obsCfg func() (*obs.Registry, obs.Reco
 			b.Fatal(err)
 		}
 		cfg := Config{Objective: core.ObjMLA, Mode: mode, ActiveUsers: benchActive}
-		if obsCfg != nil {
-			cfg.Obs, cfg.Trace = obsCfg()
+		if cfgMod != nil {
+			cfgMod(&cfg)
 		}
 		e, err := New(n, cfg)
 		if err != nil {
@@ -119,29 +119,54 @@ func BenchmarkEngineFaultRepairFullRecompute(b *testing.B) {
 	benchFaultRepair(b, ModeFullRecompute)
 }
 
-// BenchmarkEngineIncrementalObs is the instrumented twin of
-// BenchmarkEngineIncremental: a shared registry plus a live ring trace,
-// exactly the assocd -serve configuration. scripts/bench.sh compares it
-// against BenchmarkEngineIncrementalObsDisabled and emits the overhead
-// delta to BENCH_obs.json (<5% target).
+// The observability overhead trio. scripts/bench.sh interleaves the
+// three and emits BENCH_obs.json with two gated deltas, each <5%:
+//
+//	trace overhead = Obs      vs ObsDisabled  (ring recording path)
+//	span overhead  = ObsSpans vs Obs          (flight ring + stage spans)
+//
+// All three share one registry, and the variants that disable a piece
+// still allocate (and KeepAlive) a same-size stand-in, so heap size
+// and GC pacing — which otherwise dominate the A/B delta — match
+// across the trio.
+
+// BenchmarkEngineIncrementalObs measures the trace path alone: a live
+// ring recorder with the per-event span machinery off (FlightSpans <
+// 0), plus a kept-alive dummy flight ring for heap parity.
 func BenchmarkEngineIncrementalObs(b *testing.B) {
 	reg := obs.NewRegistry()
 	ring := obs.NewRing(obs.DefaultRingCapacity)
-	benchEngine(b, ModeIncremental, func() (*obs.Registry, obs.Recorder) { return reg, ring })
+	flight := obs.NewFlightRecorder(obs.DefaultFlightSpans, 2, stageNames, flightKinds)
+	benchEngine(b, ModeIncremental, func(cfg *Config) {
+		cfg.Obs, cfg.Trace, cfg.FlightSpans = reg, ring, -1
+	})
+	runtime.KeepAlive(flight)
 }
 
-// BenchmarkEngineIncrementalObsDisabled is the control for the
-// overhead comparison: the same shared registry and a live ring of
-// the same capacity — so heap size and GC pacing match the
-// instrumented run, which otherwise dominate the A/B delta — but the
-// recorder handed to the engine is obs.Disabled, so every Record
-// call is skipped at the obs.Active guard. The pair differs only in
-// the trace recording path.
+// BenchmarkEngineIncrementalObsDisabled is the floor: the same shared
+// registry, a same-size kept-alive ring and flight stand-in, but the
+// recorder handed to the engine is obs.Disabled (every Record call is
+// skipped at the obs.Active guard) and the span path is off.
 func BenchmarkEngineIncrementalObsDisabled(b *testing.B) {
 	reg := obs.NewRegistry()
 	ring := obs.NewRing(obs.DefaultRingCapacity)
-	benchEngine(b, ModeIncremental, func() (*obs.Registry, obs.Recorder) { return reg, obs.Disabled })
+	flight := obs.NewFlightRecorder(obs.DefaultFlightSpans, 2, stageNames, flightKinds)
+	benchEngine(b, ModeIncremental, func(cfg *Config) {
+		cfg.Obs, cfg.Trace, cfg.FlightSpans = reg, obs.Disabled, -1
+	})
 	runtime.KeepAlive(ring)
+	runtime.KeepAlive(flight)
+}
+
+// BenchmarkEngineIncrementalObsSpans is the full assocd -serve
+// configuration: live ring trace plus the default flight recorder and
+// per-event stage spans.
+func BenchmarkEngineIncrementalObsSpans(b *testing.B) {
+	reg := obs.NewRegistry()
+	ring := obs.NewRing(obs.DefaultRingCapacity)
+	benchEngine(b, ModeIncremental, func(cfg *Config) {
+		cfg.Obs, cfg.Trace = reg, ring
+	})
 }
 
 // The BenchmarkEngineShards family measures ApplyBatch throughput

@@ -39,6 +39,8 @@ package engine
 
 import (
 	"fmt"
+	"runtime/pprof"
+	"sync/atomic"
 	"time"
 
 	"wlanmcast/internal/core"
@@ -103,8 +105,24 @@ type Config struct {
 	// can read it.
 	Obs *obs.Registry
 	// Trace, when active, receives churn_event / redecision / handoff
-	// trace events (and conv_round events from full recomputes).
+	// trace events (and conv_round events from full recomputes),
+	// plus batch-level span events (validate/reduce).
 	Trace obs.Recorder
+	// FlightSpans sizes the flight recorder's span ring (0 =
+	// obs.DefaultFlightSpans). Negative disables the flight recorder
+	// and the per-event span path entirely — the stage histogram and
+	// per-shard families still register (so exposition is stable) but
+	// stay at zero. See DESIGN.md "Stage-attributed tracing".
+	FlightSpans int
+	// StallTimeout arms the stall watchdog on sharded batches: a
+	// worker that makes no progress for this long triggers OnStall
+	// with a flight-recorder dump. 0 disables the watchdog.
+	StallTimeout time.Duration
+	// OnStall receives stall reports (at most one per stall episode,
+	// rate-limited; panics are swallowed). Called from the watchdog
+	// goroutine while the batch is still running, so it must not
+	// touch the engine beyond the dump it is handed.
+	OnStall func(StallInfo)
 }
 
 // netMutator is the mutation surface a shard worker applies events
@@ -154,6 +172,16 @@ type Engine struct {
 	metrics metrics
 	trace   obs.Recorder
 	now     func() time.Time
+
+	// Span/flight state (see span.go). seqBase numbers events across
+	// the engine's lifetime; batchStartNS anchors queue-wait; the
+	// batchBase/lastStallDump pair belongs to the watchdog.
+	flight        *obs.FlightRecorder
+	spansOn       bool
+	seqBase       uint64
+	batchStartNS  int64
+	batchBase     []uint64
+	lastStallDump time.Time
 }
 
 // worker is one shard's application state: its tracker slice, its
@@ -183,6 +211,22 @@ type worker struct {
 	// orphans is applyAPDown's reusable victim buffer (zero-alloc hot
 	// path; worker-owned, so sharded workers never share it).
 	orphans []int
+
+	// Span/flight staging (see span.go): the flight-recorder writer
+	// index, worker-local stage-histogram buffers and per-shard
+	// tallies flushed by flushWorkerStats, the busy-time accumulator,
+	// the watchdog's progress counter, and the pprof label set that
+	// attributes this worker's CPU samples to its shard.
+	flightWriter  int
+	localWait     *obs.LocalHistogram
+	localApply    *obs.LocalHistogram
+	localDepart   *obs.LocalHistogram
+	localArrive   *obs.LocalHistogram
+	localEvents   uint64
+	localHandoffs uint64
+	busyNS        int64
+	progress      atomic.Uint64
+	pprofLabels   pprof.LabelSet
 }
 
 // New builds an engine over n, detaches the inactive slots, and seeds
@@ -251,7 +295,7 @@ func New(n *wlan.Network, cfg Config) (*Engine, error) {
 	}
 	// Register the assocd_* families before the first distributed run
 	// so the exposition keeps its historical family order.
-	e.metrics.register(reg)
+	e.metrics.register(reg, nShards)
 	if e.now == nil {
 		e.now = time.Now
 	}
@@ -276,6 +320,7 @@ func New(n *wlan.Network, cfg Config) (*Engine, error) {
 	if err := e.setupWorkers(); err != nil {
 		return nil, err
 	}
+	e.setupFlight()
 	if err := e.seedTrackers(assoc); err != nil {
 		return nil, err
 	}
@@ -375,6 +420,7 @@ func (e *Engine) updateGauges() {
 	e.metrics.apLoadMax.Set(e.MaxLoad())
 	e.metrics.apsDown.Set(float64(e.n.NumAPsDown()))
 	e.metrics.unsatisfied.Set(float64(e.nActive - e.satisfied()))
+	e.flushWorkerStats()
 }
 
 // Registry returns the engine's metrics registry (Config.Obs, or the
@@ -416,6 +462,7 @@ type ApplyResult struct {
 // the engine is unchanged (and the event counts in Stats.Rejected).
 func (e *Engine) Apply(ev Event) (ApplyResult, error) {
 	if e.nShards == 1 {
+		e.batchStartNS = e.now().UnixNano()
 		res, err := e.applyCore(ev)
 		if err != nil {
 			return res, err
@@ -472,6 +519,23 @@ func (e *Engine) applyValidated(ev Event) (ApplyResult, error) {
 	}
 	res.Elapsed = e.now().Sub(start)
 	e.metrics.record(ev.Kind, res)
+	e.seqBase++
+	w.localEvents++
+	w.localHandoffs += uint64(res.Moves)
+	w.busyNS += int64(res.Elapsed)
+	if e.spansOn {
+		startNS := start.UnixNano()
+		wait := startNS - e.batchStartNS
+		if wait < 0 {
+			wait = 0
+		}
+		w.localWait.Observe(float64(wait) / 1e9)
+		w.localApply.Observe(res.Elapsed.Seconds())
+		e.flight.Record(obs.SpanData{
+			Stage: stageApply, Kind: kindIndex(ev.Kind), User: int32(ev.User),
+			Seq: e.seqBase, StartNS: startNS, DurNS: int64(res.Elapsed), WaitNS: wait,
+		})
+	}
 	if obs.Active(e.trace) {
 		ap := -1
 		if ev.Kind == APDown || ev.Kind == APUp {

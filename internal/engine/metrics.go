@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"strconv"
+
 	"wlanmcast/internal/obs"
 )
 
@@ -55,11 +57,20 @@ type metrics struct {
 	apsDown     *obs.Gauge
 	orphaned    *obs.Counter
 	unsatisfied *obs.Gauge
+	// Stage-attributed families (span.go). The label sets are bounded
+	// at registration: stages by the pipeline's stage enum, shards by
+	// the engine's shard count.
+	stageLat        *obs.HistogramVec  // assocd_stage_seconds{stage}
+	shardEvents     *obs.CounterVec    // assocd_shard_events_total{shard}
+	shardHandoffs   *obs.CounterVec    // assocd_shard_handoffs_total{shard}
+	shardQueueDepth *obs.GaugeVec      // assocd_shard_queue_depth{shard}
+	shardBusy       []*obs.FloatCounter // assocd_shard_busy_seconds_total{shard}
 }
 
 // register resolves the engine's instruments, creating the families in
-// the historical exposition order.
-func (m *metrics) register(reg *obs.Registry) {
+// the historical exposition order (the stage/shard families append
+// after it — wire names, once exposed, never move).
+func (m *metrics) register(reg *obs.Registry, nShards int) {
 	const evHelp = "Churn events applied, by kind."
 	m.joins = reg.Counter("assocd_events_total", evHelp, obs.L("kind", string(UserJoin)))
 	m.leaves = reg.Counter("assocd_events_total", evHelp, obs.L("kind", string(UserLeave)))
@@ -78,6 +89,24 @@ func (m *metrics) register(reg *obs.Registry) {
 	m.apsDown = reg.Gauge("fault_aps_down", "APs currently out of service.")
 	m.orphaned = reg.Counter("fault_orphaned_users_total", "Users disassociated by AP failures.")
 	m.unsatisfied = reg.Gauge("fault_unsatisfied_users", "Active users with no association (degraded service).")
+	m.stageLat = reg.HistogramVec("assocd_stage_seconds",
+		"Wall-clock spent per pipeline stage (router -> shard worker -> reducer).",
+		StageBounds(), "stage", stageNames)
+	shards := make([]string, nShards)
+	for s := range shards {
+		shards[s] = strconv.Itoa(s)
+	}
+	m.shardEvents = reg.CounterVec("assocd_shard_events_total",
+		"Events applied, by owning shard.", "shard", shards)
+	m.shardHandoffs = reg.CounterVec("assocd_shard_handoffs_total",
+		"Association changes, by shard they ran on.", "shard", shards)
+	m.shardQueueDepth = reg.GaugeVec("assocd_shard_queue_depth",
+		"Routed op-queue length of the current/last batch, by shard.", "shard", shards)
+	m.shardBusy = make([]*obs.FloatCounter, nShards)
+	for s := range m.shardBusy {
+		m.shardBusy[s] = reg.FloatCounter("assocd_shard_busy_seconds_total",
+			"Seconds a shard worker spent applying events.", obs.L("shard", shards[s]))
+	}
 }
 
 // record accounts one successfully applied event.

@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -99,6 +101,7 @@ type handoff struct {
 // reports the offending event; Applied tells how far it got.
 func (e *Engine) ApplyBatch(events []Event) (BatchResult, error) {
 	var br BatchResult
+	e.batchStartNS = e.now().UnixNano()
 	if e.nShards == 1 {
 		for i, ev := range events {
 			res, err := e.applyCore(ev)
@@ -119,7 +122,24 @@ func (e *Engine) ApplyBatch(events []Event) (BatchResult, error) {
 		return br, nil
 	}
 
+	vStart := e.now()
 	queues, routed, verr := e.route(events)
+	e.observeStage(stageValidate, vStart, routed)
+	expected := make([]int, e.nShards)
+	for s, q := range queues {
+		expected[s] = len(q)
+		e.metrics.shardQueueDepth.At(s).Set(float64(len(q)))
+	}
+	var stopWatchdog func()
+	if e.cfg.StallTimeout > 0 {
+		if e.batchBase == nil {
+			e.batchBase = make([]uint64, e.nShards)
+		}
+		for s, w := range e.workers {
+			e.batchBase[s] = w.progress.Load()
+		}
+		stopWatchdog = e.startWatchdog(expected)
+	}
 	var wg sync.WaitGroup
 	for s, q := range queues {
 		if len(q) == 0 {
@@ -128,17 +148,26 @@ func (e *Engine) ApplyBatch(events []Event) (BatchResult, error) {
 		wg.Add(1)
 		go func(w *worker, ops []shardOp) {
 			defer wg.Done()
-			w.runQueue(ops)
+			// The pprof labels make CPU profiles attribute samples
+			// per shard (go tool pprof -tagfocus shard=3).
+			pprof.Do(context.Background(), w.pprofLabels, func(context.Context) {
+				w.runQueue(ops)
+			})
 		}(e.workers[s], q)
 	}
 	wg.Wait()
+	if stopWatchdog != nil {
+		stopWatchdog()
+	}
 	e.hand = nil
+	e.seqBase += uint64(routed)
 
 	// Reduce: surface the earliest worker error, fold the tallies and
 	// active deltas, refresh the gauges from the merged trackers.
+	rStart := e.now()
 	var werr error
 	wGidx := int32(math.MaxInt32)
-	for _, w := range e.workers {
+	for s, w := range e.workers {
 		if w.err != nil && w.errGidx < wGidx {
 			werr, wGidx = w.err, w.errGidx
 		}
@@ -150,8 +179,10 @@ func (e *Engine) ApplyBatch(events []Event) (BatchResult, error) {
 		e.metrics.applyTally(&w.tally)
 		e.nActive += w.dActive
 		w.dActive = 0
+		e.metrics.shardQueueDepth.At(s).Set(0)
 	}
 	e.updateGauges()
+	e.observeStage(stageReduce, rStart, routed)
 	br.Applied = routed
 	if werr != nil {
 		br.Applied = int(wGidx)
@@ -244,23 +275,31 @@ func (w *worker) runQueue(ops []shardOp) {
 	for _, op := range ops {
 		if w.err != nil {
 			w.drainOp(op)
+			w.progress.Add(1)
 			continue
 		}
 		start := e.now()
+		startNS := start.UnixNano()
+		waitNS := startNS - e.batchStartNS
+		if waitNS < 0 {
+			waitNS = 0
+		}
+		seq := e.seqBase + uint64(op.gidx) + 1
 		var res ApplyResult
 		res.Event = op.ev
 		switch op.op {
 		case opApply:
+			w.beginSpan(stageApply, op, seq, startNS, waitNS)
 			if err := w.applyPrimary(op.ev, &res); err != nil {
 				w.fail(op.gidx, err)
-				continue
-			}
-			if err := w.repair(&res); err != nil {
+			} else if err := w.repair(&res); err != nil {
 				w.fail(op.gidx, err)
-				continue
+			} else {
+				w.finish(op.ev, &res, start)
 			}
-			w.finish(op.ev, &res, start)
+			w.endSpan(stageApply, w.localApply, op, seq, startNS, waitNS)
 		case opDepart:
+			w.beginSpan(stageHandoffDepart, op, seq, startNS, waitNS)
 			if err := w.depart(op, &res); err != nil {
 				w.fail(op.gidx, err)
 			}
@@ -269,16 +308,21 @@ func (w *worker) runQueue(ops []shardOp) {
 			// the move.
 			w.tally.redecisions += uint64(res.Redecisions)
 			w.tally.handoffs += uint64(res.Moves)
+			w.localHandoffs += uint64(res.Moves)
 			if res.Truncated {
 				w.tally.truncated++
 			}
+			w.endSpan(stageHandoffDepart, w.localDepart, op, seq, startNS, waitNS)
 		case opArrive:
+			w.beginSpan(stageHandoffArrive, op, seq, startNS, waitNS)
 			if err := w.arrive(op, &res); err != nil {
 				w.fail(op.gidx, err)
-				continue
+			} else {
+				w.finish(op.ev, &res, start)
 			}
-			w.finish(op.ev, &res, start)
+			w.endSpan(stageHandoffArrive, w.localArrive, op, seq, startNS, waitNS)
 		}
+		w.progress.Add(1)
 	}
 }
 
@@ -362,6 +406,8 @@ func (w *worker) finish(ev Event, res *ApplyResult, start time.Time) {
 	e := w.e
 	res.Elapsed = e.now().Sub(start)
 	w.tally.count(ev.Kind, res)
+	w.localEvents++
+	w.localHandoffs += uint64(res.Moves)
 	e.metrics.latency.Observe(res.Elapsed.Seconds())
 	if obs.Active(e.trace) {
 		ap := -1

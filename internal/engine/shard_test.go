@@ -165,7 +165,7 @@ func compareStats(t *testing.T, ref, sh *Engine, ctx string) {
 // byte-identical snapshots, bit-identical loads, and equal stats at
 // every batch boundary.
 func TestEngineShardDifferential(t *testing.T) {
-	runDifferential(t, []int{2, 3, 8}, (*Engine).ApplyBatch)
+	runDifferential(t, []int{2, 3, 8}, (*Engine).ApplyBatch, nil)
 }
 
 // TestEngineStreamDifferential runs the same 26-seed suite against
@@ -174,20 +174,28 @@ func TestEngineShardDifferential(t *testing.T) {
 // Shards=1 where it takes the amortized-prevalidation path ApplyBatch
 // does not have.
 func TestEngineStreamDifferential(t *testing.T) {
-	runDifferential(t, []int{1, 2, 8}, (*Engine).ApplyStream)
+	runDifferential(t, []int{1, 2, 8}, (*Engine).ApplyStream, nil)
 }
 
 // runDifferential replays 26 seeded zoned scenarios on an event-by-
 // event serial reference and on a batch engine driven through apply,
-// comparing state and totals at every chunk boundary.
-func runDifferential(t *testing.T, shardCounts []int, apply func(*Engine, []Event) (BatchResult, error)) {
+// comparing state and totals at every chunk boundary. cfgMod (may be
+// nil) adjusts both engines' configs — the instrumented variant of
+// the suite turns every observability knob on through it.
+func runDifferential(t *testing.T, shardCounts []int, apply func(*Engine, []Event) (BatchResult, error), cfgMod func(*Config)) {
 	const chunk = 16
 	for seed := int64(1); seed <= 26; seed++ {
 		shards := shardCounts[int(seed)%len(shardCounts)]
 		n1, trace, initial := zonedSetup(t, seed, 4, 12, 40, 240)
-		ref := newEngine(t, n1, Config{ActiveUsers: initial})
+		refCfg := Config{ActiveUsers: initial}
+		shCfg := Config{ActiveUsers: initial, Shards: shards}
+		if cfgMod != nil {
+			cfgMod(&refCfg)
+			cfgMod(&shCfg)
+		}
+		ref := newEngine(t, n1, refCfg)
 		n2, _, _ := zonedSetup(t, seed, 4, 12, 40, 240)
-		sh := newEngine(t, n2, Config{ActiveUsers: initial, Shards: shards})
+		sh := newEngine(t, n2, shCfg)
 		if got := sh.Shards(); got != shards {
 			t.Fatalf("seed %d: Shards() = %d, want %d", seed, got, shards)
 		}
@@ -295,25 +303,29 @@ func TestEngineStreamRejectionParity(t *testing.T) {
 	compareStats(t, ref, st, "after stream rejection")
 }
 
-// twoRegionEngines builds matching serial and sharded engines over a
-// minimal two-region network: AP 0 at (100,100), AP 1 at (1100,100)
-// (1000 m apart — more than two grid cells, so two regions), one user
-// per AP plus a third roaming user starting at AP 0.
+// twoRegionNetwork builds a minimal two-region network: AP 0 at
+// (100,100), AP 1 at (1100,100) (1000 m apart — more than two grid
+// cells, so two regions), one user per AP plus a third roaming user
+// starting at AP 0.
+func twoRegionNetwork(t *testing.T) *wlan.Network {
+	t.Helper()
+	area := geom.Rect{Width: 1400, Height: 400}
+	apPos := []geom.Point{{X: 100, Y: 100}, {X: 1100, Y: 100}}
+	userPos := []geom.Point{{X: 120, Y: 100}, {X: 1080, Y: 100}, {X: 100, Y: 120}}
+	sessions := []wlan.Session{{ID: 0, Rate: 2}}
+	n, err := wlan.NewGeometric(area, apPos, userPos, []int{0, 0, 0}, sessions, radio.Table1(), wlan.DefaultBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// twoRegionEngines builds matching serial and sharded engines over
+// the two-region network.
 func twoRegionEngines(t *testing.T, shards int) (*Engine, *Engine) {
 	t.Helper()
-	build := func() *wlan.Network {
-		area := geom.Rect{Width: 1400, Height: 400}
-		apPos := []geom.Point{{X: 100, Y: 100}, {X: 1100, Y: 100}}
-		userPos := []geom.Point{{X: 120, Y: 100}, {X: 1080, Y: 100}, {X: 100, Y: 120}}
-		sessions := []wlan.Session{{ID: 0, Rate: 2}}
-		n, err := wlan.NewGeometric(area, apPos, userPos, []int{0, 0, 0}, sessions, radio.Table1(), wlan.DefaultBudget)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return n
-	}
-	ref := newEngine(t, build(), Config{})
-	sh := newEngine(t, build(), Config{Shards: shards})
+	ref := newEngine(t, twoRegionNetwork(t), Config{})
+	sh := newEngine(t, twoRegionNetwork(t), Config{Shards: shards})
 	if sh.Shards() != shards {
 		t.Fatalf("Shards() = %d, want %d", sh.Shards(), shards)
 	}

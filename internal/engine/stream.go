@@ -32,7 +32,10 @@ func (e *Engine) ApplyStream(events []Event) (BatchResult, error) {
 		return e.ApplyBatch(events)
 	}
 	var br BatchResult
+	vStart := e.now()
+	e.batchStartNS = vStart.UnixNano()
 	n, verr := e.prevalidate(events)
+	e.observeStage(stageValidate, vStart, n)
 	for i := 0; i < n; i++ {
 		res, err := e.applyValidated(events[i])
 		if err != nil {
@@ -50,7 +53,9 @@ func (e *Engine) ApplyStream(events []Event) (BatchResult, error) {
 			br.Truncated++
 		}
 	}
+	rStart := e.now()
 	e.updateGauges()
+	e.observeStage(stageReduce, rStart, n)
 	return br, verr
 }
 

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -18,17 +19,23 @@ import (
 //   - sample values parse as floats (+Inf/-Inf/NaN allowed),
 //   - histogram families expose only _bucket/_sum/_count samples and
 //     every _bucket carries an le label,
-//   - no duplicate series (same name and label set).
+//   - no duplicate series (same name and label set),
+//   - no duplicate label key within one label block,
+//   - the le label appears only on histogram _bucket samples,
+//   - every series of a family exposes the same label key set (with
+//     le set aside on buckets) — a family where some series carry a
+//     label and others do not aggregates wrong in PromQL.
 //
 // scripts/check.sh runs it (via the obs tests) against the live
 // assocd /metrics output — the "promtext lint" CI step.
 func LintProm(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	types := make(map[string]string) // family -> TYPE
-	helped := make(map[string]bool)  // family -> HELP seen
-	sampled := make(map[string]bool) // family -> sample seen
-	seen := make(map[string]bool)    // name+labels -> dup check
+	types := make(map[string]string)   // family -> TYPE
+	helped := make(map[string]bool)    // family -> HELP seen
+	sampled := make(map[string]bool)   // family -> sample seen
+	seen := make(map[string]bool)      // name+labels -> dup check
+	famKeys := make(map[string]string) // family -> canonical label key set
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -42,7 +49,7 @@ func LintProm(r io.Reader) error {
 			}
 			continue
 		}
-		if err := lintSample(line, types, sampled, seen); err != nil {
+		if err := lintSample(line, types, sampled, seen, famKeys); err != nil {
 			return fmt.Errorf("line %d: %w", lineNo, err)
 		}
 	}
@@ -92,18 +99,19 @@ func lintComment(line string, types map[string]string, helped, sampled map[strin
 	return nil
 }
 
-func lintSample(line string, types map[string]string, sampled, seen map[string]bool) error {
+func lintSample(line string, types map[string]string, sampled, seen map[string]bool, famKeys map[string]string) error {
 	name, rest, err := splitName(line)
 	if err != nil {
 		return err
 	}
 	labels := ""
+	var keys []string
 	if strings.HasPrefix(rest, "{") {
-		end, err := lintLabels(rest)
+		end, ks, err := lintLabels(rest)
 		if err != nil {
 			return fmt.Errorf("series %s: %w", name, err)
 		}
-		labels, rest = rest[:end+1], rest[end+1:]
+		labels, rest, keys = rest[:end+1], rest[end+1:], ks
 	}
 	rest = strings.TrimSpace(rest)
 	// A sample may carry a trailing timestamp; value is the first field.
@@ -118,18 +126,40 @@ func lintSample(line string, types map[string]string, sampled, seen map[string]b
 			return fmt.Errorf("series %s: unparseable value %q", name, valueField)
 		}
 	}
-	family := name
+	family, isBucket := name, false
 	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
 		base := strings.TrimSuffix(name, suffix)
 		if base != name && types[base] == "histogram" {
 			family = base
-			if suffix == "_bucket" && !strings.Contains(labels, `le="`) {
-				return fmt.Errorf("histogram bucket %s%s missing le label", name, labels)
+			if suffix == "_bucket" {
+				isBucket = true
+				if !strings.Contains(labels, `le="`) {
+					return fmt.Errorf("histogram bucket %s%s missing le label", name, labels)
+				}
 			}
 		}
 	}
 	if typ, ok := types[family]; ok && typ == "histogram" && family == name {
 		return fmt.Errorf("histogram %q exposes a bare sample (want _bucket/_sum/_count)", name)
+	}
+	// Label-set rules: le belongs to buckets alone, and every series
+	// of a family must expose the same key set (le set aside).
+	bare := keys[:0:0]
+	for _, k := range keys {
+		if k == "le" {
+			if !isBucket {
+				return fmt.Errorf("series %s%s: le label on a non-bucket sample", name, labels)
+			}
+			continue
+		}
+		bare = append(bare, k)
+	}
+	sort.Strings(bare)
+	canon := strings.Join(bare, ",")
+	if prev, ok := famKeys[family]; !ok {
+		famKeys[family] = canon
+	} else if prev != canon {
+		return fmt.Errorf("family %s: inconsistent label keys {%s} vs {%s}", family, canon, prev)
 	}
 	sampled[family] = true
 	key := name + labels
@@ -154,15 +184,17 @@ func splitName(line string) (name, rest string, err error) {
 }
 
 // lintLabels validates a {k="v",...} block starting at s[0] == '{'
-// and returns the index of the closing brace.
-func lintLabels(s string) (int, error) {
+// and returns the index of the closing brace plus the label keys in
+// block order. Duplicate keys within one block are an error.
+func lintLabels(s string) (int, []string, error) {
 	i := 1
+	var keys []string
 	for {
 		if i >= len(s) {
-			return 0, fmt.Errorf("unterminated label block")
+			return 0, nil, fmt.Errorf("unterminated label block")
 		}
 		if s[i] == '}' {
-			return i, nil
+			return i, keys, nil
 		}
 		start := i
 		for i < len(s) && s[i] != '=' && s[i] != '}' && s[i] != ',' {
@@ -170,29 +202,35 @@ func lintLabels(s string) (int, error) {
 		}
 		key := s[start:i]
 		if i >= len(s) || s[i] != '=' || !validLabelName(key) {
-			return 0, fmt.Errorf("bad label name %q", key)
+			return 0, nil, fmt.Errorf("bad label name %q", key)
 		}
+		for _, k := range keys {
+			if k == key {
+				return 0, nil, fmt.Errorf("duplicate label key %q", key)
+			}
+		}
+		keys = append(keys, key)
 		i++
 		if i >= len(s) || s[i] != '"' {
-			return 0, fmt.Errorf("label %q value not quoted", key)
+			return 0, nil, fmt.Errorf("label %q value not quoted", key)
 		}
 		i++
 		for i < len(s) && s[i] != '"' {
 			if s[i] == '\\' {
 				i++
 				if i >= len(s) {
-					return 0, fmt.Errorf("label %q value has dangling escape", key)
+					return 0, nil, fmt.Errorf("label %q value has dangling escape", key)
 				}
 				switch s[i] {
 				case '\\', '"', 'n':
 				default:
-					return 0, fmt.Errorf("label %q value has bad escape \\%c", key, s[i])
+					return 0, nil, fmt.Errorf("label %q value has bad escape \\%c", key, s[i])
 				}
 			}
 			i++
 		}
 		if i >= len(s) {
-			return 0, fmt.Errorf("label %q value unterminated", key)
+			return 0, nil, fmt.Errorf("label %q value unterminated", key)
 		}
 		i++ // closing quote
 		if i < len(s) && s[i] == ',' {

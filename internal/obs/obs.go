@@ -91,7 +91,8 @@ type family struct {
 }
 
 type series struct {
-	labels string // pre-rendered `{k="v",...}` or ""
+	labels string   // pre-rendered `{k="v",...}` or ""
+	keys   []string // label keys in registration order (for Families)
 	inst   instrument
 }
 
@@ -119,6 +120,9 @@ func (r *Registry) lookup(name, help string, typ MetricType, labels []Label, mk 
 		return s.inst
 	}
 	s := &series{labels: key, inst: mk()}
+	for _, l := range labels {
+		s.keys = append(s.keys, l.Key)
+	}
 	f.byKey[key] = s
 	f.series = append(f.series, s)
 	return s.inst
@@ -199,8 +203,42 @@ func (r *Registry) Value(name string, labels ...Label) (float64, bool) {
 		return inst(), true
 	case *Histogram:
 		return float64(inst.Count()), true
+	case *FloatCounter:
+		return inst.Value(), true
 	}
 	return 0, false
+}
+
+// FamilyInfo describes one registered family — the raw material for
+// generated metric documentation and the METRICS.md drift gate.
+type FamilyInfo struct {
+	Name      string
+	Help      string
+	Type      MetricType
+	LabelKeys []string // union over series, sorted; empty for unlabeled
+	Series    int
+}
+
+// Families returns every registered family in registration order.
+func (r *Registry) Families() []FamilyInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FamilyInfo, len(r.families))
+	for i, f := range r.families {
+		info := FamilyInfo{Name: f.name, Help: f.help, Type: f.typ, Series: len(f.series)}
+		seen := make(map[string]bool)
+		for _, s := range f.series {
+			for _, k := range s.keys {
+				if !seen[k] {
+					seen[k] = true
+					info.LabelKeys = append(info.LabelKeys, k)
+				}
+			}
+		}
+		sort.Strings(info.LabelKeys)
+		out[i] = info
+	}
+	return out
 }
 
 // Names returns the registered family names in registration order.

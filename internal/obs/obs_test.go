@@ -252,7 +252,7 @@ func TestLintPromRejectsMalformed(t *testing.T) {
 }
 
 func TestLintPromAcceptsSpecials(t *testing.T) {
-	text := "# some free comment\n# TYPE g gauge\ng +Inf\ng{x=\"1\"} NaN\n"
+	text := "# some free comment\n# TYPE g gauge\ng{x=\"0\"} +Inf\ng{x=\"1\"} NaN\n"
 	if err := LintProm(strings.NewReader(text)); err != nil {
 		t.Fatalf("lint rejected valid exposition: %v", err)
 	}

@@ -27,6 +27,9 @@ type Event struct {
 	// applicable (see the Ev* docs).
 	User int `json:"user"`
 	AP   int `json:"ap"`
+	// Shard identifies the engine shard an event ran on (EvSpan);
+	// omitted when sharding is not in play.
+	Shard int `json:"shard,omitempty"`
 	// Round is the convergence round or iteration index.
 	Round int `json:"round"`
 	// Point and Seed locate a runner task on the sweep grid.
@@ -69,7 +72,46 @@ const (
 	// EvRunnerTask: one completed sweep task. Point; Seed; Value =
 	// evaluation seconds; N = queue wait in microseconds.
 	EvRunnerTask = "runner_task"
+	// EvSpan: one completed pipeline stage span. Algo = subsystem
+	// ("engine"); Kind = stage name ("validate", "reduce", ...);
+	// Shard; N = events the stage covered; Value = elapsed seconds.
+	// Per-event apply spans do NOT ride the trace (EvChurn already
+	// carries kind/user/elapsed per event; the flight recorder keeps
+	// the span-level detail) — trace spans are batch-granular.
+	EvSpan = "span"
 )
+
+// Span is an in-progress trace span: StartSpan captures the template
+// event and start time, End stamps the elapsed seconds into Value and
+// records it. Timestamps are caller-supplied nanoseconds so engines
+// with injected clocks produce deterministic traces. The zero Span is
+// inert; End on it is a no-op.
+type Span struct {
+	rec     Recorder
+	ev      Event
+	startNS int64
+}
+
+// StartSpan opens a span that will be recorded to rec. The ev
+// argument carries everything but Type (forced to EvSpan) and Value
+// (set by End). When rec is nil or disabled the returned span is
+// inert, so callers need no guard around the pair.
+func StartSpan(rec Recorder, ev Event, startNS int64) Span {
+	if !Active(rec) {
+		return Span{}
+	}
+	return Span{rec: rec, ev: ev, startNS: startNS}
+}
+
+// End records the span with Value = elapsed seconds.
+func (s Span) End(endNS int64) {
+	if s.rec == nil {
+		return
+	}
+	s.ev.Type = EvSpan
+	s.ev.Value = float64(endNS-s.startNS) / 1e9
+	s.rec.Record(s.ev)
+}
 
 // Recorder is a trace sink. Implementations must be safe for
 // concurrent use and assign Event.Seq themselves.

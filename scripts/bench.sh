@@ -30,18 +30,24 @@
 # speedup and allocated-byte ratio. The sparse-core acceptance bar is
 # >= 10x on both at 100k users.
 #
-# It also writes BENCH_obs.json next to the first output: the trace
-# recording overhead of BenchmarkEngineIncrementalObs (shared
-# registry + live ring recorder — the assocd -serve configuration)
-# over BenchmarkEngineIncrementalObsDisabled (identical heap, the
-# obs.Disabled recorder), as a fraction of the disabled ns/event.
-# The observability PR targets < 5%. Two measurement pitfalls are
-# deliberately engineered out: the control keeps a same-size ring
-# alive so both processes see the same heap and GC pacing (the ring's
-# ~2 MB otherwise shifts GC cadence by more than the effect being
-# measured), and the pair runs interleaved (base, obs, base, obs,
-# ...) over OBS_ROUNDS rounds (default 3) compared on minimum
-# ns/event, so monotone load drift cannot masquerade as overhead.
+# It also writes BENCH_obs.json next to the first output: the
+# observability overhead trio (internal/engine bench_test.go), two
+# gated fractions each targeting < 5%:
+#
+#   overhead_fraction       Obs      vs ObsDisabled — the live ring
+#                           trace recording path over the obs.Disabled
+#                           floor (the PR-2 gate, unchanged);
+#   span_overhead_fraction  ObsSpans vs Obs — the per-event span path
+#                           (flight recorder + stage histograms) over
+#                           trace-only, i.e. what this PR added.
+#
+# Two measurement pitfalls are deliberately engineered out: every
+# variant keeps same-size ring/flight stand-ins alive so all three
+# processes see the same heap and GC pacing (the rings' MBs otherwise
+# shift GC cadence by more than the effect being measured), and the
+# trio runs interleaved (base, obs, spans, base, obs, spans, ...) over
+# OBS_ROUNDS rounds (default 3) compared on minimum ns/event, so
+# monotone load drift cannot masquerade as overhead.
 # It also writes BENCH_serve.json next to the first output: the
 # daemon-side event throughput of the per-request /v1/events path vs
 # the /v1/events/stream NDJSON path (the BenchmarkServeEvents* pair in
@@ -212,13 +218,14 @@ if run_section obs; then
 obs_out="$(dirname "$out")/BENCH_obs.json"
 rounds="${OBS_ROUNDS:-3}"
 
-echo "== obs overhead: interleaved Incremental pair, $rounds rounds" >&2
+echo "== obs overhead: interleaved Incremental trio, $rounds rounds" >&2
 go test -c -o "$bin" ./internal/engine
 : > "$tmp2"
 i=0
 while [ "$i" -lt "$rounds" ]; do
     "$bin" -test.run '^$' -test.bench 'BenchmarkEngineIncrementalObsDisabled$' -test.benchtime 500x | tee -a "$tmp2" >&2
     "$bin" -test.run '^$' -test.bench 'BenchmarkEngineIncrementalObs$' -test.benchtime 500x | tee -a "$tmp2" >&2
+    "$bin" -test.run '^$' -test.bench 'BenchmarkEngineIncrementalObsSpans$' -test.benchtime 500x | tee -a "$tmp2" >&2
     i=$((i + 1))
 done
 
@@ -233,17 +240,23 @@ awk -v host_cpus="$host_cpus" -v gomaxprocs="$gomaxprocs" '
 END {
     base = nsev["BenchmarkEngineIncrementalObsDisabled"]
     inst = nsev["BenchmarkEngineIncrementalObs"]
-    if (base <= 0 || inst <= 0) {
-        print "bench.sh: missing IncrementalObsDisabled/IncrementalObs pair" > "/dev/stderr"
+    span = nsev["BenchmarkEngineIncrementalObsSpans"]
+    if (base <= 0 || inst <= 0 || span <= 0) {
+        print "bench.sh: missing IncrementalObsDisabled/Obs/ObsSpans trio" > "/dev/stderr"
         exit 1
     }
     frac = (inst - base) / base
+    sfrac = (span - inst) / inst
     printf "{\n"
     printf "  \"disabled_ns_per_event\": %s,\n", base
     printf "  \"instrumented_ns_per_event\": %s,\n", inst
     printf "  \"overhead_fraction\": %.4f,\n", frac
     printf "  \"target_fraction\": 0.05,\n"
     printf "  \"within_target\": %s,\n", (frac < 0.05 ? "true" : "false")
+    printf "  \"span_ns_per_event\": %s,\n", span
+    printf "  \"span_overhead_fraction\": %.4f,\n", sfrac
+    printf "  \"span_target_fraction\": 0.05,\n"
+    printf "  \"span_within_target\": %s,\n", (sfrac < 0.05 ? "true" : "false")
     printf "  \"gomaxprocs\": %d,\n", gomaxprocs
     printf "  \"host_cpus\": %d\n", host_cpus
     printf "}\n"

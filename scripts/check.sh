@@ -26,7 +26,13 @@
 #   6. the allocation gate: the engine's steady-state incremental
 #      event path must stay <= 2 allocs/event (it measures ~0; the
 #      streaming ingest subsystem depends on this not rotting)
-#   7. a fuzz smoke pass: ~10s per fuzz target (events decoder,
+#   7. the metrics-doc drift gate: registers the daemon's full metric
+#      surface (base + engine + lazily-registered algo_* families) and
+#      fails if METRICS.md is missing a family, documents a removed
+#      one, or the exposition violates the prom lint (incl. label
+#      rules); regenerate with
+#      UPDATE_METRICS_MD=1 go test ./cmd/assocd -run TestMetricsDocCurrent
+#   8. a fuzz smoke pass: ~10s per fuzz target (events decoder,
 #      NDJSON stream handler, scenario loader, LP solver) so corpus
 #      regressions surface in CI, not just in long local fuzz runs
 set -eu
@@ -70,6 +76,9 @@ END {
 
 echo "== allocation gate (engine event path <= 2 allocs/event)"
 go test -run 'TestEngineEventAllocGate' -count 1 ./internal/engine
+
+echo "== metrics-doc drift gate (METRICS.md vs registered families)"
+go test -run 'TestMetricsDocCurrent|TestMetricsDocLint' -count 1 ./cmd/assocd
 
 echo "== fuzz smoke (10s per target)"
 go test -run '^$' -fuzz 'FuzzDecodeEvents' -fuzztime 10s ./cmd/assocd
