@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // The serve benchmark pair behind BENCH_serve.json: the same move
@@ -81,8 +82,10 @@ func BenchmarkServeEventsPerRequest(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
-func BenchmarkServeEventsStream(b *testing.B) {
-	ts := benchServeSetup(b)
+// benchServeStream drives one full-trace stream against ts and
+// reports events/s — the shared body of the journal-off and
+// journal-on stream benchmarks.
+func benchServeStream(b *testing.B, ts *httptest.Server) {
 	// Pre-render the whole NDJSON request body (see per-request twin).
 	var body strings.Builder
 	for i := 0; i < b.N; i++ {
@@ -109,4 +112,47 @@ func BenchmarkServeEventsStream(b *testing.B) {
 		b.Fatalf("stream ended with %+v, want done{events:%d}", last, b.N)
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkServeEventsStream(b *testing.B) {
+	benchServeStream(b, benchServeSetup(b))
+}
+
+// BenchmarkServeEventsStreamJournal is the same stream workload with
+// the durability layer on at the production default (-fsync interval):
+// every window is framed, CRC'd, and buffered to the journal inside
+// the engine-lock hold, with fsyncs riding the 100ms ticker.
+// scripts/bench.sh gates the overhead vs the journal-off twin at 15%.
+func BenchmarkServeEventsStreamJournal(b *testing.B) {
+	s := newServer()
+	s.errlog = io.Discard
+	err := s.enableDurability(serveOptions{
+		dataDir:       b.TempDir(),
+		fsync:         "interval",
+		fsyncInterval: 100 * time.Millisecond,
+		snapEvents:    1 << 30, // journal cost, not checkpoint cost
+		snapInterval:  time.Hour,
+	}, io.Discard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		s.mu.Lock()
+		s.finalizeLocked(io.Discard)
+		s.mu.Unlock()
+	}()
+	ts := httptest.NewServer(s)
+	b.Cleanup(ts.Close)
+	body := fmt.Sprintf(`{"aps":%d,"users":%d,"sessions":3,"seed":3,"active_users":%d}`,
+		benchServeAPs, benchServeUsers, benchServeActive)
+	resp, err := http.Post(ts.URL+"/v1/scenario", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("load scenario: %s: %s", resp.Status, raw)
+	}
+	benchServeStream(b, ts)
 }

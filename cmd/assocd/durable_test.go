@@ -1,0 +1,524 @@
+package main
+
+// In-process durability tests: recovery edge cases (empty dir,
+// journal-only, snapshot-only, graceful-shutdown zero-replay) and the
+// exactly-once resume contract. The subprocess SIGKILL differential
+// harness lives in crash_test.go; these tests pin the same machinery
+// at the unit level where failures are cheap to localize.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// durableServer builds a daemon over dir with aggressive-but-settable
+// snapshot triggers. snapEvents <= 0 means "effectively never" (only
+// explicit finalize snapshots).
+func durableServer(t *testing.T, dir string, snapEvents int) *server {
+	t.Helper()
+	s := newServer()
+	s.errlog = io.Discard
+	s.shards = 2
+	if snapEvents <= 0 {
+		snapEvents = 1 << 30
+	}
+	opt := serveOptions{
+		dataDir:      dir,
+		fsync:        "off", // tests exercise logic, not the disk
+		snapEvents:   snapEvents,
+		snapInterval: time.Hour,
+	}
+	if err := s.enableDurability(opt, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// closeLog simulates a crash boundary that still reaches the page
+// cache: flush the journal and drop the handle without snapshotting.
+func closeLog(t *testing.T, s *server) {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.dur.log.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.dur.log.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func postJSON(t *testing.T, s *server, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", path, strings.NewReader(body)))
+	return rec
+}
+
+func mustPost(t *testing.T, s *server, path, body string) {
+	t.Helper()
+	if rec := postJSON(t, s, path, body); rec.Code != 200 {
+		t.Fatalf("POST %s = %d: %s", path, rec.Code, rec.Body)
+	}
+}
+
+const durableScenario = `{"aps":10,"users":30,"sessions":2,"seed":11,"active_users":20,"shards":2}`
+
+// driveChurn pushes a deterministic mixed batch load through /v1/events.
+func driveChurn(t *testing.T, s *server, batches int) {
+	t.Helper()
+	for b := 0; b < batches; b++ {
+		var lines []string
+		for i := 0; i < 10; i++ {
+			k := b*10 + i
+			lines = append(lines, fmt.Sprintf(`{"kind":"move","user":%d,"pos":{"x":%d,"y":%d}}`,
+				k%20, 40+(k*37)%1100, 40+(k*53)%900))
+		}
+		mustPost(t, s, "/v1/events", "["+strings.Join(lines, ",")+"]")
+	}
+}
+
+// stateOf captures the client-visible deterministic state.
+func stateOf(s *server) (assoc, loads string) {
+	return recordGet(s, "/v1/assoc"), recordGet(s, "/v1/loads")
+}
+
+// TestDurableEmptyDir boots from a fresh directory: no snapshot, no
+// journal, no engine — and the daemon works normally afterwards.
+func TestDurableEmptyDir(t *testing.T) {
+	dir := t.TempDir()
+	s := durableServer(t, dir, 0)
+	if rec := postJSON(t, s, "/v1/events", `{"kind":"leave","user":0}`); rec.Code != http.StatusConflict {
+		t.Fatalf("events before scenario = %d, want 409", rec.Code)
+	}
+	mustPost(t, s, "/v1/scenario", durableScenario)
+	driveChurn(t, s, 2)
+	closeLog(t, s)
+}
+
+// TestDurableJournalNoSnapshot recovers purely from the journal: the
+// daemon is killed before any snapshot trigger fires.
+func TestDurableJournalNoSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := durableServer(t, dir, 0)
+	mustPost(t, s, "/v1/scenario", durableScenario)
+	driveChurn(t, s, 5)
+	wantAssoc, wantLoads := stateOf(s)
+	closeLog(t, s)
+
+	r := durableServer(t, dir, 0)
+	defer closeLog(t, r)
+	gotAssoc, gotLoads := stateOf(r)
+	if gotAssoc != wantAssoc {
+		t.Fatalf("recovered assoc differs:\nwant %s\ngot  %s", wantAssoc, gotAssoc)
+	}
+	if gotLoads != wantLoads {
+		t.Fatalf("recovered loads differ:\nwant %s\ngot  %s", wantLoads, gotLoads)
+	}
+	if got := metricValue(t, recordGet(r, "/metrics"), "assocd_wal_replay_records_total"); got != 6 {
+		t.Fatalf("replayed %v records, want 6 (scenario + 5 batches)", got)
+	}
+}
+
+// TestDurableSnapshotNoJournal recovers from a snapshot alone: after
+// checkpointing, every journal segment is deleted (the pruner's
+// endgame, forced by hand), and boot must come up from the snapshot
+// with zero replay.
+func TestDurableSnapshotNoJournal(t *testing.T) {
+	dir := t.TempDir()
+	s := durableServer(t, dir, 0)
+	mustPost(t, s, "/v1/scenario", durableScenario)
+	driveChurn(t, s, 4)
+	wantAssoc, wantLoads := stateOf(s)
+	s.mu.Lock()
+	if err := s.writeSnapshotLocked(); err != nil {
+		s.mu.Unlock()
+		t.Fatal(err)
+	}
+	s.mu.Unlock()
+	closeLog(t, s)
+	segs, err := filepath.Glob(filepath.Join(dir, "journal-*.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range segs {
+		if err := os.Remove(seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := durableServer(t, dir, 0)
+	defer closeLog(t, r)
+	gotAssoc, gotLoads := stateOf(r)
+	if gotAssoc != wantAssoc || gotLoads != wantLoads {
+		t.Fatalf("snapshot-only recovery diverged")
+	}
+	text := recordGet(r, "/metrics")
+	if got := metricValue(t, text, "assocd_wal_replay_records_total"); got != 0 {
+		t.Fatalf("replayed %v records from a snapshot-only dir, want 0", got)
+	}
+}
+
+// TestDurableSnapshotNewerThanTail is the fsync=off / interval hazard:
+// a snapshot can be durable while the journal records it covers were
+// lost with the page cache. Recovery must come up at the snapshot and
+// keep journaling at seqs after it.
+func TestDurableSnapshotNewerThanTail(t *testing.T) {
+	dir := t.TempDir()
+	s := durableServer(t, dir, 0)
+	mustPost(t, s, "/v1/scenario", durableScenario)
+	driveChurn(t, s, 3)
+	s.mu.Lock()
+	if err := s.writeSnapshotLocked(); err != nil {
+		s.mu.Unlock()
+		t.Fatal(err)
+	}
+	s.mu.Unlock()
+	wantAssoc, _ := stateOf(s)
+	closeLog(t, s)
+	// Drop ALL journal bytes but keep the snapshot: the snapshot seq
+	// (4) is now ahead of the (empty) tail.
+	segs, _ := filepath.Glob(filepath.Join(dir, "journal-*.wal"))
+	for _, seg := range segs {
+		if err := os.Truncate(seg, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := durableServer(t, dir, 0)
+	defer closeLog(t, r)
+	if gotAssoc, _ := stateOf(r); gotAssoc != wantAssoc {
+		t.Fatalf("recovery with truncated tail diverged")
+	}
+	// New writes must land after the snapshot floor, not collide with
+	// the seqs the snapshot already covers.
+	driveChurn(t, r, 1)
+	r.mu.Lock()
+	last := r.dur.log.LastSeq()
+	floor := r.dur.lastSnapSeq
+	r.mu.Unlock()
+	if last <= floor {
+		t.Fatalf("post-recovery append seq %d not past snapshot floor %d", last, floor)
+	}
+}
+
+// TestDurableFinalizeZeroReplay pins the graceful-shutdown contract:
+// finalize checkpoints the journal tail, so the next boot restores the
+// snapshot and replays nothing.
+func TestDurableFinalizeZeroReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := durableServer(t, dir, 0)
+	mustPost(t, s, "/v1/scenario", durableScenario)
+	driveChurn(t, s, 5)
+	wantAssoc, wantLoads := stateOf(s)
+	s.mu.Lock()
+	s.finalizeLocked(io.Discard)
+	s.mu.Unlock()
+
+	r := durableServer(t, dir, 0)
+	defer closeLog(t, r)
+	gotAssoc, gotLoads := stateOf(r)
+	if gotAssoc != wantAssoc || gotLoads != wantLoads {
+		t.Fatalf("post-finalize recovery diverged")
+	}
+	text := recordGet(r, "/metrics")
+	if got := metricValue(t, text, "assocd_wal_replay_records_total"); got != 0 {
+		t.Fatalf("replayed %v records after graceful shutdown, want 0", got)
+	}
+	if got := metricValue(t, text, "assocd_wal_snapshots_total"); got != 0 {
+		// snapshots_total counts snapshots WRITTEN by this process.
+		t.Fatalf("fresh boot wrote %v snapshots, want 0", got)
+	}
+}
+
+// TestDurableScenarioReplacement journals a scenario swap and the
+// churn on both sides; recovery must land on the second scenario's
+// state, and stream sessions must not leak across the swap.
+func TestDurableScenarioReplacement(t *testing.T) {
+	dir := t.TempDir()
+	s := durableServer(t, dir, 0)
+	mustPost(t, s, "/v1/scenario", durableScenario)
+	driveChurn(t, s, 2)
+	s.mu.Lock()
+	s.rememberSession("tok-a", 20)
+	s.mu.Unlock()
+	mustPost(t, s, "/v1/scenario", `{"aps":8,"users":24,"sessions":2,"seed":5,"active_users":20}`)
+	s.mu.Lock()
+	if len(s.sessions) != 0 {
+		s.mu.Unlock()
+		t.Fatal("scenario replacement did not clear stream sessions")
+	}
+	s.mu.Unlock()
+	driveChurn(t, s, 2)
+	wantAssoc, _ := stateOf(s)
+	closeLog(t, s)
+
+	r := durableServer(t, dir, 0)
+	defer closeLog(t, r)
+	if gotAssoc, _ := stateOf(r); gotAssoc != wantAssoc {
+		t.Fatalf("recovery across scenario replacement diverged")
+	}
+	r.mu.Lock()
+	_, leaked := r.sessions["tok-a"]
+	r.mu.Unlock()
+	if leaked {
+		t.Fatal("pre-replacement session recovered past the scenario swap")
+	}
+}
+
+// TestDurableRejectedBatchReplay journals a rejected batch and checks
+// replay reproduces the exact counters (the rejection is part of the
+// deterministic record).
+func TestDurableRejectedBatchReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := durableServer(t, dir, 0)
+	mustPost(t, s, "/v1/scenario", durableScenario)
+	// User 0 is active: joining it again is rejected after the valid
+	// prefix applied.
+	rec := postJSON(t, s, "/v1/events",
+		`[{"kind":"move","user":1,"pos":{"x":50,"y":50}},{"kind":"join","user":0,"session":1,"pos":{"x":10,"y":10}}]`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("rejected batch = %d, want 400", rec.Code)
+	}
+	wantMetrics := engineCounter(t, s, "assocd_events_rejected_total")
+	if wantMetrics == 0 {
+		t.Fatal("rejection did not count")
+	}
+	wantAssoc, _ := stateOf(s)
+	closeLog(t, s)
+
+	r := durableServer(t, dir, 0)
+	defer closeLog(t, r)
+	if got := engineCounter(t, r, "assocd_events_rejected_total"); got != wantMetrics {
+		t.Fatalf("replayed rejected counter = %v, want %v", got, wantMetrics)
+	}
+	if gotAssoc, _ := stateOf(r); gotAssoc != wantAssoc {
+		t.Fatalf("recovery with a rejected batch diverged")
+	}
+}
+
+// engineCounter scrapes one engine-registry counter off /metrics.
+func engineCounter(t *testing.T, s *server, family string) float64 {
+	t.Helper()
+	return metricValue(t, recordGet(s, "/metrics"), family)
+}
+
+// TestDurableBadJournalFailsBoot checks replay verification: a journal
+// whose records the daemon cannot faithfully re-apply (unknown record
+// type, or an outcome that diverges from the journaled one) must
+// refuse to boot instead of serving a state it cannot prove. CRC-level
+// corruption is internal/wal's job; this pins the layer above it.
+func TestDurableBadJournalFailsBoot(t *testing.T) {
+	for name, rec := range map[string]struct {
+		hdr   recHeader
+		lines string
+	}{
+		// An unrecognized record type means the journal came from a
+		// future (or corrupted) daemon.
+		"unknown_type": {hdr: recHeader{T: "bogus"}},
+		// A batch whose journaled outcome (rejected at index 0) does not
+		// match what replay observes (the move applies cleanly).
+		"outcome_diverges": {
+			hdr:   recHeader{T: recBatch, N: 1, Applied: 0, Err: true},
+			lines: `{"kind":"move","user":1,"pos":{"x":50,"y":50}}` + "\n",
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := durableServer(t, dir, 0)
+			mustPost(t, s, "/v1/scenario", durableScenario)
+			driveChurn(t, s, 1)
+			// Forge the bad record straight into the journal.
+			payload, err := encodeRecord(rec.hdr, []byte(rec.lines))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.mu.Lock()
+			_, err = s.dur.log.Append(payload)
+			s.mu.Unlock()
+			if err != nil {
+				t.Fatal(err)
+			}
+			closeLog(t, s)
+
+			r := newServer()
+			r.errlog = io.Discard
+			err = r.enableDurability(serveOptions{dataDir: dir, fsync: "off"}, io.Discard)
+			if err == nil {
+				t.Fatalf("boot succeeded over a journal with a %s record", name)
+			}
+		})
+	}
+}
+
+// TestStreamResumeExactlyOnce is the resume protocol end to end over
+// a real connection: stream half a trace, "crash" the client, then
+// reconnect with the same session and the FULL trace from line 0. The
+// daemon must skip the durable prefix, apply only the tail, and end
+// in exactly the state of one uninterrupted stream.
+func TestStreamResumeExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	s := durableServer(t, dir, 0)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	mustPost(t, s, "/v1/scenario", durableScenario)
+
+	// Reference daemon: the same trace in one clean stream.
+	ref := newServer()
+	ref.errlog = io.Discard
+	ref.shards = 2
+	tsRef := httptest.NewServer(ref)
+	defer tsRef.Close()
+	mustPost(t, ref, "/v1/scenario", durableScenario)
+
+	const n = 40
+	var lines []string
+	for i := 0; i < n; i++ {
+		lines = append(lines, fmt.Sprintf(`{"kind":"move","user":%d,"pos":{"x":%d,"y":%d}}`,
+			i%20, 30+(i*41)%1100, 30+(i*59)%900))
+	}
+	trace := strings.Join(lines, "\n") + "\n"
+	if code, frames := postStream(t, tsRef.URL+"/v1/events/stream?window=8", trace); code != 200 || frames[len(frames)-1].Done == nil {
+		t.Fatalf("reference stream failed: %d %+v", code, frames)
+	}
+
+	// First connection: half the trace under session "cli".
+	half := strings.Join(lines[:n/2], "\n") + "\n"
+	code, frames := postStream(t, ts.URL+"/v1/events/stream?window=8&session=cli", half)
+	if code != 200 || frames[len(frames)-1].Done == nil {
+		t.Fatalf("first half failed: %d %+v", code, frames)
+	}
+
+	// Reconnect, resending EVERYTHING from line 0 (resume=0): the
+	// first n/2 lines must be skipped, not re-applied.
+	resp, err := http.Post(ts.URL+"/v1/events/stream?window=8&session=cli&resume=0", "application/x-ndjson", strings.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := readFrames(t, resp.Body)
+	resp.Body.Close()
+	if all[0].Session == nil {
+		t.Fatalf("first frame %+v, want session", all[0])
+	}
+	if all[0].Session.Seq != n/2 || all[0].Session.Skipped != n/2 {
+		t.Fatalf("session frame %+v, want seq=%d skipped=%d", all[0].Session, n/2, n/2)
+	}
+	last := all[len(all)-1]
+	if last.Done == nil || last.Done.Events != n/2 {
+		t.Fatalf("resumed stream ended %+v, want done{events:%d}", last, n/2)
+	}
+	// Acks are session-global: the final ack must read n.
+	var finalAck int
+	for _, f := range all {
+		if f.Ack != nil {
+			finalAck = f.Ack.Seq
+		}
+	}
+	if finalAck != n {
+		t.Fatalf("final ack seq = %d, want %d", finalAck, n)
+	}
+
+	wantAssoc, wantLoads := stateOf(ref)
+	gotAssoc, gotLoads := stateOf(s)
+	if gotAssoc != wantAssoc || gotLoads != wantLoads {
+		t.Fatalf("resumed state diverged from uninterrupted reference")
+	}
+	text := recordGet(s, "/metrics")
+	if got := metricValue(t, text, "assocd_wal_resumes_total"); got != 1 {
+		t.Fatalf("assocd_wal_resumes_total = %v, want 1", got)
+	}
+	if got := metricValue(t, text, "assocd_wal_resume_skipped_events_total"); got != n/2 {
+		t.Fatalf("assocd_wal_resume_skipped_events_total = %v, want %d", got, n/2)
+	}
+
+	// A fully-applied duplicate resend applies nothing and acks at n.
+	code, frames = postStream(t, ts.URL+"/v1/events/stream?window=8&session=cli&resume=0", trace)
+	if code != 200 {
+		t.Fatalf("duplicate resend = %d", code)
+	}
+	lastF := frames[len(frames)-1]
+	if lastF.Done == nil || lastF.Done.Events != 0 {
+		t.Fatalf("duplicate resend ended %+v, want done{events:0}", lastF)
+	}
+	if gotAssoc2, _ := stateOf(s); gotAssoc2 != wantAssoc {
+		t.Fatal("duplicate resend mutated state")
+	}
+	closeLog(t, s)
+}
+
+// TestStreamResumeBeyondDurable rejects a resume offset the daemon
+// cannot honor, in-band, telling the client where to rewind to.
+func TestStreamResumeBeyondDurable(t *testing.T) {
+	s := newServer()
+	s.errlog = io.Discard
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	mustPost(t, s, "/v1/scenario", durableScenario)
+
+	resp, err := http.Post(ts.URL+"/v1/events/stream?session=ghost&resume=100", "application/x-ndjson",
+		strings.NewReader(`{"kind":"move","user":1,"pos":{"x":50,"y":50}}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := readFrames(t, resp.Body)
+	resp.Body.Close()
+	if len(frames) != 2 || frames[0].Session == nil || frames[0].Session.Seq != 0 {
+		t.Fatalf("frames %+v, want session{seq:0} then error", frames)
+	}
+	if frames[1].Error == "" || !strings.Contains(frames[1].Error, "cannot resume") {
+		t.Fatalf("frame %+v, want cannot-resume error", frames[1])
+	}
+}
+
+// TestStreamSessionsWorkWithoutDataDir pins that resume bookkeeping is
+// independent of journaling: an in-memory daemon still dedups re-sent
+// prefixes within its lifetime.
+func TestStreamSessionsWorkWithoutDataDir(t *testing.T) {
+	s := newServer()
+	s.errlog = io.Discard
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	mustPost(t, s, "/v1/scenario", durableScenario)
+
+	line := `{"kind":"move","user":3,"pos":{"x":77,"y":88}}` + "\n"
+	if code, frames := postStream(t, ts.URL+"/v1/events/stream?session=mem", line); code != 200 || frames[len(frames)-1].Done.Events != 1 {
+		t.Fatalf("first send: %d %+v", code, frames)
+	}
+	code, frames := postStream(t, ts.URL+"/v1/events/stream?session=mem&resume=0", line)
+	if code != 200 || frames[len(frames)-1].Done.Events != 0 {
+		t.Fatalf("duplicate send applied events: %d %+v", code, frames)
+	}
+}
+
+// TestSessionEviction fills the session table past its cap and checks
+// deterministic eviction of the smallest offset.
+func TestSessionEviction(t *testing.T) {
+	s := newServer()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < maxSessions; i++ {
+		s.rememberSession(fmt.Sprintf("tok-%04d", i), uint64(i+1))
+	}
+	s.rememberSession("overflow", 999)
+	if len(s.sessions) != maxSessions {
+		t.Fatalf("table holds %d sessions, want %d", len(s.sessions), maxSessions)
+	}
+	if _, ok := s.sessions["tok-0000"]; ok {
+		t.Fatal("smallest-offset session survived eviction")
+	}
+	if _, ok := s.sessions["overflow"]; !ok {
+		t.Fatal("new session was not admitted")
+	}
+	// Updating an existing session never evicts.
+	s.rememberSession("overflow", 1000)
+	if len(s.sessions) != maxSessions {
+		t.Fatal("update changed table size")
+	}
+}

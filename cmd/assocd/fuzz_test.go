@@ -137,6 +137,11 @@ func FuzzStreamEvents(f *testing.F) {
 				t.Fatalf("frame %d %q is not JSON: %v", i, line, err)
 			}
 			switch {
+			case fr.Session != nil:
+				// The session frame opens every stream, exactly once.
+				if i != 0 {
+					t.Fatalf("frame %d %q: session frame after the first position", i, line)
+				}
 			case fr.Ack != nil:
 				if fr.Ack.Seq <= lastSeq {
 					t.Fatalf("ack seq %d after %d is not increasing", fr.Ack.Seq, lastSeq)
@@ -146,6 +151,8 @@ func FuzzStreamEvents(f *testing.F) {
 			case fr.Done != nil:
 				terminal = true
 				applied = fr.Done.Events
+			case fr.Drain:
+				terminal = true
 			case fr.Error != "":
 				terminal = true
 				// Engine rejections carry "(k applied)": that window

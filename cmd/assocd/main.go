@@ -67,6 +67,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	addr := fs.String("addr", "127.0.0.1:8700", "listen address with -serve")
 	shards := fs.Int("shards", runtime.GOMAXPROCS(0), "engine shard workers for -serve scenarios (>= 1)")
 	stall := fs.Duration("stall-timeout", 30*time.Second, "with -serve, dump the flight recorder when a shard worker makes no progress this long (0 disables the watchdog)")
+	dataDir := fs.String("data-dir", "", "with -serve, directory for the write-ahead journal and snapshots (empty = no durability)")
+	fsyncPolicy := fs.String("fsync", "interval", "with -data-dir, journal fsync policy: always, interval, off")
+	fsyncInterval := fs.Duration("fsync-interval", 100*time.Millisecond, "with -fsync interval, maximum time appended records stay unsynced")
+	snapEvents := fs.Int("snapshot-events", 4096, "with -data-dir, checkpoint after this many journaled events")
+	snapInterval := fs.Duration("snapshot-interval", time.Minute, "with -data-dir, checkpoint at least this often (checked on journal writes)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -82,7 +87,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "assocd: %v\n", err)
 			return 1
 		}
-		if err := serveOn(ctx, ln, stderr, *shards, *stall); err != nil {
+		if err := serveOn(ctx, ln, stderr, serveOptions{
+			shards:        *shards,
+			stall:         *stall,
+			dataDir:       *dataDir,
+			fsync:         *fsyncPolicy,
+			fsyncInterval: *fsyncInterval,
+			snapEvents:    *snapEvents,
+			snapInterval:  *snapInterval,
+		}); err != nil {
 			fmt.Fprintf(stderr, "assocd: %v\n", err)
 			return 1
 		}

@@ -18,10 +18,10 @@ import (
 	"syscall"
 	"time"
 
-	"wlanmcast/internal/core"
 	"wlanmcast/internal/engine"
 	"wlanmcast/internal/obs"
 	"wlanmcast/internal/scenario"
+	"wlanmcast/internal/wal"
 	"wlanmcast/internal/wlan"
 )
 
@@ -95,6 +95,24 @@ type server struct {
 	streamWindows *obs.Counter
 	streamErrors  *obs.Counter
 	streamBusy    *obs.Counter
+
+	// dur is the crash-safety layer (nil without -data-dir): journal,
+	// snapshots, boot recovery. Guarded by mu, like the engine.
+	dur *durability
+	// sessions maps stream session tokens to their durable event
+	// offsets — the exactly-once resume bookkeeping. Guarded by mu.
+	sessions map[string]uint64
+	// draining flips when graceful shutdown begins: streams finish
+	// their current window, send a drain frame, and terminate so the
+	// journal can be finalized.
+	draining atomic.Bool
+
+	walMetrics       *wal.Metrics
+	walReplayRecords *obs.Counter
+	walReplayEvents  *obs.Counter
+	walReplaySeconds *obs.Gauge
+	walResumes       *obs.Counter
+	walResumeSkipped *obs.Counter
 }
 
 // servedPaths is the label set for assocd_http_requests_total; paths
@@ -115,6 +133,8 @@ func newServer() *server {
 		ring:    obs.NewRing(0),
 		errlog:  os.Stderr,
 		shards:  runtime.GOMAXPROCS(0),
+
+		sessions: make(map[string]uint64),
 	}
 	// Uptime registers first so the exposition keeps opening with the
 	// family it has led with since /metrics first shipped.
@@ -135,6 +155,15 @@ func newServer() *server {
 		func() float64 { return float64(s.ring.Total()) })
 	s.base.GaugeFunc("assocd_trace_dropped", "Trace events evicted from the export ring.",
 		func() float64 { return float64(s.ring.Dropped()) })
+	// Durability metrics register unconditionally — even without
+	// -data-dir — so the exposition shape (and METRICS.md) is stable;
+	// they simply stay at zero when journaling is off.
+	s.walMetrics = wal.RegisterMetrics(s.base)
+	s.walReplayRecords = s.base.Counter("assocd_wal_replay_records_total", "Journal records re-applied during boot recovery.")
+	s.walReplayEvents = s.base.Counter("assocd_wal_replay_events_total", "Events re-applied from the journal during boot recovery.")
+	s.walReplaySeconds = s.base.Gauge("assocd_wal_replay_seconds", "Wall-clock seconds the last boot recovery spent restoring and replaying.")
+	s.walResumes = s.base.Counter("assocd_wal_resumes_total", "Stream connections that resumed an existing session.")
+	s.walResumeSkipped = s.base.Counter("assocd_wal_resume_skipped_events_total", "Client-resent stream events skipped because they were already durably applied.")
 	s.mux.HandleFunc("/v1/scenario", s.handleScenario)
 	s.mux.HandleFunc("/v1/events", s.handleEvents)
 	s.mux.HandleFunc("/v1/events/stream", s.handleEventsStream)
@@ -165,6 +194,12 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// no-op (with a server-log complaint) if the handler already
 		// sent headers; there is nothing better to do at that point.
 		if rec := recover(); rec != nil {
+			if rec == http.ErrAbortHandler {
+				// Deliberate connection abort (e.g. a stream whose
+				// request body cannot be drained): let net/http tear the
+				// connection down; it is not a daemon bug to count.
+				panic(rec)
+			}
 			s.panics.Inc()
 			fmt.Fprintf(s.errlog, "assocd: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
 			httpError(w, http.StatusInternalServerError, "internal error: %v", rec)
@@ -179,19 +214,40 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// serveOptions configures serveOn; the zero value runs an in-memory
+// daemon with the compiled-in defaults (no journaling).
+type serveOptions struct {
+	shards int
+	stall  time.Duration
+	// dataDir enables the durability layer: journal + snapshots live
+	// there, and boot recovers from whatever the directory holds.
+	dataDir       string
+	fsync         string // wal policy name: always | interval | off
+	fsyncInterval time.Duration
+	snapEvents    int
+	snapInterval  time.Duration
+}
+
 // serveOn runs the daemon on ln until ctx is cancelled, then shuts
-// down gracefully (in-flight requests get up to 5s to finish). The
-// server carries defensive timeouts so one stalled or byte-dribbling
-// client cannot pin a connection (and its goroutine) forever; the
-// write timeout still leaves room for the longest legitimate response,
-// a 30s pprof CPU profile.
-func serveOn(ctx context.Context, ln net.Listener, stderr io.Writer, shards int, stall time.Duration) error {
+// down gracefully (in-flight requests get up to 5s to finish; open
+// event streams drain at their next window boundary, and the journal
+// is checkpointed and closed before serveOn returns, so a clean stop
+// boots back with zero replay). The server carries defensive timeouts
+// so one stalled or byte-dribbling client cannot pin a connection
+// (and its goroutine) forever; the write timeout still leaves room
+// for the longest legitimate response, a 30s pprof CPU profile.
+func serveOn(ctx context.Context, ln net.Listener, stderr io.Writer, opt serveOptions) error {
 	h := newServer()
 	h.errlog = stderr
-	if shards > 0 {
-		h.shards = shards
+	if opt.shards > 0 {
+		h.shards = opt.shards
 	}
-	h.stallTimeout = stall
+	h.stallTimeout = opt.stall
+	if opt.dataDir != "" {
+		if err := h.enableDurability(opt, stderr); err != nil {
+			return err
+		}
+	}
 	// SIGQUIT dumps the flight recorder to stderr without stopping the
 	// daemon — usable even when the HTTP plane is wedged.
 	sigc := make(chan os.Signal, 1)
@@ -217,16 +273,28 @@ func serveOn(ctx context.Context, ln net.Listener, stderr io.Writer, shards int,
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	fmt.Fprintf(stderr, "assocd: serving on http://%s\n", ln.Addr())
+	finalize := func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		h.finalizeLocked(stderr)
+	}
 	select {
 	case <-ctx.Done():
+		// Flag the drain first: open streams stop at their next window
+		// boundary (with a drain frame) instead of pinning Shutdown for
+		// its whole grace period.
+		h.draining.Store(true)
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
+			finalize()
 			return err
 		}
 		<-errc // http.ErrServerClosed
+		finalize()
 		return nil
 	case err := <-errc:
+		finalize()
 		return err
 	}
 }
@@ -308,62 +376,34 @@ func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		bodyError(w, "decode request", err)
 		return
 	}
-	var (
-		n   *wlan.Network
-		err error
-	)
-	if req.Spec != nil {
-		n, err = req.Spec.Network()
-	} else {
-		n, err = scenario.GenerateNetwork(scenario.Params{
-			NumAPs:      req.APs,
-			NumUsers:    req.Users,
-			NumSessions: req.Sessions,
-			Seed:        req.Seed,
-		})
-	}
+	n, cfg, err := s.buildFromRequest(req)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "build network: %v", err)
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	obj := core.ObjMLA
-	if req.Objective != "" {
-		if obj, err = objectiveByName(req.Objective); err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-	}
-	mode := engine.ModeIncremental
-	switch req.Mode {
-	case "", "incremental":
-	case "full", "full-recompute":
-		mode = engine.ModeFullRecompute
-	default:
-		httpError(w, http.StatusBadRequest, "unknown mode %q", req.Mode)
-		return
-	}
-	shards := req.Shards
-	if shards == 0 {
-		shards = s.shards
-	}
-	eng, err := engine.New(n, engine.Config{
-		Objective:     obj,
-		EnforceBudget: req.EnforceBudget,
-		Hysteresis:    req.Hysteresis,
-		Mode:          mode,
-		ActiveUsers:   req.ActiveUsers,
-		Shards:        shards,
-		Obs:           obs.NewRegistry(),
-		Trace:         s.ring,
-		StallTimeout:  s.stallTimeout,
-		OnStall:       s.onStall,
-	})
+	eng, err := engine.New(n, cfg)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "build engine: %v", err)
 		return
 	}
+	// The journal-canonical form is the decoded request re-marshaled:
+	// recovery rebuilds the engine from exactly these bytes.
+	raw, err := json.Marshal(req)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encode scenario: %v", err)
+		return
+	}
 	s.mu.Lock()
+	// Journal before installing: a scenario the journal could forget
+	// must not be acked (scenario records fsync unconditionally).
+	if err := s.journalScenario(raw); err != nil {
+		s.mu.Unlock()
+		httpError(w, http.StatusInternalServerError, "journal scenario: %v", err)
+		return
+	}
 	s.eng = eng
+	// A new scenario invalidates every stream session's offsets.
+	clear(s.sessions)
 	s.mu.Unlock()
 	s.scenarios.Inc()
 	s.shardsGauge.Set(float64(eng.Shards()))
@@ -394,8 +434,13 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// ApplyBatch fans the batch out over the engine's shard workers; on
 	// error the valid prefix is applied and br.Applied is the index of
 	// the offending event — the same wire contract the old per-event
-	// loop had.
+	// loop had. Rejected batches are journaled too (with their outcome)
+	// so replay reproduces the rejection counters exactly.
 	br, err := s.eng.ApplyBatch(events)
+	if jerr := s.journalBatch(events, br.Applied, err); jerr != nil {
+		httpError(w, http.StatusInternalServerError, "journal: %v", jerr)
+		return
+	}
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "event %d: %v (%d applied)", br.Applied, err, br.Applied)
 		return
@@ -448,7 +493,13 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "remap trace: %v", err)
 		return
 	}
+	// The REMAPPED events are what the engine saw, so they — not the
+	// trace request — are what recovery must re-apply.
 	br, err := s.eng.ApplyBatch(trace)
+	if jerr := s.journalBatch(trace, br.Applied, err); jerr != nil {
+		httpError(w, http.StatusInternalServerError, "journal: %v", jerr)
+		return
+	}
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "trace event %d: %v (%d applied)", br.Applied, err, br.Applied)
 		return
@@ -604,6 +655,12 @@ func (s *server) handleAssoc(w http.ResponseWriter, r *http.Request) {
 		}
 		if err := s.eng.SetAssoc(a); err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		// A rejected PUT mutates nothing, so only the accepted body is
+		// journaled.
+		if err := s.journalAssoc(body); err != nil {
+			httpError(w, http.StatusInternalServerError, "journal: %v", err)
 			return
 		}
 		writeJSON(w, s.status(s.eng))

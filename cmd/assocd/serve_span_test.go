@@ -137,7 +137,7 @@ func TestServeSIGQUITDump(t *testing.T) {
 	defer cancel()
 	log := &syncWriter{}
 	done := make(chan error, 1)
-	go func() { done <- serveOn(ctx, ln, log, 2, 0) }()
+	go func() { done <- serveOn(ctx, ln, log, serveOptions{shards: 2}) }()
 
 	base := fmt.Sprintf("http://%s", ln.Addr())
 	waitFor := func(what string, ok func() bool) {
@@ -258,6 +258,11 @@ func TestServeStreamMetricsConsistency(t *testing.T) {
 			t.Fatalf("bad frame %q: %v", sc.Text(), err)
 		}
 		return f
+	}
+
+	// The stream opens with its session frame.
+	if f := nextFrame(); f.Session == nil {
+		t.Fatalf("first frame %+v, want session", f)
 	}
 
 	// Two valid events, acked one window each.

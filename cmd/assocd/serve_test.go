@@ -479,7 +479,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serveOn(ctx, ln, io.Discard, 2, 30*time.Second) }()
+	go func() { done <- serveOn(ctx, ln, io.Discard, serveOptions{shards: 2, stall: 30 * time.Second}) }()
 
 	url := fmt.Sprintf("http://%s/healthz", ln.Addr())
 	deadline := time.Now().Add(5 * time.Second)

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -50,6 +51,25 @@ import (
 // final summary frame:
 //
 //	{"done":{"events":100000,"redecisions":12040,"moves":3011,"total_load":12.5,"max_load":0.71}}
+//
+// Resume: the first response frame is always a session frame,
+//
+//	{"session":{"token":"ab12…","seq":4096,"skipped":1024}}
+//
+// where token identifies the stream session (?session=tok to reuse
+// one; the server mints a random token otherwise), seq is the
+// session's durable offset — the number of events already applied
+// (and, with -data-dir, journaled) under that token — and skipped is
+// how many of the client's re-sent leading lines the server will
+// discard as duplicates. A client that reconnects after a broken
+// stream sends ?session=tok&resume=L and re-sends its events starting
+// at line L; the server skips the first seq−L lines without
+// re-applying them (exactly-once), applies from there, and every ack
+// seq is the session-global offset. resume beyond the durable offset
+// is refused with an in-band error (the client rewinds to the session
+// frame's seq). During graceful shutdown the stream finishes its
+// current window and terminates with {"drain":true}; the client
+// reconnects and resumes against the restarted daemon.
 
 const (
 	streamDefaultWindow = 512
@@ -58,6 +78,11 @@ const (
 	// bytes, so 1 MiB is generous without letting a hostile client
 	// balloon the scanner buffer.
 	maxStreamLine = 1 << 20
+	// streamDrainLimit / streamDrainTimeout bound how much of a
+	// terminated stream's request body the handler will consume before
+	// giving up and aborting the connection instead (see discardStream).
+	streamDrainLimit   = 4 << 20
+	streamDrainTimeout = 10 * time.Second
 	// streamIdleTimeout is the rolling per-window read deadline: the
 	// server's absolute ReadTimeout would kill any stream longer than
 	// 30s, so the handler re-arms a generous idle deadline instead —
@@ -70,9 +95,12 @@ const (
 
 // streamBuf is one connection's reusable decode window, pooled across
 // connections so a steady stream of reconnects does not churn the
-// heap. Capacity is bounded by streamMaxWindow.
+// heap. Capacity is bounded by streamMaxWindow (events) and the
+// window's raw bytes (raw — the journal's copy of the wire lines,
+// accumulated per window so the hot path never re-encodes events).
 type streamBuf struct {
 	events []engine.Event
+	raw    []byte
 }
 
 var streamBufs = sync.Pool{New: func() any { return new(streamBuf) }}
@@ -96,12 +124,25 @@ type streamDone struct {
 	MaxLoad     float64 `json:"max_load"`
 }
 
-// streamFrame is one NDJSON response line: exactly one of ack, done,
-// or error is present.
+// streamSession opens every response: the session's identity and
+// durable offset, and how many re-sent leading lines will be skipped.
+type streamSession struct {
+	Token   string `json:"token"`
+	Seq     uint64 `json:"seq"`
+	Skipped uint64 `json:"skipped,omitempty"`
+}
+
+// streamFrame is one NDJSON response line: exactly one of session,
+// ack, done, drain, or error is present.
 type streamFrame struct {
-	Ack  *streamAck  `json:"ack,omitempty"`
-	Done *streamDone `json:"done,omitempty"`
-	// Event is the stream-global index of the offending event on an
+	Session *streamSession `json:"session,omitempty"`
+	Ack     *streamAck     `json:"ack,omitempty"`
+	Done    *streamDone    `json:"done,omitempty"`
+	// Drain marks a server-initiated termination during graceful
+	// shutdown: everything acked so far is durable; reconnect and
+	// resume.
+	Drain bool `json:"drain,omitempty"`
+	// Event is the session-global index of the offending event on an
 	// error frame.
 	Event int    `json:"event,omitempty"`
 	Error string `json:"error,omitempty"`
@@ -121,12 +162,30 @@ func (s *server) handleEventsStream(w http.ResponseWriter, r *http.Request) {
 		}
 		window = min(v, streamMaxWindow)
 	}
+	var resume uint64
+	if q := r.URL.Query().Get("resume"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 63)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "invalid resume offset %q", q)
+			return
+		}
+		resume = v
+	}
+	clientTok := r.URL.Query().Get("session")
+	tok := clientTok
+	if tok == "" {
+		tok = newSessionToken()
+	}
 	s.mu.Lock()
 	eng := s.eng
+	durable, known := s.sessions[tok]
 	s.mu.Unlock()
 	if eng == nil {
 		httpError(w, http.StatusConflict, "no scenario loaded; POST /v1/scenario first")
 		return
+	}
+	if clientTok != "" && known {
+		s.walResumes.Inc()
 	}
 	// Single-flight: a second stream would interleave windows with the
 	// first on one engine, destroying both clients' seq accounting.
@@ -137,6 +196,15 @@ func (s *server) handleEventsStream(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusTooManyRequests, "another event stream is active; retry later")
 		return
 	}
+	rc := http.NewResponseController(w)
+	// Every exit path — error frame, cannot-resume, drain, clean done —
+	// must leave the body at EOF or kill the connection; see
+	// discardStream. On the happy path the scanner has already consumed
+	// the body and this is a free EOF read. Registered before the slot
+	// release so the slot frees first: a draining connection no longer
+	// touches the engine, and a client that just got its terminal frame
+	// reconnects immediately — it must not 429 against our own drain.
+	defer discardStream(rc, r.Body)
 	defer s.streamSlot.Store(false)
 	s.streamConns.Inc()
 	s.streamActive.Set(1)
@@ -145,7 +213,6 @@ func (s *server) handleEventsStream(w http.ResponseWriter, r *http.Request) {
 	buf := streamBufs.Get().(*streamBuf)
 	defer streamBufs.Put(buf)
 
-	rc := http.NewResponseController(w)
 	// Acks flow while the request body is still streaming in; without
 	// full duplex net/http/1.x closes the body on the first response
 	// write. Best-effort: writers that do not support the call (HTTP/2
@@ -157,17 +224,36 @@ func (s *server) handleEventsStream(w http.ResponseWriter, r *http.Request) {
 	rc.Flush() // release the headers so the client can read acks early
 	enc := json.NewEncoder(w)
 
+	// The session frame always leads: it tells the client its token,
+	// the session's durable offset, and how many of the lines it is
+	// about to (re-)send will be discarded as already applied.
+	var toSkip uint64
+	if durable > resume {
+		toSkip = durable - resume
+	}
+	if !s.writeFrame(enc, rc, streamFrame{Session: &streamSession{Token: tok, Seq: durable, Skipped: toSkip}}) {
+		return
+	}
+	if resume > durable {
+		s.streamError(enc, rc, int(durable),
+			fmt.Sprintf("cannot resume from %d: session %q is durable to %d", resume, tok, durable))
+		return
+	}
+	s.walResumeSkipped.Add(toSkip)
+
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 64<<10), maxStreamLine)
 
 	var done streamDone
-	consumed := 0 // events decoded off the wire so far
-	events := buf.events
+	seq := durable // session-global offset of the next event to apply
+	events, raw := buf.events, buf.raw
+	defer func() { buf.events, buf.raw = events, raw }()
 	for {
 		// Rolling idle deadline: each window gets a fresh read budget
 		// (the server-wide absolute ReadTimeout is overridden here).
 		rc.SetReadDeadline(time.Now().Add(streamIdleTimeout))
 		events = events[:0]
+		raw = raw[:0]
 		eof := false
 		for len(events) < window {
 			if !sc.Scan() {
@@ -178,48 +264,63 @@ func (s *server) handleEventsStream(w http.ResponseWriter, r *http.Request) {
 			if len(line) == 0 {
 				continue
 			}
+			// Re-sent lines below the durable offset were applied (and
+			// journaled) by a previous connection: count them off, do not
+			// re-apply — that is the exactly-once half of resume.
+			if toSkip > 0 {
+				toSkip--
+				continue
+			}
 			// Grow-then-zero so json.Unmarshal writes into the pooled
 			// slot: omitted fields must not inherit the previous
 			// window's values.
 			events = append(events, engine.Event{})
 			k := len(events) - 1
 			if err := json.Unmarshal(line, &events[k]); err != nil {
-				s.streamError(enc, rc, consumed+k, fmt.Sprintf("event %d: decode: %v", consumed+k, err))
-				buf.events = events
+				gidx := int(seq) + k
+				s.streamError(enc, rc, gidx, fmt.Sprintf("event %d: decode: %v", gidx, err))
 				return
 			}
+			// sc.Bytes() is only valid until the next Scan: append copies
+			// the line into the pooled journal buffer now.
+			raw = append(raw, line...)
+			raw = append(raw, '\n')
 		}
 		if len(events) > 0 {
-			br, err := s.applyStreamWindow(eng, events)
+			br, newSeq, err := s.applyStreamWindow(eng, events, raw, tok, seq)
 			done.Redecisions += br.Redecisions
 			done.Moves += br.Moves
 			done.Events += br.Applied
 			s.streamEvents.Add(uint64(br.Applied))
 			if err != nil {
-				gidx := consumed + br.Applied
+				gidx := int(seq) + br.Applied
 				s.streamError(enc, rc, gidx, fmt.Sprintf("event %d: %v (%d applied)", gidx, err, br.Applied))
-				buf.events = events
 				return
 			}
-			consumed += len(events)
+			seq = newSeq
 			s.streamWindows.Inc()
 			if !s.writeFrame(enc, rc, streamFrame{Ack: &streamAck{
-				Seq:         consumed,
+				Seq:         int(seq),
 				Applied:     br.Applied,
 				Redecisions: br.Redecisions,
 				Moves:       br.Moves,
 			}}) {
-				buf.events = events
 				return
 			}
 		}
 		if eof {
 			break
 		}
+		// Graceful shutdown: everything acked is journaled; tell the
+		// client to reconnect to the restarted daemon and stop reading
+		// so srv.Shutdown does not wait out this stream's idle timeout.
+		if s.draining.Load() {
+			s.writeFrame(enc, rc, streamFrame{Drain: true})
+			return
+		}
 	}
-	buf.events = events
 	if err := sc.Err(); err != nil {
-		s.streamError(enc, rc, consumed, fmt.Sprintf("event %d: read: %v", consumed, err))
+		s.streamError(enc, rc, int(seq), fmt.Sprintf("event %d: read: %v", seq, err))
 		return
 	}
 	s.mu.Lock()
@@ -231,16 +332,35 @@ func (s *server) handleEventsStream(w http.ResponseWriter, r *http.Request) {
 	s.writeFrame(enc, rc, streamFrame{Done: &done})
 }
 
-// applyStreamWindow applies one window under the engine lock,
-// defending against a concurrent scenario swap: applying to a replaced
-// engine would silently stream into an object no reader can see.
-func (s *server) applyStreamWindow(eng *engine.Engine, events []engine.Event) (engine.BatchResult, error) {
+// applyStreamWindow applies one window, journals it, and advances the
+// session offset — all under one engine-lock hold, so a crash can
+// never separate "applied" from "journaled" in a way a client could
+// observe: an unacked window dies with the process and the client
+// re-sends it. It also defends against a concurrent scenario swap:
+// applying to a replaced engine would silently stream into an object
+// no reader can see. Returns the session's new durable offset (on a
+// rejection, the offset advances only past the applied prefix, so a
+// reconnect resumes exactly at the offending event).
+func (s *server) applyStreamWindow(eng *engine.Engine, events []engine.Event, raw []byte, sess string, seq uint64) (engine.BatchResult, uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.eng != eng {
-		return engine.BatchResult{}, fmt.Errorf("scenario replaced mid-stream")
+		return engine.BatchResult{}, seq, fmt.Errorf("scenario replaced mid-stream")
 	}
-	return eng.ApplyStream(events)
+	br, err := eng.ApplyStream(events)
+	newSeq := seq + uint64(len(events))
+	if err != nil {
+		newSeq = seq + uint64(br.Applied)
+	}
+	// The session offset must advance before journalWindow: journaling
+	// can cut a snapshot, and a snapshot whose engine state includes
+	// this window but whose sessions map does not would make a
+	// recovered daemon re-accept (or reject) events it already applied.
+	s.rememberSession(sess, newSeq)
+	if jerr := s.journalWindow(raw, len(events), br.Applied, err, sess, newSeq); jerr != nil {
+		return br, seq, fmt.Errorf("journal: %v", jerr)
+	}
+	return br, newSeq, err
 }
 
 // streamError emits an in-band error frame; the caller terminates the
@@ -248,6 +368,27 @@ func (s *server) applyStreamWindow(eng *engine.Engine, events []engine.Event) (e
 func (s *server) streamError(enc *json.Encoder, rc *http.ResponseController, gidx int, msg string) {
 	s.streamErrors.Inc()
 	s.writeFrame(enc, rc, streamFrame{Event: gidx, Error: msg})
+}
+
+// discardStream consumes whatever remains of the request body after a
+// stream terminates early (error frame, cannot-resume, drain). The
+// handler enabled full duplex, which tells net/http NOT to consume the
+// body before the response — so if we return with bytes still unread,
+// the server's own post-handler drain races its background-read
+// bookkeeping (finishRequest aborts pending reads *before* closing the
+// body, and the close-time drain re-arms one on EOF), which panics the
+// connection's next read with "invalid concurrent Body.Read call" and
+// can desync keep-alive reuse. Reading to EOF here restores the
+// invariant the non-duplex server enforces. The terminal frame has
+// already been flushed, so a live client stops sending promptly; if
+// EOF still does not arrive within the byte/time bounds, the
+// connection must not be reused — abort it.
+func discardStream(rc *http.ResponseController, body io.Reader) {
+	rc.SetReadDeadline(time.Now().Add(streamDrainTimeout))
+	n, err := io.Copy(io.Discard, io.LimitReader(body, streamDrainLimit))
+	if err != nil || n == streamDrainLimit {
+		panic(http.ErrAbortHandler)
+	}
 }
 
 // writeFrame writes one NDJSON frame and flushes it, under a fresh

@@ -37,7 +37,14 @@ func postStream(t *testing.T, url, body string) (int, []streamFrame) {
 	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
 		t.Errorf("stream Content-Type = %q, want application/x-ndjson", ct)
 	}
-	return resp.StatusCode, readFrames(t, resp.Body)
+	frames := readFrames(t, resp.Body)
+	// Every stream opens with a session frame; strip it here so the
+	// callers assert on the protocol frames that follow (the resume
+	// tests inspect session frames directly).
+	if len(frames) == 0 || frames[0].Session == nil {
+		t.Fatalf("stream did not open with a session frame: %+v", frames)
+	}
+	return resp.StatusCode, frames[1:]
 }
 
 func readFrames(t testing.TB, r io.Reader) []streamFrame {

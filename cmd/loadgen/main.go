@@ -1,14 +1,22 @@
 // Command loadgen drives an assocd daemon over the streaming ingest
 // endpoint: it loads a scenario, generates the same seeded
 // Poisson/mobility churn (plus an optional fault schedule) the
-// offline experiments use, replays it over one long-lived
-// /v1/events/stream connection at a target rate, and reports what the
-// daemon achieved — events/s plus the p50/p99 per-event re-decision
-// latency taken from the daemon's own assocd_event_latency_seconds
-// histogram (diffed around the run, so a shared daemon reports only
-// this replay's cost), and a per-stage p50/p99 breakdown
-// (queue-wait, apply, reduce, ...) diffed the same way from the
-// daemon's labeled assocd_stage_seconds family.
+// offline experiments use, replays it over /v1/events/stream at a
+// target rate, and reports what the daemon achieved — events/s plus
+// the p50/p99 per-event re-decision latency taken from the daemon's
+// own assocd_event_latency_seconds histogram (diffed around the run,
+// so a shared daemon reports only this replay's cost), and a
+// per-stage p50/p99 breakdown (queue-wait, apply, reduce, ...)
+// diffed the same way from the daemon's labeled assocd_stage_seconds
+// family.
+//
+// The stream survives daemon restarts: every connection carries a
+// session token and a resume offset (the last acked seq), so when the
+// connection drops — a crash, a drain frame from a graceful shutdown,
+// or a transient transport error — loadgen reconnects with capped
+// exponential backoff and resumes from the last ack. The daemon skips
+// any prefix it already holds durably, so no event is applied twice
+// even when the crash landed between apply and ack.
 //
 // Example, 50k events as fast as the daemon accepts them:
 //
@@ -27,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"strconv"
 	"strings"
@@ -47,11 +56,19 @@ func main() {
 
 // report is the run summary, written as JSON to stdout (and -out).
 type report struct {
-	Events      int     `json:"events"`
-	Applied     int     `json:"applied"`
-	Windows     int     `json:"windows"`
-	Redecisions int     `json:"redecisions"`
-	Moves       int     `json:"moves"`
+	Events      int `json:"events"`
+	Applied     int `json:"applied"`
+	Windows     int `json:"windows"`
+	Redecisions int `json:"redecisions"`
+	Moves       int `json:"moves"`
+	// Session is the stream session token (server-assigned unless
+	// pinned with -session); Reconnects counts connections beyond the
+	// first, and ResumeGap totals the events the daemon skipped on
+	// resume because it had already applied them durably before the
+	// previous connection died (apply-but-no-ack windows).
+	Session     string  `json:"session,omitempty"`
+	Reconnects  int     `json:"reconnects"`
+	ResumeGap   int     `json:"resume_gap"`
 	ElapsedSec  float64 `json:"elapsed_s"`
 	TargetEPS   float64 `json:"target_eps,omitempty"`
 	AchievedEPS float64 `json:"achieved_eps"`
@@ -95,32 +112,42 @@ type wireDone struct {
 	MaxLoad     float64 `json:"max_load"`
 }
 
+type wireSession struct {
+	Token   string `json:"token"`
+	Seq     int    `json:"seq"`
+	Skipped int    `json:"skipped"`
+}
+
 type wireFrame struct {
-	Ack   *wireAck  `json:"ack"`
-	Done  *wireDone `json:"done"`
-	Event int       `json:"event"`
-	Error string    `json:"error"`
+	Session *wireSession `json:"session"`
+	Ack     *wireAck     `json:"ack"`
+	Done    *wireDone    `json:"done"`
+	Drain   bool         `json:"drain"`
+	Event   int          `json:"event"`
+	Error   string       `json:"error"`
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr     = fs.String("addr", "http://127.0.0.1:8080", "assocd base URL")
-		aps      = fs.Int("aps", 50, "scenario AP count")
-		users    = fs.Int("users", 200, "scenario user slots")
-		sessions = fs.Int("sessions", 4, "scenario session count")
-		active   = fs.Int("active", 150, "initially active users")
-		shards   = fs.Int("shards", 0, "engine shards (0 = daemon default)")
-		seed     = fs.Int64("seed", 1, "trace and scenario seed")
-		events   = fs.Int("events", 10000, "churn events to stream")
-		rate     = fs.Float64("rate", 0, "target events/s (0 = unpaced)")
-		window   = fs.Int("window", 512, "stream ack window")
-		mtbf     = fs.Float64("mtbf", 0, "mean AP up-time in trace seconds (0 = no faults)")
-		mttr     = fs.Float64("mttr", 15, "mean AP down-time in trace seconds")
-		group    = fs.Int("group", 1, "correlated AP failure group size")
-		flap     = fs.Float64("flap", 0, "probability a recovered AP flaps back down")
-		out      = fs.String("out", "", "also write the JSON report to this file")
+		addr      = fs.String("addr", "http://127.0.0.1:8080", "assocd base URL")
+		aps       = fs.Int("aps", 50, "scenario AP count")
+		users     = fs.Int("users", 200, "scenario user slots")
+		sessions  = fs.Int("sessions", 4, "scenario session count")
+		active    = fs.Int("active", 150, "initially active users")
+		shards    = fs.Int("shards", 0, "engine shards (0 = daemon default)")
+		seed      = fs.Int64("seed", 1, "trace and scenario seed")
+		events    = fs.Int("events", 10000, "churn events to stream")
+		rate      = fs.Float64("rate", 0, "target events/s (0 = unpaced)")
+		window    = fs.Int("window", 512, "stream ack window")
+		mtbf      = fs.Float64("mtbf", 0, "mean AP up-time in trace seconds (0 = no faults)")
+		mttr      = fs.Float64("mttr", 15, "mean AP down-time in trace seconds")
+		group     = fs.Int("group", 1, "correlated AP failure group size")
+		flap      = fs.Float64("flap", 0, "probability a recovered AP flaps back down")
+		session   = fs.String("session", "", "stream session token (empty = daemon-assigned on connect)")
+		maxReconn = fs.Int("max-reconnects", 8, "give up after this many stream reconnects")
+		out       = fs.String("out", "", "also write the JSON report to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -184,7 +211,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("scrape /metrics before run: %w", err)
 	}
 
-	rep, err := stream(base, trace, *window, *rate, stderr)
+	rep, err := stream(base, trace, *window, *rate, *session, *maxReconn, stderr)
 	if err != nil {
 		return err
 	}
@@ -246,19 +273,77 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-// stream replays the trace over one /v1/events/stream connection,
-// pacing writes to rate (events/s; 0 = as fast as the connection
-// drains) while a reader consumes ack frames concurrently.
-func stream(base string, trace []engine.Event, window int, rate float64, stderr io.Writer) (report, error) {
+// stream replays the trace over /v1/events/stream, pacing writes to
+// rate (events/s; 0 = as fast as the connection drains) while a
+// reader consumes ack frames concurrently. When a connection dies
+// before the done frame — crash, drain frame, transport error — it
+// reconnects with capped exponential backoff and resumes from the
+// last acked seq, letting the daemon's session dedup skip anything
+// that was already applied durably.
+func stream(base string, trace []engine.Event, window int, rate float64, session string, maxReconnects int, stderr io.Writer) (report, error) {
 	rep := report{Events: len(trace)}
+	start := time.Now()
+	const initialBackoff, maxBackoff = 100 * time.Millisecond, 5 * time.Second
+	offset := 0 // next trace index to offer = last seq the run knows is applied
+	backoff := initialBackoff
+	for {
+		newOffset, done, retry, err := streamOnce(base, trace, offset, window, rate, &session, &rep, stderr)
+		if newOffset > offset {
+			backoff = initialBackoff // forward progress resets the backoff
+		}
+		offset = newOffset
+		rep.Applied = offset
+		rep.Session = session
+		if done {
+			break
+		}
+		if !retry {
+			return rep, err
+		}
+		if rep.Reconnects >= maxReconnects {
+			return rep, fmt.Errorf("stream failed after %d reconnects: %w", rep.Reconnects, err)
+		}
+		rep.Reconnects++
+		fmt.Fprintf(stderr, "loadgen: stream interrupted at event %d/%d (%v); reconnect %d/%d in %v\n",
+			offset, len(trace), err, rep.Reconnects, maxReconnects, backoff)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+	rep.ElapsedSec = time.Since(start).Seconds()
+	if rep.ElapsedSec > 0 {
+		rep.AchievedEPS = float64(rep.Applied) / rep.ElapsedSec
+	}
+	if rep.Reconnects > 0 {
+		fmt.Fprintf(stderr, "loadgen: %d events in %.2fs (%.0f events/s; %d reconnects, resume gap %d)\n",
+			rep.Applied, rep.ElapsedSec, rep.AchievedEPS, rep.Reconnects, rep.ResumeGap)
+	} else {
+		fmt.Fprintf(stderr, "loadgen: %d events in %.2fs (%.0f events/s)\n",
+			rep.Applied, rep.ElapsedSec, rep.AchievedEPS)
+	}
+	return rep, nil
+}
+
+// streamOnce opens one stream connection offering trace[offset:] and
+// consumes frames until done, an error, or the connection dies. It
+// returns the updated global offset (last seq acked or skipped by the
+// daemon), whether the trace completed, and whether a failure is
+// worth a reconnect. The session token is updated in place from the
+// daemon's session frame so the next connection resumes the same
+// session.
+func streamOnce(base string, trace []engine.Event, offset, window int, rate float64, session *string, rep *report, stderr io.Writer) (newOffset int, done, retry bool, err error) {
+	// The frame loop below mutates offset; the writer must send from
+	// the index the resume parameter promised, captured before spawn.
+	from := offset
 	pr, pw := io.Pipe()
 	writeErr := make(chan error, 1)
 	go func() {
 		enc := json.NewEncoder(pw)
 		start := time.Now()
-		for i := range trace {
+		for i := from; i < len(trace); i++ {
 			if rate > 0 {
-				at := start.Add(time.Duration(float64(i) / rate * float64(time.Second)))
+				at := start.Add(time.Duration(float64(i-from) / rate * float64(time.Second)))
 				time.Sleep(time.Until(at))
 			}
 			if err := enc.Encode(trace[i]); err != nil {
@@ -270,58 +355,89 @@ func stream(base string, trace []engine.Event, window int, rate float64, stderr 
 		writeErr <- nil
 		pw.Close()
 	}()
+	// Closing the read side unblocks a writer mid-Encode when the
+	// daemon terminated the stream early; the writer's error is then
+	// expected, not a failure of this attempt.
+	drainWriter := func() {
+		pr.CloseWithError(io.ErrClosedPipe)
+		<-writeErr
+	}
 
-	url := base + "/v1/events/stream?window=" + strconv.Itoa(window)
-	req, err := http.NewRequest("POST", url, pr)
+	u := base + "/v1/events/stream?window=" + strconv.Itoa(window)
+	if *session != "" {
+		u += "&session=" + url.QueryEscape(*session) + "&resume=" + strconv.Itoa(from)
+	}
+	req, err := http.NewRequest("POST", u, pr)
 	if err != nil {
-		return rep, err
+		drainWriter()
+		return offset, false, false, err
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
-	start := time.Now()
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return rep, fmt.Errorf("open stream: %w", err)
+		drainWriter()
+		return offset, false, true, fmt.Errorf("open stream: %w", err)
 	}
 	defer resp.Body.Close()
+	defer drainWriter()
 	if resp.StatusCode != http.StatusOK {
 		raw, _ := io.ReadAll(resp.Body)
-		return rep, fmt.Errorf("stream rejected: %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+		retriable := resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500
+		return offset, false, retriable, fmt.Errorf("stream rejected: %s: %s", resp.Status, strings.TrimSpace(string(raw)))
 	}
 
+	// Without a session frame (older daemon) ack seqs count from this
+	// connection's start; with one they are session-global.
+	connBase, sawSession := offset, false
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64<<10), 1<<20)
 	for sc.Scan() {
 		var f wireFrame
 		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
-			return rep, fmt.Errorf("bad frame %q: %v", sc.Text(), err)
+			return offset, false, false, fmt.Errorf("bad frame %q: %v", sc.Text(), err)
 		}
 		switch {
+		case f.Session != nil:
+			sawSession = true
+			*session = f.Session.Token
+			rep.ResumeGap += f.Session.Skipped
+			if f.Session.Seq > offset {
+				// The daemon applied past our last ack before the
+				// previous connection died; it skips the overlap.
+				offset = f.Session.Seq
+			}
 		case f.Ack != nil:
-			rep.Applied = f.Ack.Seq
+			if sawSession {
+				offset = f.Ack.Seq
+			} else {
+				offset = connBase + f.Ack.Seq
+			}
 			rep.Windows++
 		case f.Done != nil:
-			rep.Applied = f.Done.Events
-			rep.Redecisions = f.Done.Redecisions
-			rep.Moves = f.Done.Moves
+			rep.Redecisions += f.Done.Redecisions
+			rep.Moves += f.Done.Moves
 			rep.TotalLoad = f.Done.TotalLoad
 			rep.MaxLoad = f.Done.MaxLoad
+			if !sawSession {
+				offset = connBase + f.Done.Events
+			}
+			return offset, true, false, nil
+		case f.Drain:
+			return offset, false, true, fmt.Errorf("daemon draining for shutdown")
 		case f.Error != "":
-			return rep, fmt.Errorf("daemon rejected stream at event %d: %s", f.Event, f.Error)
+			if strings.Contains(f.Error, "cannot resume from") {
+				// The daemon lost durable state past f.Event (e.g. a
+				// crash truncated unsynced journal tail); its engine
+				// rewound with it, so re-sending from there is safe.
+				return f.Event, false, true, fmt.Errorf("daemon rewound session to %d: %s", f.Event, f.Error)
+			}
+			return offset, false, false, fmt.Errorf("daemon rejected stream at event %d: %s", f.Event, f.Error)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return rep, fmt.Errorf("read acks: %w", err)
+		return offset, false, true, fmt.Errorf("read acks: %w", err)
 	}
-	if err := <-writeErr; err != nil {
-		return rep, fmt.Errorf("write events: %w", err)
-	}
-	rep.ElapsedSec = time.Since(start).Seconds()
-	if rep.ElapsedSec > 0 {
-		rep.AchievedEPS = float64(rep.Applied) / rep.ElapsedSec
-	}
-	fmt.Fprintf(stderr, "loadgen: %d events in %.2fs (%.0f events/s)\n",
-		rep.Applied, rep.ElapsedSec, rep.AchievedEPS)
-	return rep, nil
+	return offset, false, true, fmt.Errorf("stream closed before the done frame")
 }
 
 func postJSON(url string, body, out any) error {

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -50,6 +51,12 @@ func (d *mockDaemon) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		rc.Flush()
 		enc := json.NewEncoder(w)
+		tok := r.URL.Query().Get("session")
+		if tok == "" {
+			tok = "mock"
+		}
+		enc.Encode(map[string]any{"session": map[string]any{"token": tok, "seq": 0}})
+		rc.Flush()
 		sc := bufio.NewScanner(r.Body)
 		n, inWindow := 0, 0
 		for sc.Scan() {
@@ -211,6 +218,152 @@ func TestLoadgenFaultMerge(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "fault actions") {
 		t.Errorf("stderr %q does not report the fault merge", stderr.String())
+	}
+}
+
+// flakyDaemon is a session-aware mock that kills the first dropConns
+// stream connections mid-flight: each doomed connection acks one
+// window, silently applies one more (durable but never acked), then
+// aborts the connection. The client must reconnect, resume from its
+// last ack, and let the server-side skip absorb the unacked window —
+// exactly-once means every event line is applied exactly once in
+// total.
+type flakyDaemon struct {
+	dropConns int
+	mu        sync.Mutex
+	durable   int // session-global applied seq
+	applied   int // total lines applied (double-applies would inflate this)
+	conns     int
+}
+
+func (d *flakyDaemon) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/v1/scenario":
+		io.WriteString(w, `{"aps":10,"users":40,"active_users":25,"shards":1}`)
+	case "/metrics":
+		// Empty exposition: loadgen tolerates absent families.
+	case "/v1/events/stream":
+		window, _ := strconv.Atoi(r.URL.Query().Get("window"))
+		resume, _ := strconv.Atoi(r.URL.Query().Get("resume"))
+		tok := r.URL.Query().Get("session")
+		if tok == "" {
+			tok = "flaky"
+		}
+		d.mu.Lock()
+		d.conns++
+		conn := d.conns
+		durable := d.durable
+		d.mu.Unlock()
+
+		rc := http.NewResponseController(w)
+		rc.EnableFullDuplex()
+		w.WriteHeader(http.StatusOK)
+		rc.Flush()
+		enc := json.NewEncoder(w)
+		skip := durable - resume
+		enc.Encode(map[string]any{"session": map[string]any{
+			"token": tok, "seq": durable, "skipped": skip,
+		}})
+		rc.Flush()
+
+		sc := bufio.NewScanner(r.Body)
+		inWindow, acked, connApplied := 0, 0, 0
+		for sc.Scan() {
+			if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+				continue
+			}
+			if skip > 0 {
+				skip--
+				continue
+			}
+			d.mu.Lock()
+			d.durable++
+			d.applied++
+			durable = d.durable
+			d.mu.Unlock()
+			inWindow++
+			connApplied++
+			if inWindow == window {
+				inWindow = 0
+				if conn <= d.dropConns && acked == 1 {
+					// Window applied and durable, ack never sent: the
+					// client's resume offset lands one window behind.
+					panic(http.ErrAbortHandler)
+				}
+				enc.Encode(map[string]any{"ack": map[string]int{"seq": durable, "applied": window}})
+				rc.Flush()
+				acked++
+			}
+		}
+		if inWindow > 0 {
+			enc.Encode(map[string]any{"ack": map[string]int{"seq": durable, "applied": inWindow}})
+		}
+		enc.Encode(map[string]any{"done": map[string]any{"events": connApplied}})
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// TestLoadgenReconnectResume drops the stream twice mid-run — each
+// time with a durable-but-unacked window outstanding — and checks the
+// client reconnects with backoff, resumes from its last ack, and the
+// daemon applies every event exactly once.
+func TestLoadgenReconnectResume(t *testing.T) {
+	d := &flakyDaemon{dropConns: 2}
+	ts := httptest.NewServer(d)
+	defer ts.Close()
+
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL, "-events", "200", "-window", "16",
+		"-aps", "10", "-users", "40", "-sessions", "3", "-active", "25",
+		"-session", "cli", "-max-reconnects", "5",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.Reconnects != 2 {
+		t.Errorf("reconnects = %d, want 2", rep.Reconnects)
+	}
+	if rep.Applied != 200 || d.applied != 200 {
+		t.Errorf("applied = client %d / daemon %d, want 200/200 (exactly once)", rep.Applied, d.applied)
+	}
+	// Each dropped connection left one 16-event window durable but
+	// unacked; the daemon skipped it on resume.
+	if rep.ResumeGap != 32 {
+		t.Errorf("resume gap = %d, want 32", rep.ResumeGap)
+	}
+	if rep.Session != "cli" {
+		t.Errorf("session = %q, want pinned token \"cli\"", rep.Session)
+	}
+	if d.conns != 3 {
+		t.Errorf("daemon saw %d connections, want 3", d.conns)
+	}
+	if !strings.Contains(stderr.String(), "reconnect 1/5") || !strings.Contains(stderr.String(), "reconnect 2/5") {
+		t.Errorf("stderr lacks reconnect progress lines:\n%s", stderr.String())
+	}
+}
+
+// TestLoadgenReconnectGivesUp pins the -max-reconnects cap: a daemon
+// that dies on every connection exhausts the budget and surfaces the
+// last failure.
+func TestLoadgenReconnectGivesUp(t *testing.T) {
+	d := &flakyDaemon{dropConns: 1 << 30}
+	ts := httptest.NewServer(d)
+	defer ts.Close()
+
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL, "-events", "200", "-window", "16",
+		"-aps", "10", "-users", "40", "-sessions", "3", "-active", "25",
+		"-session", "cli", "-max-reconnects", "2",
+	}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "after 2 reconnects") {
+		t.Fatalf("err = %v, want give-up after 2 reconnects", err)
 	}
 }
 

@@ -234,6 +234,39 @@ type worker struct {
 // "load scenario" step). The engine takes ownership of n: the caller
 // must not run other algorithms or trackers over it afterwards.
 func New(n *wlan.Network, cfg Config) (*Engine, error) {
+	e, err := newShell(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	nActive := n.NumUsers()
+	if e.cfg.ActiveUsers > 0 {
+		nActive = e.cfg.ActiveUsers
+	}
+	for u := 0; u < n.NumUsers(); u++ {
+		if u < nActive {
+			e.active[u] = true
+			continue
+		}
+		if err := n.DetachUser(u); err != nil {
+			return nil, err
+		}
+	}
+	e.nActive = nActive
+	assoc, err := e.fullRun()
+	if err != nil {
+		return nil, err
+	}
+	if err := e.finish(assoc); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// newShell validates cfg, normalizes it, and builds an Engine with
+// its rule, registry, and metric families — but no active-user flags,
+// workers, or trackers yet. New seeds those with a full distributed
+// run; RestoreSnapshot seeds them from persisted state instead.
+func newShell(n *wlan.Network, cfg Config) (*Engine, error) {
 	if cfg.Objective == 0 {
 		cfg.Objective = core.ObjMLA
 	}
@@ -299,33 +332,22 @@ func New(n *wlan.Network, cfg Config) (*Engine, error) {
 	if e.now == nil {
 		e.now = time.Now
 	}
-	nActive := n.NumUsers()
-	if cfg.ActiveUsers > 0 {
-		nActive = cfg.ActiveUsers
-	}
-	for u := 0; u < n.NumUsers(); u++ {
-		if u < nActive {
-			e.active[u] = true
-			continue
-		}
-		if err := n.DetachUser(u); err != nil {
-			return nil, err
-		}
-	}
-	e.nActive = nActive
-	assoc, err := e.fullRun()
-	if err != nil {
-		return nil, err
-	}
+	return e, nil
+}
+
+// finish completes an engine shell around an already-decided
+// association: shard partition and workers, flight recorder, tracker
+// seeding, and the first gauge refresh.
+func (e *Engine) finish(assoc *wlan.Assoc) error {
 	if err := e.setupWorkers(); err != nil {
-		return nil, err
+		return err
 	}
 	e.setupFlight()
 	if err := e.seedTrackers(assoc); err != nil {
-		return nil, err
+		return err
 	}
 	e.updateGauges()
-	return e, nil
+	return nil
 }
 
 // setupWorkers builds the shard partition and the per-shard workers.

@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"wlanmcast/internal/core"
+	"wlanmcast/internal/fault"
+	"wlanmcast/internal/scenario"
+	"wlanmcast/internal/wlan"
+)
+
+// buildSnapNet regenerates the identical network a scenario seed
+// produces — the recovery contract: layout comes from the scenario,
+// mutable state from the snapshot.
+func buildSnapNet(t *testing.T, seed int64, aps, users, sessions int) *wlan.Network {
+	t.Helper()
+	p := scenario.PaperDefaults()
+	p.NumAPs = aps
+	p.NumUsers = users
+	p.NumSessions = sessions
+	p.Seed = seed
+	n, err := scenario.GenerateNetwork(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// statsSansLatency strips the wall-clock histogram so deterministic
+// fields compare exactly (snapCounters is comparable; Stats is not).
+func statsSansLatency(s Stats) snapCounters {
+	return snapCounters{
+		Joins: s.Joins, Leaves: s.Leaves, UserMoves: s.UserMoves,
+		DemandChanges: s.DemandChanges, APDowns: s.APDowns, APUps: s.APUps,
+		Orphaned: s.Orphaned, Rejected: s.Rejected,
+		Redecisions: s.Redecisions, Handoffs: s.Handoffs, Truncated: s.Truncated,
+	}
+}
+
+// TestSnapshotRestoreEquivalence is the determinism proof behind
+// crash recovery: split a trace at an arbitrary point, snapshot
+// engine A there, restore engine B from the bytes onto a fresh
+// network, then drive both through the identical remainder — every
+// association snapshot, load vector, and counter must match exactly,
+// including across different shard counts on the two sides.
+func TestSnapshotRestoreEquivalence(t *testing.T) {
+	p := scenario.PaperDefaults()
+	for _, tc := range []struct {
+		seed                 int64
+		shardsA, shardsB     int
+		faults               bool
+	}{
+		{seed: 1, shardsA: 1, shardsB: 1},
+		{seed: 2, shardsA: 4, shardsB: 4},
+		{seed: 3, shardsA: 1, shardsB: 4, faults: true},
+		{seed: 4, shardsA: 4, shardsB: 1, faults: true},
+		{seed: 5, shardsA: 3, shardsB: 2},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("seed%d_s%dv%d", tc.seed, tc.shardsA, tc.shardsB), func(t *testing.T) {
+			const aps, users, sessions, initial, events = 16, 60, 3, 40, 400
+			trace, err := GenTrace(TraceParams{
+				Seed: tc.seed, Events: events, Area: p.Area,
+				Users: users, InitialActive: initial, Sessions: sessions,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.faults {
+				sched, err := fault.Gen(fault.Params{Seed: tc.seed, APs: aps, Horizon: events, MTBF: events / 4, MTTR: events / 8})
+				if err != nil {
+					t.Fatal(err)
+				}
+				trace = MergeFaults(trace, sched)
+			}
+			cfg := Config{Objective: core.ObjMLA, ActiveUsers: initial}
+			cfgA, cfgB := cfg, cfg
+			cfgA.Shards = tc.shardsA
+			cfgB.Shards = tc.shardsB
+
+			a := newEngine(t, buildSnapNet(t, tc.seed, aps, users, sessions), cfgA)
+			split := len(trace) / 2
+			applyIgnoringRejects := func(e *Engine, evs []Event) {
+				for _, ev := range evs {
+					_, _ = e.Apply(ev) // rejects are part of the deterministic record
+				}
+			}
+			applyIgnoringRejects(a, trace[:split])
+
+			blob, err := a.EncodeSnapshot()
+			if err != nil {
+				t.Fatalf("EncodeSnapshot: %v", err)
+			}
+			blob2, err := a.EncodeSnapshot()
+			if err != nil || !bytes.Equal(blob, blob2) {
+				t.Fatalf("EncodeSnapshot is not deterministic")
+			}
+
+			b, err := RestoreSnapshot(buildSnapNet(t, tc.seed, aps, users, sessions), cfgB, blob)
+			if err != nil {
+				t.Fatalf("RestoreSnapshot: %v", err)
+			}
+
+			// Immediately after restore: identical observable state.
+			compareSnapEngines(t, "post-restore", a, b)
+
+			// And the futures must not diverge either.
+			applyIgnoringRejects(a, trace[split:])
+			applyIgnoringRejects(b, trace[split:])
+			compareSnapEngines(t, "post-remainder", a, b)
+		})
+	}
+}
+
+func compareSnapEngines(t *testing.T, at string, a, b *Engine) {
+	t.Helper()
+	sa, err := json.Marshal(a.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := json.Marshal(b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sa, sb) {
+		t.Fatalf("%s: association snapshots differ\n a: %s\n b: %s", at, sa, sb)
+	}
+	la, lb := a.APLoads(), b.APLoads()
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("%s: AP %d load %v vs %v", at, i, la[i], lb[i])
+		}
+	}
+	if a.ActiveUsers() != b.ActiveUsers() {
+		t.Fatalf("%s: active users %d vs %d", at, a.ActiveUsers(), b.ActiveUsers())
+	}
+	if ga, gb := statsSansLatency(a.Stats()), statsSansLatency(b.Stats()); ga != gb {
+		t.Fatalf("%s: stats differ\n a: %+v\n b: %+v", at, ga, gb)
+	}
+	if a.TotalLoad() != b.TotalLoad() || a.MaxLoad() != b.MaxLoad() {
+		t.Fatalf("%s: load summaries differ", at)
+	}
+}
+
+func TestRestoreSnapshotRejectsGarbage(t *testing.T) {
+	n := buildSnapNet(t, 1, 8, 20, 2)
+	cfg := Config{Objective: core.ObjMLA}
+	if _, err := RestoreSnapshot(n, cfg, []byte("not json")); err == nil {
+		t.Fatal("restored from non-JSON")
+	}
+	if _, err := RestoreSnapshot(buildSnapNet(t, 1, 8, 20, 2), cfg, []byte(`{"version":99}`)); err == nil {
+		t.Fatal("restored from unknown version")
+	}
+	// Out-of-range user and AP ids must be rejected, not crash.
+	for _, blob := range []string{
+		`{"version":1,"users":[{"u":999,"session":0,"ap":-1}]}`,
+		`{"version":1,"users":[{"u":1,"session":0,"ap":500}]}`,
+		`{"version":1,"users":[{"u":3,"session":0,"ap":-1},{"u":3,"session":0,"ap":-1}]}`,
+	} {
+		if _, err := RestoreSnapshot(buildSnapNet(t, 1, 8, 20, 2), cfg, []byte(blob)); err == nil {
+			t.Fatalf("restored from invalid snapshot %s", blob)
+		}
+	}
+}
+
+func TestRestoreSnapshotContinuesStats(t *testing.T) {
+	n := buildSnapNet(t, 9, 12, 30, 3)
+	e := newEngine(t, n, Config{Objective: core.ObjMLA, ActiveUsers: 20})
+	trace, err := GenTrace(TraceParams{Seed: 9, Events: 100, Area: scenario.PaperDefaults().Area, Users: 30, InitialActive: 20, Sessions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range trace {
+		_, _ = e.Apply(ev)
+	}
+	before := statsSansLatency(e.Stats())
+	if before.Joins+before.Leaves+before.UserMoves+before.DemandChanges == 0 {
+		t.Fatal("trace applied no events")
+	}
+	blob, err := e.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreSnapshot(buildSnapNet(t, 9, 12, 30, 3), Config{Objective: core.ObjMLA, ActiveUsers: 20}, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := statsSansLatency(r.Stats()); after != before {
+		t.Fatalf("restored stats %+v, want %+v", after, before)
+	}
+}

@@ -92,6 +92,26 @@ func (t *Tracker) Assoc() *Assoc {
 	return &Assoc{apOf: append([]int(nil), t.apOf...)}
 }
 
+// RestoreLoads force-installs persisted per-AP load accumulators,
+// replacing the values the seeding Associates accumulated. The cached
+// loads are floats whose exact bit patterns depend on the entire
+// bump history; a crash-recovered tracker must continue from the
+// pre-crash accumulators — not from a fresh summation, which can
+// differ in the last ulp — for recovered state to stay byte-identical
+// to an uninterrupted run. The counts (and hence all future deltas)
+// are untouched; only the accumulators move.
+func (t *Tracker) RestoreLoads(load []float64) error {
+	if len(load) != len(t.load) {
+		return fmt.Errorf("wlan: tracker: %d restored loads for %d APs", len(load), len(t.load))
+	}
+	copy(t.load, load)
+	t.total = 0
+	for _, v := range t.load {
+		t.total += v
+	}
+	return nil
+}
+
 // base returns the offset of (ap, s)'s level row in counts.
 func (t *Tracker) base(ap, s int) int { return (ap*t.nSess + s) * t.nLev }
 

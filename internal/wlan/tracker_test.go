@@ -263,3 +263,73 @@ func randomNet(t *testing.T, rng *rand.Rand, nAPs, nUsers, nSessions int) *Netwo
 	}
 	return n
 }
+
+func TestTrackerRestoreLoads(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := randomNet(t, rng, 6, 25, 3)
+	tr, err := NewTracker(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn to build a nontrivial accumulation history.
+	for u := 0; u < n.NumUsers(); u++ {
+		if nb := n.NeighborAPs(u); len(nb) > 0 {
+			if err := tr.Associate(u, nb[rng.Intn(len(nb))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for u := 0; u < n.NumUsers(); u += 3 {
+		if tr.APOf(u) != Unassociated {
+			if err := tr.Disassociate(u); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Persist the accumulators, rebuild a tracker from the association
+	// (fresh accumulation order), and restore: the exact bit patterns
+	// must come back, and future deltas continue from them.
+	saved := make([]float64, n.NumAPs())
+	for a := range saved {
+		saved[a] = tr.APLoad(a)
+	}
+	tr2, err := NewTracker(n, tr.Assoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.RestoreLoads(saved); err != nil {
+		t.Fatal(err)
+	}
+	wantTotal := 0.0
+	for a := range saved {
+		if got := tr2.APLoad(a); got != saved[a] {
+			t.Fatalf("AP %d load %v != restored %v", a, got, saved[a])
+		}
+		wantTotal += saved[a]
+	}
+	if tr2.TotalLoad() != wantTotal {
+		t.Fatalf("TotalLoad %v != %v", tr2.TotalLoad(), wantTotal)
+	}
+	// Identical op on both trackers keeps them bit-identical.
+	for u := 0; u < n.NumUsers(); u++ {
+		if tr.APOf(u) == Unassociated {
+			if nb := n.NeighborAPs(u); len(nb) > 0 {
+				if err := tr.Associate(u, nb[0]); err != nil {
+					t.Fatal(err)
+				}
+				if err := tr2.Associate(u, nb[0]); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+		}
+	}
+	for a := 0; a < n.NumAPs(); a++ {
+		if tr.APLoad(a) != tr2.APLoad(a) {
+			t.Fatalf("post-restore divergence at AP %d: %v vs %v", a, tr.APLoad(a), tr2.APLoad(a))
+		}
+	}
+	if err := tr2.RestoreLoads(nil); err == nil {
+		t.Fatal("RestoreLoads(nil) accepted a wrong-length vector")
+	}
+}

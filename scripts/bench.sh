@@ -50,9 +50,11 @@
 # monotone load drift cannot masquerade as overhead.
 # It also writes BENCH_serve.json next to the first output: the
 # daemon-side event throughput of the per-request /v1/events path vs
-# the /v1/events/stream NDJSON path (the BenchmarkServeEvents* pair in
+# the /v1/events/stream NDJSON path (the BenchmarkServeEvents* set in
 # cmd/assocd, over a real listener), with the stream/per-request
-# speedup. The streaming-ingest acceptance bar is >= 10x.
+# speedup (acceptance bar >= 10x), plus the stream path with the
+# write-ahead journal on at -fsync interval and the journaling
+# overhead fraction it costs (acceptance bar < 15%).
 #
 # Every summary records host_cpus and gomaxprocs so a reader can tell
 # single-core container numbers from real-parallelism numbers.
@@ -283,16 +285,22 @@ awk -v host_cpus="$host_cpus" -v gomaxprocs="$gomaxprocs" '
 END {
     pr = eps["BenchmarkServeEventsPerRequest"]
     st = eps["BenchmarkServeEventsStream"]
-    if (pr <= 0 || st <= 0) {
-        print "bench.sh: missing ServeEventsPerRequest/Stream pair" > "/dev/stderr"
+    jn = eps["BenchmarkServeEventsStreamJournal"]
+    if (pr <= 0 || st <= 0 || jn <= 0) {
+        print "bench.sh: missing ServeEventsPerRequest/Stream/StreamJournal set" > "/dev/stderr"
         exit 1
     }
+    jfrac = (st - jn) / st
     printf "{\n"
     printf "  \"per_request_events_per_sec\": %.0f,\n", pr
     printf "  \"stream_events_per_sec\": %.0f,\n", st
     printf "  \"stream_speedup\": %.2f,\n", st / pr
     printf "  \"target_speedup\": 10,\n"
     printf "  \"within_target\": %s,\n", (st / pr >= 10 ? "true" : "false")
+    printf "  \"journal_events_per_sec\": %.0f,\n", jn
+    printf "  \"journal_overhead_fraction\": %.4f,\n", jfrac
+    printf "  \"journal_target_fraction\": 0.15,\n"
+    printf "  \"journal_within_target\": %s,\n", (jfrac < 0.15 ? "true" : "false")
     printf "  \"gomaxprocs\": %d,\n", gomaxprocs
     printf "  \"host_cpus\": %d\n", host_cpus
     printf "}\n"

@@ -13,16 +13,20 @@
 #      internal/fault, whose schedules feed the parallel sweeps,
 #      internal/engine, whose sharded ApplyBatch fans event batches
 #      over shard workers with channel handoffs (the 26-seed
-#      differential suite runs under -race here), and cmd/assocd,
-#      whose HTTP daemon serves one sharded engine to many
-#      connections)
+#      differential suite runs under -race here), internal/wal,
+#      whose fsync-interval flusher runs beside appenders, and
+#      cmd/assocd, whose HTTP daemon serves one sharded engine to
+#      many connections (the SIGKILL crash-recovery differential
+#      suite runs under -race here)
 #   4. the promtext lint gate: the byte-format golden test for the
 #      exposition writer plus the linter over the daemon's live
 #      /metrics output
 #   5. the coverage gate: internal/wlan and internal/geom must not
 #      drop below their pre-sparse-core floors (the sparse spatial
 #      core rewrote both packages; the gate keeps later PRs from
-#      eroding the equivalence suite that pins it)
+#      eroding the equivalence suite that pins it), and internal/wal
+#      must hold the floor set when the journal landed — durability
+#      code that loses its tests loses its guarantees
 #   6. the allocation gate: the engine's steady-state incremental
 #      event path must stay <= 2 allocs/event (it measures ~0; the
 #      streaming ingest subsystem depends on this not rotting)
@@ -33,8 +37,9 @@
 #      rules); regenerate with
 #      UPDATE_METRICS_MD=1 go test ./cmd/assocd -run TestMetricsDocCurrent
 #   8. a fuzz smoke pass: ~10s per fuzz target (events decoder,
-#      NDJSON stream handler, scenario loader, LP solver) so corpus
-#      regressions surface in CI, not just in long local fuzz runs
+#      NDJSON stream handler, journal record decoder, scenario
+#      loader, LP solver) so corpus regressions surface in CI, not
+#      just in long local fuzz runs
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -45,15 +50,15 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (runner + experiments + obs + fault + engine + assocd)"
-go test -race ./internal/runner ./internal/experiments ./internal/obs ./internal/fault ./internal/engine ./cmd/assocd
+echo "== go test -race (runner + experiments + obs + fault + engine + wal + assocd)"
+go test -race ./internal/runner ./internal/experiments ./internal/obs ./internal/fault ./internal/engine ./internal/wal ./cmd/assocd
 
 echo "== promtext lint (golden exposition + live /metrics)"
 go test -run 'TestGoldenAssocdExposition|TestLintProm' -count 1 ./internal/obs
 go test -run 'TestServeMetricsLint' -count 1 ./cmd/assocd
 
-echo "== coverage gate (internal/wlan >= 96.1%, internal/geom >= 95.6%)"
-go test -cover -count 1 ./internal/geom ./internal/wlan | awk '
+echo "== coverage gate (internal/wlan >= 96.1%, internal/geom >= 95.6%, internal/wal >= 78.0%)"
+go test -cover -count 1 ./internal/geom ./internal/wlan ./internal/wal | awk '
 { print }
 /coverage:/ {
     pct = $0
@@ -61,9 +66,10 @@ go test -cover -count 1 ./internal/geom ./internal/wlan | awk '
     sub(/% of statements.*/, "", pct)
     if ($2 ~ /internal\/geom$/) { geom = pct + 0; geomSeen = 1 }
     if ($2 ~ /internal\/wlan$/) { wlan = pct + 0; wlanSeen = 1 }
+    if ($2 ~ /internal\/wal$/) { wal = pct + 0; walSeen = 1 }
 }
 END {
-    if (!geomSeen || !wlanSeen) {
+    if (!geomSeen || !wlanSeen || !walSeen) {
         print "check.sh: coverage output not parsed" > "/dev/stderr"; exit 1
     }
     if (geom < 95.6) {
@@ -71,6 +77,9 @@ END {
     }
     if (wlan < 96.1) {
         printf "check.sh: internal/wlan coverage %.1f%% fell below the 96.1%% floor\n", wlan > "/dev/stderr"; exit 1
+    }
+    if (wal < 78.0) {
+        printf "check.sh: internal/wal coverage %.1f%% fell below the 78.0%% floor\n", wal > "/dev/stderr"; exit 1
     }
 }'
 
@@ -83,6 +92,7 @@ go test -run 'TestMetricsDocCurrent|TestMetricsDocLint' -count 1 ./cmd/assocd
 echo "== fuzz smoke (10s per target)"
 go test -run '^$' -fuzz 'FuzzDecodeEvents' -fuzztime 10s ./cmd/assocd
 go test -run '^$' -fuzz 'FuzzStreamEvents' -fuzztime 10s ./cmd/assocd
+go test -run '^$' -fuzz 'FuzzWALDecode' -fuzztime 10s ./internal/wal
 go test -run '^$' -fuzz 'FuzzLoad' -fuzztime 10s ./internal/scenario
 go test -run '^$' -fuzz 'FuzzSolve' -fuzztime 10s ./internal/lp
 
