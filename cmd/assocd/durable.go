@@ -39,10 +39,11 @@ import (
 // Record types in the journal. Every mutation the daemon acks is one
 // of these; replay dispatches on the type tag.
 const (
-	recScenario = "scenario" // Req = scenarioRequest; rebuilds the engine
-	recBatch    = "batch"    // N events from /v1/events or /v1/trace (post-remap)
-	recAssoc    = "assoc"    // Req = raw PUT /v1/assoc body
-	recWindow   = "window"   // N events from one stream window; Sess/Seq track resume
+	recScenario   = "scenario"   // Req = scenarioRequest; rebuilds the engine
+	recBatch      = "batch"      // N events from /v1/events or /v1/trace (post-remap)
+	recAssoc      = "assoc"      // Req = raw PUT /v1/assoc body
+	recMultiAssoc = "multiassoc" // Req = raw PUT /v1/multiassoc body
+	recWindow     = "window"     // N events from one stream window; Sess/Seq track resume
 )
 
 // recHeader is the first line of every journal record.
@@ -234,6 +235,23 @@ func (s *server) journalAssoc(body []byte) error {
 	return s.maybeSnapshotLocked()
 }
 
+// journalMultiAssoc records a successful PUT /v1/multiassoc (a failed
+// one mutates nothing, so it has no replay footprint).
+func (s *server) journalMultiAssoc(body []byte) error {
+	if s.dur == nil {
+		return nil
+	}
+	payload, err := encodeRecord(recHeader{T: recMultiAssoc, Req: body}, nil)
+	if err != nil {
+		return err
+	}
+	if _, err := s.dur.log.Append(payload); err != nil {
+		return err
+	}
+	s.dur.eventsSince++
+	return s.maybeSnapshotLocked()
+}
+
 // journalWindow records one stream window: the client's raw NDJSON
 // lines plus the session's new durable offset.
 func (s *server) journalWindow(raw []byte, n, applied int, applyErr error, sess string, seq uint64) error {
@@ -388,6 +406,10 @@ func (s *server) buildFromRequest(req scenarioRequest) (*wlan.Network, engine.Co
 	if shards == 0 {
 		shards = s.shards
 	}
+	maxHomes := req.MaxHomes
+	if maxHomes == 0 {
+		maxHomes = s.multihome
+	}
 	return n, engine.Config{
 		Objective:     obj,
 		EnforceBudget: req.EnforceBudget,
@@ -395,6 +417,7 @@ func (s *server) buildFromRequest(req scenarioRequest) (*wlan.Network, engine.Co
 		Mode:          mode,
 		ActiveUsers:   req.ActiveUsers,
 		Shards:        shards,
+		MaxHomes:      maxHomes,
 		Obs:           obs.NewRegistry(),
 		Trace:         s.ring,
 		StallTimeout:  s.stallTimeout,
@@ -497,6 +520,17 @@ func (s *server) recoverState(stderr io.Writer) error {
 			}
 			if err := s.eng.SetAssoc(a); err != nil {
 				return fmt.Errorf("journal seq %d: replay assoc: %w", seq, err)
+			}
+		case recMultiAssoc:
+			if s.eng == nil {
+				return fmt.Errorf("journal seq %d: multiassoc record before any scenario", seq)
+			}
+			ma, err := wlan.DecodeMultiAssoc(hdr.Req, s.eng.NumAPs(), s.eng.NumUsers(), s.eng.MaxHomes())
+			if err != nil {
+				return fmt.Errorf("journal seq %d: decode multiassoc: %w", seq, err)
+			}
+			if err := s.eng.SetMultiAssoc(ma); err != nil {
+				return fmt.Errorf("journal seq %d: replay multiassoc: %w", seq, err)
 			}
 		default:
 			return fmt.Errorf("journal seq %d: unknown record type %q", seq, hdr.T)

@@ -7,6 +7,8 @@ package main
 // at the unit level where failures are cheap to localize.
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -235,6 +237,68 @@ func TestDurableFinalizeZeroReplay(t *testing.T) {
 	if got := metricValue(t, text, "assocd_wal_snapshots_total"); got != 0 {
 		// snapshots_total counts snapshots WRITTEN by this process.
 		t.Fatalf("fresh boot wrote %v snapshots, want 0", got)
+	}
+}
+
+// TestDurableMultihomeRecovery is the crash-safety half of ISSUE 10's
+// single-AP-assumption sweep: a multi-homed daemon (snapshots
+// carrying secondary-home sets, a journaled PUT /v1/multiassoc,
+// AP faults in the churn) must recover byte-identically through both
+// the snapshot and the journal-tail paths.
+func TestDurableMultihomeRecovery(t *testing.T) {
+	// 20 APs (vs driveChurn's usual 10) so coverage areas overlap
+	// enough for secondary homes to exist at all.
+	const mhScenario = `{"aps":20,"users":30,"sessions":2,"seed":11,"active_users":20,"shards":2,"max_homes":2}`
+	dir := t.TempDir()
+	// snapEvents=25 cuts a checkpoint mid-run, so recovery exercises
+	// snapshot restore (Sec fields) AND journal replay (multiassoc
+	// record + fault events) in one boot.
+	s := durableServer(t, dir, 25)
+	mustPost(t, s, "/v1/scenario", mhScenario)
+	driveChurn(t, s, 2)
+	mustPost(t, s, "/v1/events", `[{"kind":"ap_down","ap":3,"user":-1},{"kind":"ap_down","ap":7,"user":-1}]`)
+	driveChurn(t, s, 1)
+	// Round-trip the current AP-sets through PUT so a multiassoc
+	// record lands in the journal tail.
+	var ma struct {
+		MultiAssoc json.RawMessage `json:"multi_assoc"`
+	}
+	if err := json.Unmarshal([]byte(recordGet(s, "/v1/multiassoc")), &ma); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("PUT", "/v1/multiassoc", bytes.NewReader(ma.MultiAssoc)))
+	if rec.Code != 200 {
+		t.Fatalf("PUT /v1/multiassoc = %d: %s", rec.Code, rec.Body)
+	}
+	mustPost(t, s, "/v1/events", `{"kind":"ap_up","ap":3,"user":-1}`)
+	wantMulti := recordGet(s, "/v1/multiassoc")
+	wantAssoc, wantLoads := stateOf(s)
+	var summary struct {
+		SecondaryHomes int `json:"secondary_homes"`
+	}
+	if err := json.Unmarshal([]byte(wantMulti), &summary); err != nil {
+		t.Fatal(err)
+	}
+	if summary.SecondaryHomes == 0 {
+		t.Fatalf("pre-crash state has no secondary homes; recovery check is vacuous: %s", wantMulti)
+	}
+	closeLog(t, s)
+
+	r := durableServer(t, dir, 25)
+	defer closeLog(t, r)
+	if got := metricValue(t, recordGet(r, "/metrics"), "assocd_wal_replay_records_total"); got == 0 {
+		t.Fatal("boot replayed no journal records; the tail path went untested")
+	}
+	gotAssoc, gotLoads := stateOf(r)
+	if gotAssoc != wantAssoc {
+		t.Fatalf("recovered assoc differs:\nwant %s\ngot  %s", wantAssoc, gotAssoc)
+	}
+	if gotLoads != wantLoads {
+		t.Fatalf("recovered loads differ:\nwant %s\ngot  %s", wantLoads, gotLoads)
+	}
+	if gotMulti := recordGet(r, "/v1/multiassoc"); gotMulti != wantMulti {
+		t.Fatalf("recovered multi-association differs:\nwant %s\ngot  %s", wantMulti, gotMulti)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"wlanmcast/internal/engine"
 	"wlanmcast/internal/scenario"
+	"wlanmcast/internal/wlan"
 )
 
 // fuzzSpec is one small geometric scenario shared by every fuzz
@@ -83,6 +84,69 @@ func FuzzDecodeEvents(f *testing.F) {
 					t.Fatalf("Apply(%+v) rejected the event but changed the active set", ev)
 				}
 			}
+		}
+	})
+}
+
+// FuzzDecodeMultiAssoc pins the PUT /v1/multiassoc contract, mirroring
+// FuzzDecodeEvents: arbitrary bytes fed to the decoder yield a typed
+// error or a valid multi-association — never a panic — and every
+// decoded value the engine rejects must leave the engine's persisted
+// state byte-identical (SetMultiAssoc validates completely before
+// mutating).
+func FuzzDecodeMultiAssoc(f *testing.F) {
+	// Seed corpus: the wire form (array of per-user AP-id arrays) plus
+	// near-miss shapes: wrong user count, out-of-range and duplicate AP
+	// ids, over-cap degrees, non-array JSON, junk bytes.
+	f.Add([]byte(`[[0,1],[2],[],[],[],[],[],[],[],[3]]`))
+	f.Add([]byte(`[[0],[1],[2],[3],[4],[5],[0],[1],[2],[3]]`))
+	f.Add([]byte(`[[],[],[],[],[],[],[],[],[],[]]`))
+	f.Add([]byte(`[[0],[1]]`))
+	f.Add([]byte(`[[5,0]]`))
+	f.Add([]byte(`[[0,0],[],[],[],[],[],[],[],[],[]]`))
+	f.Add([]byte(`[[0,1,2],[],[],[],[],[],[],[],[],[]]`))
+	f.Add([]byte(`[[-1],[],[],[],[],[],[],[],[],[]]`))
+	f.Add([]byte(`[[9],[],[],[],[],[],[],[],[],[]]`))
+	f.Add([]byte(`[null,[],[],[],[],[],[],[],[],[]]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`42`))
+	f.Add([]byte(`[[`))
+	f.Add([]byte(``))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+
+	spec := fuzzSpec(f)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		n, err := spec.Network()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := engine.New(n, engine.Config{ActiveUsers: 6, MaxHomes: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ma, err := wlan.DecodeMultiAssoc(body, eng.NumAPs(), eng.NumUsers(), eng.MaxHomes())
+		if err != nil {
+			return // decode failures carry no state to apply
+		}
+		before, err := eng.EncodeSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.SetMultiAssoc(ma); err != nil {
+			after, eerr := eng.EncodeSnapshot()
+			if eerr != nil {
+				t.Fatal(eerr)
+			}
+			if !bytes.Equal(before, after) {
+				t.Fatalf("SetMultiAssoc rejected %s but mutated the engine:\nbefore: %s\nafter:  %s", body, before, after)
+			}
+			return
+		}
+		// An accepted install must produce a state the engine itself
+		// considers valid.
+		if err := eng.Network().ValidateMulti(eng.MultiSnapshot(), false); err != nil {
+			t.Fatalf("accepted install %s left an invalid multi-association: %v", body, err)
 		}
 	})
 }

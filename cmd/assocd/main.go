@@ -72,6 +72,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fsyncInterval := fs.Duration("fsync-interval", 100*time.Millisecond, "with -fsync interval, maximum time appended records stay unsynced")
 	snapEvents := fs.Int("snapshot-events", 4096, "with -data-dir, checkpoint after this many journaled events")
 	snapInterval := fs.Duration("snapshot-interval", time.Minute, "with -data-dir, checkpoint at least this often (checked on journal writes)")
+	multihome := fs.Int("multihome", 0, "with -serve, default per-user AP-set cap for scenarios that do not ask for one (<= 1 keeps single-AP association)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -95,6 +96,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fsyncInterval: *fsyncInterval,
 			snapEvents:    *snapEvents,
 			snapInterval:  *snapInterval,
+			multihome:     *multihome,
 		}); err != nil {
 			fmt.Fprintf(stderr, "assocd: %v\n", err)
 			return 1

@@ -44,6 +44,8 @@ import (
 //	GET  /v1/status        engine summary + per-shard breakdown
 //	GET  /v1/assoc         association snapshot
 //	PUT  /v1/assoc         force-install an association (validated)
+//	GET  /v1/multiassoc    multi-connectivity AP-set snapshot
+//	PUT  /v1/multiassoc    force-install user AP-sets (validated, normalized)
 //	GET  /v1/loads         per-AP load vector, total, max
 //	GET  /v1/trace/export  ring-buffered trace events as JSONL
 //	GET  /v1/debug/flightrecord  flight-recorder span dump (JSON)
@@ -76,6 +78,10 @@ type server struct {
 	// stallTimeout arms the engine watchdog on every loaded scenario
 	// (the -stall-timeout flag; 0 leaves it off).
 	stallTimeout time.Duration
+	// multihome is the default per-user AP-set cap for scenarios that
+	// do not ask for one (the -multihome flag; <= 1 keeps single-AP
+	// association).
+	multihome int
 	// logmu serializes multi-line diagnostics (stall + SIGQUIT flight
 	// dumps) on errlog so concurrent dumps do not interleave.
 	logmu sync.Mutex
@@ -120,7 +126,8 @@ type server struct {
 // cardinality.
 var servedPaths = map[string]bool{
 	"/v1/scenario": true, "/v1/events": true, "/v1/events/stream": true,
-	"/v1/trace": true, "/v1/status": true, "/v1/assoc": true, "/v1/loads": true,
+	"/v1/trace": true, "/v1/status": true, "/v1/assoc": true,
+	"/v1/multiassoc": true, "/v1/loads": true,
 	"/v1/trace/export": true, "/v1/debug/flightrecord": true,
 	"/metrics": true, "/healthz": true,
 }
@@ -171,6 +178,7 @@ func newServer() *server {
 	s.mux.HandleFunc("/v1/trace/export", s.handleTraceExport)
 	s.mux.HandleFunc("/v1/status", s.handleStatus)
 	s.mux.HandleFunc("/v1/assoc", s.handleAssoc)
+	s.mux.HandleFunc("/v1/multiassoc", s.handleMultiAssoc)
 	s.mux.HandleFunc("/v1/loads", s.handleLoads)
 	s.mux.HandleFunc("/v1/debug/flightrecord", s.handleFlightRecord)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -226,6 +234,9 @@ type serveOptions struct {
 	fsyncInterval time.Duration
 	snapEvents    int
 	snapInterval  time.Duration
+	// multihome is the default Config.MaxHomes for scenarios that do
+	// not set "max_homes" (the -multihome flag).
+	multihome int
 }
 
 // serveOn runs the daemon on ln until ctx is cancelled, then shuts
@@ -243,6 +254,7 @@ func serveOn(ctx context.Context, ln net.Listener, stderr io.Writer, opt serveOp
 		h.shards = opt.shards
 	}
 	h.stallTimeout = opt.stall
+	h.multihome = opt.multihome
 	if opt.dataDir != "" {
 		if err := h.enableDurability(opt, stderr); err != nil {
 			return err
@@ -321,6 +333,9 @@ type scenarioRequest struct {
 	// (0 = use the default; the engine clamps to 1 when the scenario
 	// has no geometry or mode is full-recompute).
 	Shards int `json:"shards,omitempty"`
+	// MaxHomes overrides the daemon's -multihome default for this
+	// scenario (0 = use the default; <= 1 keeps single-AP association).
+	MaxHomes int `json:"max_homes,omitempty"`
 }
 
 type statusResponse struct {
@@ -331,6 +346,11 @@ type statusResponse struct {
 	Satisfied   int     `json:"satisfied"`
 	TotalLoad   float64 `json:"total_load"`
 	MaxLoad     float64 `json:"max_load"`
+	// MaxHomes and MultiSatisfied appear only when multi-homing is on
+	// (MaxHomes > 1): the per-user AP-set cap and the users with at
+	// least one live home (primary or secondary).
+	MaxHomes       int `json:"max_homes,omitempty"`
+	MultiSatisfied int `json:"multi_satisfied,omitempty"`
 	// ShardStats breaks the engine down per shard: cumulative events,
 	// handoffs and busy time, the last batch's queue depth, current
 	// load and users.
@@ -669,6 +689,65 @@ func (s *server) handleAssoc(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleMultiAssoc serves the multi-connectivity AP-set snapshot and
+// accepts externally computed AP-sets. A PUT body is the MultiAssoc
+// wire form — a JSON array of per-user AP-id arrays — decoded against
+// the engine's dimensions and its MaxHomes cap before anything moves;
+// a rejected install leaves the engine untouched (the
+// FuzzDecodeMultiAssoc contract). Accepted sets are normalized (the
+// strongest-signal member becomes the primary) and the next
+// derivation may extend them under the budgets, so a GET after a PUT
+// returns the normalized, possibly extended sets.
+func (s *server) handleMultiAssoc(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.eng == nil {
+			httpError(w, http.StatusConflict, "no scenario loaded; POST /v1/scenario first")
+			return
+		}
+		ma := s.eng.MultiSnapshot()
+		writeJSON(w, struct {
+			MultiAssoc     *wlan.MultiAssoc `json:"multi_assoc"`
+			MaxHomes       int              `json:"max_homes"`
+			ActiveUsers    int              `json:"active_users"`
+			Satisfied      int              `json:"satisfied"`
+			SecondaryHomes int              `json:"secondary_homes"`
+		}{ma, s.eng.MaxHomes(), s.eng.ActiveUsers(), ma.SatisfiedCount(), ma.SecondaryCount()})
+	case http.MethodPut:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+		if err != nil {
+			bodyError(w, "read body", err)
+			return
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.eng == nil {
+			httpError(w, http.StatusConflict, "no scenario loaded; POST /v1/scenario first")
+			return
+		}
+		ma, err := wlan.DecodeMultiAssoc(body, s.eng.NumAPs(), s.eng.NumUsers(), s.eng.MaxHomes())
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := s.eng.SetMultiAssoc(ma); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		// A rejected PUT mutates nothing, so only the accepted body is
+		// journaled.
+		if err := s.journalMultiAssoc(body); err != nil {
+			httpError(w, http.StatusInternalServerError, "journal: %v", err)
+			return
+		}
+		writeJSON(w, s.status(s.eng))
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or PUT required")
+	}
+}
+
 func (s *server) handleLoads(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
@@ -727,6 +806,10 @@ func (s *server) status(eng *engine.Engine) statusResponse {
 		TotalLoad:   eng.TotalLoad(),
 		MaxLoad:     eng.MaxLoad(),
 		ShardStats:  eng.ShardStats(),
+	}
+	if eng.MaxHomes() > 1 {
+		resp.MaxHomes = eng.MaxHomes()
+		resp.MultiSatisfied = eng.MultiSnapshot().SatisfiedCount()
 	}
 	if f := eng.Flight(); f != nil {
 		resp.Flight = &flightSummary{Spans: f.Total(), Capacity: f.Capacity()}

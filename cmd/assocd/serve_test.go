@@ -313,6 +313,124 @@ func TestServeAssocRoundTrip(t *testing.T) {
 	}
 }
 
+// TestServeMultiAssocRoundTrip covers the /v1/multiassoc wire
+// surface: the AP-set snapshot, a PUT round-trip on a multi-homed
+// scenario, rejection of malformed sets, and the multi-homing fields
+// in /v1/status.
+func TestServeMultiAssocRoundTrip(t *testing.T) {
+	ts := testServer(t)
+	var st statusResponse
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/scenario", scenarioRequest{
+		APs: 20, Users: 50, Sessions: 3, Seed: 7, ActiveUsers: 30, MaxHomes: 2,
+	}, &st)
+	if code != http.StatusOK {
+		t.Fatalf("POST /v1/scenario = %d: %s", code, raw)
+	}
+	if st.MaxHomes != 2 {
+		t.Fatalf("status max_homes = %d, want 2", st.MaxHomes)
+	}
+	if st.MultiSatisfied < st.Satisfied {
+		t.Fatalf("multi_satisfied %d < satisfied %d", st.MultiSatisfied, st.Satisfied)
+	}
+	var got struct {
+		MultiAssoc     json.RawMessage `json:"multi_assoc"`
+		MaxHomes       int             `json:"max_homes"`
+		ActiveUsers    int             `json:"active_users"`
+		Satisfied      int             `json:"satisfied"`
+		SecondaryHomes int             `json:"secondary_homes"`
+	}
+	code, raw = doJSON(t, "GET", ts.URL+"/v1/multiassoc", nil, &got)
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/multiassoc = %d: %s", code, raw)
+	}
+	if got.MaxHomes != 2 || got.ActiveUsers != 30 {
+		t.Errorf("max_homes/active_users = %d/%d, want 2/30", got.MaxHomes, got.ActiveUsers)
+	}
+	if got.SecondaryHomes == 0 {
+		t.Error("no secondary homes on a freshly derived multi-homed scenario")
+	}
+	// PUT the snapshot straight back: a no-op install must succeed
+	// (GET after PUT may extend sets, but the snapshot is a fixed
+	// point of the derivation).
+	req, err := http.NewRequest("PUT", ts.URL+"/v1/multiassoc", bytes.NewReader(got.MultiAssoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT /v1/multiassoc = %d: %s", resp.StatusCode, body)
+	}
+	if after := recordGetURL(t, ts, "/v1/multiassoc"); !strings.Contains(after, string(got.MultiAssoc)) {
+		t.Fatalf("multi-association changed after a no-op PUT:\nbefore: %s\nafter:  %s", got.MultiAssoc, after)
+	}
+	// Malformed sets must be rejected: AP out of range, over-cap
+	// degree, wrong user count.
+	for _, bad := range []string{
+		`[[99],` + strings.Repeat("[],", 48) + `[]]`,
+		`[[0,1,2],` + strings.Repeat("[],", 48) + `[]]`,
+		`[[0],[1]]`,
+	} {
+		req, _ = http.NewRequest("PUT", ts.URL+"/v1/multiassoc", strings.NewReader(bad))
+		resp, err = http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("PUT %q = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestServeMultiAssocOff pins the endpoint's single-AP behavior: with
+// multi-homing off the AP-set snapshot is exactly the association
+// lifted to sets, the cap reports 1, and /v1/status omits the
+// multi-homing fields.
+func TestServeMultiAssocOff(t *testing.T) {
+	ts := testServer(t)
+	st := loadScenario(t, ts)
+	if st.MaxHomes != 0 || st.MultiSatisfied != 0 {
+		t.Fatalf("single-AP status carries multi-homing fields: %+v", st)
+	}
+	var got struct {
+		MaxHomes       int `json:"max_homes"`
+		Satisfied      int `json:"satisfied"`
+		SecondaryHomes int `json:"secondary_homes"`
+	}
+	code, raw := doJSON(t, "GET", ts.URL+"/v1/multiassoc", nil, &got)
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/multiassoc = %d: %s", code, raw)
+	}
+	if got.MaxHomes != 1 || got.SecondaryHomes != 0 {
+		t.Errorf("single-AP multiassoc: max_homes=%d secondary=%d, want 1/0", got.MaxHomes, got.SecondaryHomes)
+	}
+	if got.Satisfied != st.Satisfied {
+		t.Errorf("lifted satisfied %d != association satisfied %d", got.Satisfied, st.Satisfied)
+	}
+}
+
+// recordGetURL issues a GET against the test server and returns the
+// body.
+func recordGetURL(t *testing.T, ts *httptest.Server, path string) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
 func TestServeMetrics(t *testing.T) {
 	ts := testServer(t)
 	loadScenario(t, ts)

@@ -14,10 +14,10 @@ func TestResolveIDsGroups(t *testing.T) {
 	}{
 		{nil, 10},                       // default: paper figures
 		{[]string{"paper"}, 10},         // explicit alias
-		{[]string{"ext"}, 6},            // extensions
+		{[]string{"ext"}, 7},            // extensions
 		{[]string{"dyn"}, 6},            // dynamics
-		{[]string{"all"}, 22},           // everything
-		{[]string{"fig9a", "ext"}, 7},   // id + group mix
+		{[]string{"all"}, 23},           // everything
+		{[]string{"fig9a", "ext"}, 8},   // id + group mix
 		{[]string{"PAPER"}, 10},         // case-insensitive
 		{[]string{"fig9a", "fig9a"}, 2}, // repeats allowed
 		{[]string{"ext-mobility"}, 1},   // dynamics id resolves

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+
+	"wlanmcast/internal/wlan"
+)
+
+// MultiAlgorithm computes a multi-connectivity association: every
+// user gets a *set* of serving APs (arXiv 2305.15252's model) instead
+// of the paper's single AP.
+type MultiAlgorithm interface {
+	Name() string
+	RunMulti(n *wlan.Network) (*wlan.MultiAssoc, error)
+}
+
+// Multi lifts any single-AP Algorithm (CentralizedMNU/BLA/MLA, SSA,
+// or a Distributed rule with hysteresis) to a multi-homing variant:
+// the inner algorithm runs verbatim to pick every user's primary AP,
+// then AugmentHomes adds up to MaxHomes-1 secondary homes per user
+// under the per-AP budgets. Because the primary pass is the inner
+// algorithm unchanged and augmentation cannot add anything at
+// MaxHomes <= 1, the degree-1 configuration is bit-identical to the
+// single-AP path — the differential suite pins this.
+type Multi struct {
+	// Inner picks the primary AP per user.
+	Inner Algorithm
+	// MaxHomes caps each user's AP-set size; values < 1 mean 1
+	// (single-AP behavior).
+	MaxHomes int
+}
+
+var _ MultiAlgorithm = (*Multi)(nil)
+
+func (m *Multi) maxHomes() int {
+	if m.MaxHomes < 1 {
+		return 1
+	}
+	return m.MaxHomes
+}
+
+// Name implements MultiAlgorithm.
+func (m *Multi) Name() string {
+	return fmt.Sprintf("multi%d-%s", m.maxHomes(), m.Inner.Name())
+}
+
+// RunMulti implements MultiAlgorithm.
+func (m *Multi) RunMulti(n *wlan.Network) (*wlan.MultiAssoc, error) {
+	primary, err := m.Inner.Run(n)
+	if err != nil {
+		return nil, err
+	}
+	ma, _, err := AugmentHomes(n, primary, nil, m.maxHomes())
+	return ma, err
+}
+
+// StrongestOf returns the strongest-signal AP for user u among aps
+// (SSA's ordering: distance on geometric networks, link rate
+// otherwise; first-listed wins ties), or wlan.Unassociated for an
+// empty list. The engine uses it to pick a deterministic primary when
+// an externally supplied AP set is installed.
+func StrongestOf(n *wlan.Network, u int, aps []int) int {
+	best := wlan.Unassociated
+	for _, a := range aps {
+		if best == wlan.Unassociated || strongerSignal(n, u, a, best) {
+			best = a
+		}
+	}
+	return best
+}
+
+// AugmentHomes derives a multi-association from a primary single-AP
+// association: every primary assignment is kept verbatim, then up to
+// maxHomes-1 secondary homes are added per user. Two passes, both in
+// ascending user/AP order so the result (and the tracker's float
+// accumulation history) is a pure deterministic function of the
+// inputs — the engine's shard-count invariance and crash-recovery
+// byte-identity both lean on that.
+//
+// Pass 1 grandfathers prev (the previous derivation's secondary sets,
+// nil for a from-scratch run): a previous secondary is kept as long
+// as its AP is up and reachable, it is not the new primary, and the
+// degree cap allows it — with no budget re-check. This is the
+// degradation semantics: when a user's primary AP fails and budgets
+// block single-AP rehoming, its surviving secondaries keep it served
+// at a reduced aggregate rate instead of orphaning it; and once
+// admitted, a secondary is not flapped away by load noise
+// (grandfathering is the hysteresis of the multi-homing layer).
+//
+// Pass 2 fills: users already served (primary or grandfathered) and
+// below the degree cap gain the cheapest-delta reachable new home,
+// sweeping until stable — but only under the AP's budget, always,
+// regardless of the inner algorithm's EnforceBudget: redundancy must
+// never push an AP past its admission limit. Unserved users are left
+// alone; admitting new users is the primary algorithm's job.
+//
+// Returns the merged multi-association and the per-user secondary
+// sets (primary excluded, sorted ascending, nil for none).
+func AugmentHomes(n *wlan.Network, primary *wlan.Assoc, prev [][]int, maxHomes int) (*wlan.MultiAssoc, [][]int, error) {
+	if primary.NumUsers() != n.NumUsers() {
+		return nil, nil, fmt.Errorf("core: augment homes: primary covers %d users, network has %d", primary.NumUsers(), n.NumUsers())
+	}
+	if prev != nil && len(prev) != n.NumUsers() {
+		return nil, nil, fmt.Errorf("core: augment homes: %d previous secondary sets for %d users", len(prev), n.NumUsers())
+	}
+	if maxHomes < 1 {
+		maxHomes = 1
+	}
+	tr, err := wlan.NewMultiTracker(n, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	for u := 0; u < n.NumUsers(); u++ {
+		if ap := primary.APOf(u); ap != wlan.Unassociated {
+			if err := tr.AddHome(u, ap); err != nil {
+				return nil, nil, fmt.Errorf("core: augment homes: primary of user %d: %w", u, err)
+			}
+		}
+	}
+	if prev != nil {
+		for u := 0; u < n.NumUsers(); u++ {
+			p := primary.APOf(u)
+			for _, ap := range prev[u] {
+				if ap == p || tr.Degree(u) >= maxHomes {
+					continue
+				}
+				if _, ok := n.TxRate(ap, u); !ok {
+					continue // AP down or out of range: the home is lost
+				}
+				if err := tr.AddHome(u, ap); err != nil {
+					return nil, nil, fmt.Errorf("core: augment homes: grandfathered home %d of user %d: %w", ap, u, err)
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < n.NumUsers(); u++ {
+			if tr.Degree(u) == 0 || tr.Degree(u) >= maxHomes {
+				continue
+			}
+			best, bestDelta := wlan.Unassociated, 0.0
+			for _, a := range n.NeighborAPs(u) {
+				load, ok := tr.LoadIfJoin(u, a)
+				if !ok || load > n.APs[a].Budget+loadEps {
+					continue
+				}
+				delta := load - tr.APLoad(a)
+				if best == wlan.Unassociated || delta < bestDelta {
+					best, bestDelta = a, delta
+				}
+			}
+			if best != wlan.Unassociated {
+				if err := tr.AddHome(u, best); err != nil {
+					return nil, nil, err
+				}
+				changed = true
+			}
+		}
+	}
+	ma := tr.MultiAssoc()
+	sec := make([][]int, n.NumUsers())
+	for u := 0; u < n.NumUsers(); u++ {
+		p := primary.APOf(u)
+		for _, ap := range ma.Homes(u) {
+			if ap != p {
+				sec[u] = append(sec[u], ap)
+			}
+		}
+	}
+	return ma, sec, nil
+}

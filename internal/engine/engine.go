@@ -94,6 +94,14 @@ type Config struct {
 	// detached and available for UserJoin events. 0 = all users
 	// active.
 	ActiveUsers int
+	// MaxHomes caps each user's AP-set size for multi-connectivity
+	// (arXiv 2305.15252): with MaxHomes > 1 the engine derives up to
+	// MaxHomes-1 budget-bounded secondary homes per user after every
+	// apply, so an AP failure degrades a user's aggregate rate
+	// instead of orphaning it. 0 or 1 = the single-AP engine; the
+	// MaxHomes=1 pipeline is bit-identical to it (differential
+	// suite). See DESIGN.md "Multi-homing".
+	MaxHomes int
 	// Now supplies timestamps for the latency metrics (nil =
 	// time.Now). With Shards > 1 it is called concurrently from the
 	// shard workers, so a custom clock must be safe for concurrent
@@ -167,6 +175,15 @@ type Engine struct {
 	// vAct/vDwn are ApplyStream's reusable prevalidation overlay maps
 	// (cleared per batch, buckets retained — see stream.go).
 	vAct, vDwn map[int]bool
+
+	// Multi-homing state (see multihome.go): mhSec[u] is user u's
+	// derived secondary-home set (primary excluded, sorted ascending;
+	// nil while MaxHomes <= 1), and the mh* values cache the gauges
+	// the last derivation computed.
+	mhSec       [][]int
+	mhSat       int
+	mhSecondary int
+	mhMaxLoad   float64
 
 	reg     *obs.Registry
 	metrics metrics
@@ -291,6 +308,9 @@ func newShell(n *wlan.Network, cfg Config) (*Engine, error) {
 	}
 	if cfg.ActiveUsers < 0 || cfg.ActiveUsers > n.NumUsers() {
 		return nil, fmt.Errorf("engine: ActiveUsers %d out of range for %d user slots", cfg.ActiveUsers, n.NumUsers())
+	}
+	if cfg.MaxHomes < 0 {
+		return nil, fmt.Errorf("engine: negative MaxHomes %d", cfg.MaxHomes)
 	}
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("engine: negative shard count %d", cfg.Shards)
@@ -435,13 +455,28 @@ func (e *Engine) seedTrackers(assoc *wlan.Assoc) error {
 
 // updateGauges refreshes the point-in-time gauges after any state
 // change. Gauge writes are atomic, so /metrics renders them without
-// the engine lock.
+// the engine lock. It is also the multi-home derivation point: every
+// apply/restore path ends here, so the secondary-home sets are
+// re-derived before the gauges that report them (no-op while
+// MaxHomes <= 1).
 func (e *Engine) updateGauges() {
+	e.deriveMulti()
+	sat := e.satisfied()
+	maxLoad := e.MaxLoad()
 	e.metrics.activeUsers.Set(float64(e.nActive))
 	e.metrics.apLoadTotal.Set(e.TotalLoad())
-	e.metrics.apLoadMax.Set(e.MaxLoad())
+	e.metrics.apLoadMax.Set(maxLoad)
 	e.metrics.apsDown.Set(float64(e.n.NumAPsDown()))
-	e.metrics.unsatisfied.Set(float64(e.nActive - e.satisfied()))
+	e.metrics.unsatisfied.Set(float64(e.nActive - sat))
+	if e.multihomeOn() {
+		e.metrics.mhSatisfied.Set(float64(e.mhSat))
+		e.metrics.mhSecondary.Set(float64(e.mhSecondary))
+		e.metrics.mhLoadMax.Set(e.mhMaxLoad)
+	} else {
+		e.metrics.mhSatisfied.Set(float64(sat))
+		e.metrics.mhSecondary.Set(0)
+		e.metrics.mhLoadMax.Set(maxLoad)
+	}
 	e.flushWorkerStats()
 }
 

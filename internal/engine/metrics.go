@@ -65,6 +65,12 @@ type metrics struct {
 	shardHandoffs   *obs.CounterVec    // assocd_shard_handoffs_total{shard}
 	shardQueueDepth *obs.GaugeVec      // assocd_shard_queue_depth{shard}
 	shardBusy       []*obs.FloatCounter // assocd_shard_busy_seconds_total{shard}
+	// Multi-homing families (multihome.go). Registered always so the
+	// exposition is stable; with MaxHomes <= 1 they mirror the
+	// single-AP satisfied/max-load values and zero secondaries.
+	mhSatisfied *obs.Gauge
+	mhSecondary *obs.Gauge
+	mhLoadMax   *obs.Gauge
 }
 
 // register resolves the engine's instruments, creating the families in
@@ -107,6 +113,12 @@ func (m *metrics) register(reg *obs.Registry, nShards int) {
 		m.shardBusy[s] = reg.FloatCounter("assocd_shard_busy_seconds_total",
 			"Seconds a shard worker spent applying events.", obs.L("shard", shards[s]))
 	}
+	m.mhSatisfied = reg.Gauge("assocd_multihome_satisfied_users",
+		"Users with at least one live home (primary or secondary).")
+	m.mhSecondary = reg.Gauge("assocd_multihome_secondary_homes",
+		"Secondary homes currently held across all users (0 when multi-homing is off).")
+	m.mhLoadMax = reg.Gauge("assocd_multihome_ap_load_max",
+		"Maximum AP multicast load including secondary-home contributions.")
 }
 
 // record accounts one successfully applied event.

@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"fmt"
+
+	"wlanmcast/internal/core"
+	"wlanmcast/internal/wlan"
+)
+
+// Multi-homing (Config.MaxHomes > 1) layers multi-connectivity
+// (arXiv 2305.15252) on top of the single-AP engine without touching
+// its hot path: the engine keeps deciding every user's *primary* AP
+// exactly as before — bit-identically, which the degree-1
+// differential suite pins — and after every apply derives up to
+// MaxHomes-1 *secondary* homes per user with core.AugmentHomes.
+//
+// The derivation is a pure deterministic function of (primary
+// association, previous secondary sets, network up/down state), so it
+// inherits the engine's two structural guarantees for free: the
+// primary association is byte-identical for any shard count
+// (invariant 3), hence so are the derived sets; and re-deriving from
+// persisted sets is a fixed point, hence crash recovery lands on the
+// identical state. In ModeFullRecompute the previous sets are ignored
+// (prev=nil), making the multi-home state a pure function of the
+// current network + primary — which is what makes fault→recover
+// provably return to the never-failed state.
+//
+// Degradation semantics: when a user's primary AP fails and budgets
+// block single-AP rehoming, its surviving grandfathered secondaries
+// keep it served at a reduced aggregate rate instead of orphaning it.
+// Secondary admission is always budget-bounded; grandfathered
+// survivors are kept without a budget re-check (availability over
+// admission strictness during an outage).
+
+// multihomeOn reports whether secondary-home derivation is active.
+func (e *Engine) multihomeOn() bool { return e.cfg.MaxHomes > 1 }
+
+// MaxHomes returns the effective per-user AP-set cap (1 = single-AP).
+func (e *Engine) MaxHomes() int {
+	if e.cfg.MaxHomes < 1 {
+		return 1
+	}
+	return e.cfg.MaxHomes
+}
+
+// deriveMulti re-derives the secondary-home sets from the current
+// primary association. Called from updateGauges, i.e. at the end of
+// every apply/restore path (per event for Apply, once per batch for
+// ApplyBatch — the derivation granularity is the API call, not the
+// event). No-op while MaxHomes <= 1.
+func (e *Engine) deriveMulti() {
+	if !e.multihomeOn() {
+		return
+	}
+	prev := e.mhSec
+	if e.cfg.Mode == ModeFullRecompute {
+		prev = nil
+	}
+	ma, sec, err := core.AugmentHomes(e.n, e.Snapshot(), prev, e.cfg.MaxHomes)
+	if err != nil {
+		// The primary association is engine-maintained (never down,
+		// never out of range) and prev always has the network's user
+		// count, so augmentation cannot fail; reaching this is a broken
+		// engine invariant, not an input error.
+		panic(fmt.Sprintf("engine: multi-home derivation: %v", err))
+	}
+	e.mhSec = sec
+	e.mhSat = ma.SatisfiedCount()
+	e.mhSecondary = ma.SecondaryCount()
+	e.mhMaxLoad = e.n.MaxLoadMulti(ma)
+}
+
+// MultiSnapshot returns a copy of the current multi-association:
+// every user's primary AP merged with its derived secondary homes,
+// sorted ascending. With MaxHomes <= 1 it is exactly the single-AP
+// Snapshot lifted to sets. Identical (network, config, event
+// sequence) inputs yield byte-identical JSON-marshalled snapshots at
+// every point in the stream, for any shard count.
+func (e *Engine) MultiSnapshot() *wlan.MultiAssoc {
+	ma := wlan.FromAssoc(e.Snapshot())
+	if e.multihomeOn() {
+		for u, sec := range e.mhSec {
+			for _, ap := range sec {
+				ma.AddHome(u, ap)
+			}
+		}
+	}
+	return ma
+}
+
+// SetMultiAssoc force-installs an externally supplied
+// multi-association (the assocd PUT /v1/multiassoc path). Validation
+// is complete before any state moves, so a rejected install leaves
+// the engine untouched (the FuzzDecodeMultiAssoc contract). The
+// install is normalized: each user's primary becomes the
+// strongest-signal member of its AP set (deterministic), the rest are
+// installed as secondaries and grandfathered by the next derivation —
+// which may also add further budget-admissible homes, exactly as it
+// would have around live events.
+func (e *Engine) SetMultiAssoc(ma *wlan.MultiAssoc) error {
+	if err := e.n.ValidateMulti(ma, e.cfg.EnforceBudget); err != nil {
+		return err
+	}
+	maxHomes := e.MaxHomes()
+	for u := 0; u < ma.NumUsers(); u++ {
+		if d := ma.Degree(u); d > maxHomes {
+			return fmt.Errorf("engine: user %d has %d homes, MaxHomes is %d", u, d, maxHomes)
+		}
+		if ma.Degree(u) > 0 && !e.active[u] {
+			return fmt.Errorf("engine: multi-association assigns inactive user %d", u)
+		}
+	}
+	primary := wlan.NewAssoc(ma.NumUsers())
+	sec := make([][]int, ma.NumUsers())
+	for u := 0; u < ma.NumUsers(); u++ {
+		homes := ma.Homes(u)
+		if len(homes) == 0 {
+			continue
+		}
+		p := core.StrongestOf(e.n, u, homes)
+		primary.Associate(u, p)
+		for _, ap := range homes {
+			if ap != p {
+				sec[u] = append(sec[u], ap)
+			}
+		}
+	}
+	if err := e.seedTrackers(primary); err != nil {
+		return err
+	}
+	e.mhSec = sec
+	e.updateGauges()
+	return nil
+}

@@ -21,6 +21,12 @@ type snapUser struct {
 	Y       float64 `json:"y,omitempty"`
 	Session int     `json:"session"`
 	AP      int     `json:"ap"` // wlan.Unassociated when orphaned
+	// Sec is the derived secondary-home set (multihome.go), sorted
+	// ascending, primary excluded. Always empty with MaxHomes <= 1,
+	// so pre-multi-homing snapshots and configurations keep their
+	// exact historical bytes (the field is additive — no version
+	// bump).
+	Sec []int `json:"sec,omitempty"`
 }
 
 // snapCounters mirrors Stats' counter fields (the latency histogram
@@ -68,6 +74,9 @@ func (e *Engine) EncodeSnapshot() ([]byte, error) {
 		if geometric {
 			su.X = e.n.Users[u].Pos.X
 			su.Y = e.n.Users[u].Pos.Y
+		}
+		if len(e.mhSec) > 0 && len(e.mhSec[u]) > 0 {
+			su.Sec = append([]int(nil), e.mhSec[u]...)
 		}
 		st.Users = append(st.Users, su)
 	}
@@ -129,6 +138,20 @@ func RestoreSnapshot(n *wlan.Network, cfg Config, data []byte) (*Engine, error) 
 				return nil, fmt.Errorf("engine: snapshot user %d on AP %d out of range", su.U, su.AP)
 			}
 			assoc.Associate(su.U, su.AP)
+		}
+		if len(su.Sec) > 0 {
+			if !e.multihomeOn() {
+				return nil, fmt.Errorf("engine: snapshot user %d carries secondary homes but MaxHomes is %d", su.U, cfg.MaxHomes)
+			}
+			for i, ap := range su.Sec {
+				if ap < 0 || ap >= n.NumAPs() || (i > 0 && su.Sec[i-1] >= ap) {
+					return nil, fmt.Errorf("engine: snapshot user %d secondary homes %v malformed", su.U, su.Sec)
+				}
+			}
+			if e.mhSec == nil {
+				e.mhSec = make([][]int, n.NumUsers())
+			}
+			e.mhSec[su.U] = append([]int(nil), su.Sec...)
 		}
 	}
 	e.nActive = len(st.Users)

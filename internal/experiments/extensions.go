@@ -28,6 +28,7 @@ func Extensions() []Experiment {
 		{ID: "ext-convergence", Title: "Distributed convergence and signaling vs decision jitter", Run: ExtConvergence},
 		{ID: "ext-churn", Title: "Online engine: incremental vs full-recompute churn handling", Run: ExtChurn},
 		{ID: "ext-fault", Title: "Self-healing: repair cost and residual load vs AP failure rate", Run: ExtFault},
+		{ID: "ext-multihome", Title: "Multi-connectivity: satisfied users under AP outages", Run: ExtMultihome},
 	}
 }
 

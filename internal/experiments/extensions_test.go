@@ -7,7 +7,7 @@ import (
 
 func TestExtensionsRegistered(t *testing.T) {
 	exts := Extensions()
-	want := []string{"ext-basicrate", "ext-power", "ext-airtime", "ext-convergence", "ext-churn", "ext-fault"}
+	want := []string{"ext-basicrate", "ext-power", "ext-airtime", "ext-convergence", "ext-churn", "ext-fault", "ext-multihome"}
 	if len(exts) != len(want) {
 		t.Fatalf("got %d extensions, want %d", len(exts), len(want))
 	}

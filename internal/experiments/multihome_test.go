@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func TestExtMultihomeSmoke(t *testing.T) {
+	fig, err := ExtMultihome(context.Background(), quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := GetAny("ext-multihome"); !ok {
+		t.Error("ext-multihome not registered in Extensions()")
+	}
+	if err := fig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{
+		"single/satisfied-mean", "single/max-load",
+		"multi2/satisfied-mean", "multi2/max-load", "multi2/secondary-homes-mean",
+	} {
+		s := findSeries(t, fig, label)
+		if len(s.Stats) != len(fig.X) {
+			t.Fatalf("%s: %d stats for %d x points", label, len(s.Stats), len(fig.X))
+		}
+		for i, st := range s.Stats {
+			if st.Avg < 0 {
+				t.Errorf("%s at x=%v: negative average %v", label, fig.X[i], st.Avg)
+			}
+		}
+	}
+	// The headline claim, in expectation over the smoke config: the
+	// multi-homed engine never serves fewer users during outages than
+	// the single-AP engine (a per-state engine invariant, so averages
+	// inherit it), and the redundancy pays off somewhere in the sweep.
+	single := findSeries(t, fig, "single/satisfied-mean")
+	multi := findSeries(t, fig, "multi2/satisfied-mean")
+	gain := 0.0
+	for i := range fig.X {
+		if multi.Stats[i].Avg < single.Stats[i].Avg-1e-9 {
+			t.Errorf("x=%v: multi2 satisfied %v < single %v", fig.X[i], multi.Stats[i].Avg, single.Stats[i].Avg)
+		}
+		gain += multi.Stats[i].Avg - single.Stats[i].Avg
+	}
+	if gain <= 0 {
+		t.Errorf("multi-homing never improved on single-AP across the sweep (total gain %v)", gain)
+	}
+	// Secondary homes must actually exist, or the whole comparison is
+	// vacuous.
+	sec := findSeries(t, fig, "multi2/secondary-homes-mean")
+	any := false
+	for _, st := range sec.Stats {
+		if st.Avg > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Error("no secondary homes formed at any point in the sweep")
+	}
+}
+
+func TestExtMultihomeDeterministic(t *testing.T) {
+	cfg := quickCfg()
+	a, err := ExtMultihome(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	b, err := ExtMultihome(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("ExtMultihome differs between Workers=default and Workers=4")
+	}
+}

@@ -24,9 +24,12 @@
 #   5. the coverage gate: internal/wlan and internal/geom must not
 #      drop below their pre-sparse-core floors (the sparse spatial
 #      core rewrote both packages; the gate keeps later PRs from
-#      eroding the equivalence suite that pins it), and internal/wal
+#      eroding the equivalence suite that pins it), internal/wal
 #      must hold the floor set when the journal landed — durability
-#      code that loses its tests loses its guarantees
+#      code that loses its tests loses its guarantees — and
+#      internal/core must hold the floor set when multi-homing
+#      landed (AugmentHomes' grandfather/fill passes are the
+#      degradation semantics; untested means unspecified)
 #   6. the allocation gate: the engine's steady-state incremental
 #      event path must stay <= 2 allocs/event (it measures ~0; the
 #      streaming ingest subsystem depends on this not rotting)
@@ -37,9 +40,9 @@
 #      rules); regenerate with
 #      UPDATE_METRICS_MD=1 go test ./cmd/assocd -run TestMetricsDocCurrent
 #   8. a fuzz smoke pass: ~10s per fuzz target (events decoder,
-#      NDJSON stream handler, journal record decoder, scenario
-#      loader, LP solver) so corpus regressions surface in CI, not
-#      just in long local fuzz runs
+#      multi-association decoder, NDJSON stream handler, journal
+#      record decoder, scenario loader, LP solver) so corpus
+#      regressions surface in CI, not just in long local fuzz runs
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -57,8 +60,8 @@ echo "== promtext lint (golden exposition + live /metrics)"
 go test -run 'TestGoldenAssocdExposition|TestLintProm' -count 1 ./internal/obs
 go test -run 'TestServeMetricsLint' -count 1 ./cmd/assocd
 
-echo "== coverage gate (internal/wlan >= 96.1%, internal/geom >= 95.6%, internal/wal >= 78.0%)"
-go test -cover -count 1 ./internal/geom ./internal/wlan ./internal/wal | awk '
+echo "== coverage gate (internal/wlan >= 96.1%, internal/geom >= 95.6%, internal/wal >= 78.0%, internal/core >= 90.0%)"
+go test -cover -count 1 ./internal/geom ./internal/wlan ./internal/wal ./internal/core | awk '
 { print }
 /coverage:/ {
     pct = $0
@@ -67,9 +70,10 @@ go test -cover -count 1 ./internal/geom ./internal/wlan ./internal/wal | awk '
     if ($2 ~ /internal\/geom$/) { geom = pct + 0; geomSeen = 1 }
     if ($2 ~ /internal\/wlan$/) { wlan = pct + 0; wlanSeen = 1 }
     if ($2 ~ /internal\/wal$/) { wal = pct + 0; walSeen = 1 }
+    if ($2 ~ /internal\/core$/) { core = pct + 0; coreSeen = 1 }
 }
 END {
-    if (!geomSeen || !wlanSeen || !walSeen) {
+    if (!geomSeen || !wlanSeen || !walSeen || !coreSeen) {
         print "check.sh: coverage output not parsed" > "/dev/stderr"; exit 1
     }
     if (geom < 95.6) {
@@ -81,6 +85,9 @@ END {
     if (wal < 78.0) {
         printf "check.sh: internal/wal coverage %.1f%% fell below the 78.0%% floor\n", wal > "/dev/stderr"; exit 1
     }
+    if (core < 90.0) {
+        printf "check.sh: internal/core coverage %.1f%% fell below the 90.0%% floor\n", core > "/dev/stderr"; exit 1
+    }
 }'
 
 echo "== allocation gate (engine event path <= 2 allocs/event)"
@@ -91,6 +98,7 @@ go test -run 'TestMetricsDocCurrent|TestMetricsDocLint' -count 1 ./cmd/assocd
 
 echo "== fuzz smoke (10s per target)"
 go test -run '^$' -fuzz 'FuzzDecodeEvents' -fuzztime 10s ./cmd/assocd
+go test -run '^$' -fuzz 'FuzzDecodeMultiAssoc' -fuzztime 10s ./cmd/assocd
 go test -run '^$' -fuzz 'FuzzStreamEvents' -fuzztime 10s ./cmd/assocd
 go test -run '^$' -fuzz 'FuzzWALDecode' -fuzztime 10s ./internal/wal
 go test -run '^$' -fuzz 'FuzzLoad' -fuzztime 10s ./internal/scenario
